@@ -1,0 +1,229 @@
+// One testing.B benchmark per reproduced table/figure of the paper's
+// evaluation (§6), plus microbenchmarks of the hot paths. Each figure
+// benchmark executes the corresponding experiment driver end to end at a
+// reduced scale and logs the regenerated table; run cmd/desis-bench for
+// paper-scale sweeps.
+//
+//	go test -bench=Fig6b -benchmem
+//	go test -bench=. -benchmem
+package desis_test
+
+import (
+	"strings"
+	"testing"
+
+	"desis"
+	"desis/internal/bench"
+	"desis/internal/core"
+	"desis/internal/event"
+	"desis/internal/gen"
+	"desis/internal/message"
+	"desis/internal/node"
+	"desis/internal/operator"
+	"desis/internal/query"
+)
+
+// benchCfg keeps per-iteration work small enough for testing.B's calibration.
+var benchCfg = bench.Config{Events: 20_000, WindowCounts: []int{1, 10, 100}, Locals: 2, Keys: 16}
+
+func runFigure(b *testing.B, id string) {
+	b.Helper()
+	var exp *bench.Experiment
+	for i := range bench.Experiments {
+		if bench.Experiments[i].ID == id {
+			exp = &bench.Experiments[i]
+			break
+		}
+	}
+	if exp == nil {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	var last []*bench.Table
+	for i := 0; i < b.N; i++ {
+		tables, err := exp.Run(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = tables
+	}
+	var sb strings.Builder
+	for _, t := range last {
+		t.Fprint(&sb)
+	}
+	b.Log("\n" + sb.String())
+}
+
+// --- Figure benchmarks (§6) ---
+
+func BenchmarkFig6aLatencySingleWindow(b *testing.B)          { runFigure(b, "fig6a") }
+func BenchmarkFig6bThroughputConcurrent(b *testing.B)         { runFigure(b, "fig6b") }
+func BenchmarkFig7aScaleAvg(b *testing.B)                     { runFigure(b, "fig7a") }
+func BenchmarkFig7bScaleMedian(b *testing.B)                  { runFigure(b, "fig7b") }
+func BenchmarkFig7cNodeThroughputAvg(b *testing.B)            { runFigure(b, "fig7c") }
+func BenchmarkFig7dNodeThroughputMedian(b *testing.B)         { runFigure(b, "fig7d") }
+func BenchmarkFig7eKeys(b *testing.B)                         { runFigure(b, "fig7e") }
+func BenchmarkFig7fWindowsSameKey(b *testing.B)               { runFigure(b, "fig7f") }
+func BenchmarkFig8abTumblingThroughputSlices(b *testing.B)    { runFigure(b, "fig8ab") }
+func BenchmarkFig8cdUserDefinedThroughputSlices(b *testing.B) { runFigure(b, "fig8cd") }
+func BenchmarkFig9abAvgSum(b *testing.B)                      { runFigure(b, "fig9ab") }
+func BenchmarkFig9cdQuantiles(b *testing.B)                   { runFigure(b, "fig9cd") }
+func BenchmarkFig9efTwoFuncs(b *testing.B)                    { runFigure(b, "fig9ef") }
+func BenchmarkFig9gQuantileMax(b *testing.B)                  { runFigure(b, "fig9g") }
+func BenchmarkFig9hMeasures(b *testing.B)                     { runFigure(b, "fig9h") }
+func BenchmarkFig10abSliceCount(b *testing.B)                 { runFigure(b, "fig10ab") }
+func BenchmarkFig10cdSliceSize(b *testing.B)                  { runFigure(b, "fig10cd") }
+func BenchmarkFig11aNetworkAvg(b *testing.B)                  { runFigure(b, "fig11a") }
+func BenchmarkFig11bNetworkMedian(b *testing.B)               { runFigure(b, "fig11b") }
+func BenchmarkFig11cNetworkKeys(b *testing.B)                 { runFigure(b, "fig11c") }
+func BenchmarkFig11dNetworkWindows(b *testing.B)              { runFigure(b, "fig11d") }
+func BenchmarkFig12aNodeLatencyAvg(b *testing.B)              { runFigure(b, "fig12a") }
+func BenchmarkFig12bNodeLatencyMedian(b *testing.B)           { runFigure(b, "fig12b") }
+func BenchmarkFig13aRealWorld(b *testing.B)                   { runFigure(b, "fig13a") }
+func BenchmarkFig13bcPiCluster(b *testing.B)                  { runFigure(b, "fig13bc") }
+func BenchmarkFig13dPiLatency(b *testing.B)                   { runFigure(b, "fig13d") }
+
+// --- Ablation benchmarks (DESIGN.md §5) ---
+
+func BenchmarkAblationPunctuationCalendar(b *testing.B) { runFigure(b, "ablation-calendar") }
+func BenchmarkAblationOperatorSharing(b *testing.B)     { runFigure(b, "ablation-opsharing") }
+func BenchmarkAblationPartialGranularity(b *testing.B)  { runFigure(b, "ablation-granularity") }
+func BenchmarkAblationSortedBatches(b *testing.B)       { runFigure(b, "ablation-sortedbatches") }
+func BenchmarkAblationCodecs(b *testing.B)              { runFigure(b, "ablation-codecs") }
+func BenchmarkAblationShardedRoot(b *testing.B)         { runFigure(b, "ablation-shardedroot") }
+
+// --- Hot-path microbenchmarks ---
+
+// BenchmarkEngineProcess measures the engine's per-event cost with 100
+// concurrent tumbling windows sharing one query-group.
+func BenchmarkEngineProcess(b *testing.B) {
+	qs := gen.TumblingSweep(100, 1000, 10000, operator.Average)
+	groups, err := query.Analyze(qs, query.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := core.New(groups, core.Config{OnResult: func(core.Result) {}})
+	s := gen.NewStream(gen.StreamConfig{Seed: 1, IntervalMS: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Process(s.Next())
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Mevents/s")
+}
+
+// BenchmarkEngineProcessQuantiles measures the shared non-decomposable sort
+// with 100 distinct quantile queries.
+func BenchmarkEngineProcessQuantiles(b *testing.B) {
+	var qs []query.Query
+	for i := 0; i < 100; i++ {
+		qs = append(qs, query.Query{
+			ID: uint64(i + 1), Pred: query.All(), Type: query.Tumbling, Length: 1000,
+			Funcs: []operator.FuncSpec{{Func: operator.Quantile, Arg: float64(i+1) / 101}},
+		})
+	}
+	groups, err := query.Analyze(qs, query.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := core.New(groups, core.Config{OnResult: func(core.Result) {}})
+	s := gen.NewStream(gen.StreamConfig{Seed: 1, IntervalMS: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Process(s.Next())
+	}
+}
+
+// BenchmarkAggAdd measures the innermost operator loop.
+func BenchmarkAggAdd(b *testing.B) {
+	a := operator.NewAgg(operator.OpSum | operator.OpCount | operator.OpDSort)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Add(float64(i & 1023))
+	}
+}
+
+// BenchmarkPartialCodec measures encoding+decoding one slice partial.
+func BenchmarkPartialCodec(b *testing.B) {
+	agg := operator.NewAgg(operator.OpSum | operator.OpCount)
+	for i := 0; i < 100; i++ {
+		agg.Add(float64(i))
+	}
+	agg.Finish()
+	m := &message.Message{Kind: message.KindPartial, From: 1, Partial: &core.SlicePartial{
+		Group: 0, ID: 9, Start: 0, End: 1000, LastEvent: 990, Ingested: 100,
+		Aggs: []operator.Agg{agg},
+	}}
+	codec := message.Binary{}
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = codec.Append(buf[:0], m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := codec.Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMergerHandlePartial measures the intermediate merge step.
+func BenchmarkMergerHandlePartial(b *testing.B) {
+	m := node.NewMerger([]uint32{1, 2})
+	m.Out = func(*core.SlicePartial) {}
+	mk := func(id uint64) *core.SlicePartial {
+		agg := operator.NewAgg(operator.OpSum | operator.OpCount)
+		agg.Add(1)
+		agg.Finish()
+		return &core.SlicePartial{
+			ID: id, Start: int64(id) * 100, End: int64(id+1) * 100,
+			Ingested: 1, Aggs: []operator.Agg{agg},
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := mk(uint64(i))
+		q := mk(uint64(i))
+		m.HandlePartial(1, p)
+		m.HandlePartial(2, q)
+	}
+}
+
+// BenchmarkEventBatchCodec measures raw event batch framing, the dominant
+// traffic of centralized deployments.
+func BenchmarkEventBatchCodec(b *testing.B) {
+	s := gen.NewStream(gen.StreamConfig{Seed: 1, Keys: 8, IntervalMS: 1})
+	evs := s.Events(512)
+	var buf []byte
+	b.SetBytes(int64(len(evs) * event.EncodedSize))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = event.AppendBatch(buf[:0], evs)
+		if _, _, err := event.DecodeBatch(buf, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPublicEngine measures the facade's end-to-end path.
+func BenchmarkPublicEngine(b *testing.B) {
+	eng, err := desis.NewEngine([]desis.Query{
+		desis.MustParseQuery("tumbling(1s) average key=0"),
+		desis.MustParseQuery("sliding(10s,2s) max key=0"),
+	}, desis.Options{OnResult: func(desis.Result) {}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := desis.NewStream(desis.StreamConfig{Seed: 1, IntervalMS: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Process(s.Next())
+	}
+}

@@ -1,0 +1,99 @@
+package desis
+
+import (
+	"desis/internal/core"
+	"desis/internal/message"
+	"desis/internal/node"
+	"desis/internal/query"
+)
+
+// ClusterOptions shapes an in-process decentralized deployment.
+type ClusterOptions struct {
+	// Locals is the number of stream-ingesting local nodes (default 1).
+	Locals int
+	// Intermediates is the number of intermediate nodes between the locals
+	// and the root (default 0: locals connect to the root directly).
+	Intermediates int
+	// OnResult streams final window results from the root; when nil they
+	// accumulate for Results.
+	OnResult func(Result)
+	// TextWire switches the wire codec from binary to strings, for
+	// protocol experiments.
+	TextWire bool
+	// CompactWire switches to the varint/delta codec, roughly halving
+	// event traffic on constrained links. Ignored when TextWire is set.
+	CompactWire bool
+	// BandwidthBytesPerSec throttles every link, modelling constrained
+	// networks; zero is unlimited.
+	BandwidthBytesPerSec float64
+}
+
+// Cluster is an in-process decentralized Desis topology: local nodes slice
+// their streams and ship per-slice partial results through intermediates to
+// the root, which assembles final windows. For a real multi-machine
+// deployment use cmd/desis-node, which runs the same node types over TCP.
+type Cluster struct {
+	c *node.Cluster
+}
+
+// NewCluster analyzes the queries with decentralized placement (count-based
+// windows evaluate on the root) and builds the topology.
+func NewCluster(queries []Query, opts ClusterOptions) (*Cluster, error) {
+	queries = assignIDs(queries)
+	groups, err := query.Analyze(queries, query.Options{Decentralized: true})
+	if err != nil {
+		return nil, err
+	}
+	var codec message.Codec
+	switch {
+	case opts.TextWire:
+		codec = message.Text{}
+	case opts.CompactWire:
+		codec = message.Compact{}
+	}
+	var onResult func(core.Result)
+	if opts.OnResult != nil {
+		onResult = func(r core.Result) { opts.OnResult(r) }
+	}
+	return &Cluster{c: node.NewCluster(groups, node.ClusterConfig{
+		Locals:        opts.Locals,
+		Intermediates: opts.Intermediates,
+		Codec:         codec,
+		Bandwidth:     opts.BandwidthBytesPerSec,
+		OnResult:      onResult,
+	})}, nil
+}
+
+// NumLocals reports the local-node count.
+func (c *Cluster) NumLocals() int { return c.c.NumLocals() }
+
+// Push feeds in-order events to local node i. Distinct locals may be fed
+// from distinct goroutines.
+func (c *Cluster) Push(i int, evs []Event) error { return c.c.Push(i, evs) }
+
+// Advance moves local node i's event time to t, emitting a watermark.
+func (c *Cluster) Advance(i int, t int64) error { return c.c.Advance(i, t) }
+
+// AdvanceAll advances every local node to t.
+func (c *Cluster) AdvanceAll(t int64) error { return c.c.AdvanceAll(t) }
+
+// WaitRoot blocks until the root has merged and assembled everything up to
+// event time t.
+func (c *Cluster) WaitRoot(t int64) { c.c.WaitRoot(t) }
+
+// AddQuery registers a query on every node at runtime.
+func (c *Cluster) AddQuery(q Query) error { return c.c.AddQuery(q) }
+
+// RemoveQuery removes a running query everywhere.
+func (c *Cluster) RemoveQuery(id uint64) error { return c.c.RemoveQuery(id) }
+
+// Results returns and clears final window results (only without OnResult).
+func (c *Cluster) Results() []Result { return c.c.Results() }
+
+// NetworkBytes reports the bytes sent by the local and intermediate layers.
+func (c *Cluster) NetworkBytes() (localBytes, intermediateBytes uint64) {
+	return c.c.NetworkBytes()
+}
+
+// Close drains in-flight messages and shuts the topology down.
+func (c *Cluster) Close() error { return c.c.Close() }

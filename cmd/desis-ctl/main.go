@@ -1,0 +1,63 @@
+// Command desis-ctl manages queries on a running Desis root node (§3.2):
+//
+//	desis-ctl -root localhost:7070 -add "tumbling(5s) median key=2" -addid 42
+//	desis-ctl -root localhost:7070 -remove 42
+//
+// The root applies the change and broadcasts it down the topology; local
+// nodes start (or stop) answering the query from their next punctuation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"desis/internal/message"
+	"desis/internal/node"
+	"desis/internal/query"
+)
+
+func main() {
+	root := flag.String("root", "localhost:7070", "root node address")
+	add := flag.String("add", "", "query to add, in the textual query language")
+	addID := flag.Uint64("addid", 0, "explicit id for the added query (required with -add)")
+	remove := flag.Uint64("remove", 0, "id of a running query to remove")
+	text := flag.Bool("text", false, "use the string wire codec")
+	flag.Parse()
+
+	var codec message.Codec = message.Binary{}
+	if *text {
+		codec = message.Text{}
+	}
+
+	var err error
+	switch {
+	case *add != "" && *remove != 0:
+		err = fmt.Errorf("use either -add or -remove, not both")
+	case *add != "":
+		if *addID == 0 {
+			err = fmt.Errorf("-add needs -addid (a unique non-zero query id)")
+			break
+		}
+		var q query.Query
+		if q, err = query.ParseAny(*add); err != nil {
+			break
+		}
+		q.ID = *addID
+		err = node.Control(*root, codec, &q, 0)
+		if err == nil {
+			fmt.Printf("added query %d: %s\n", q.ID, q)
+		}
+	case *remove != 0:
+		err = node.Control(*root, codec, nil, *remove)
+		if err == nil {
+			fmt.Printf("removed query %d\n", *remove)
+		}
+	default:
+		err = fmt.Errorf("nothing to do: pass -add or -remove")
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "desis-ctl:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,51 @@
+// Quickstart: two windowed queries over one synthetic stream, sharing one
+// slice stream and one set of operators.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"desis"
+)
+
+func main() {
+	// Two queries over the same key: a 1-second tumbling average and a
+	// 10-second sliding max/p99. They land in one query-group: every event
+	// is aggregated once, and avg's sum operator is shared.
+	queries := []desis.Query{
+		desis.MustParseQuery("tumbling(1s) average key=0"),
+		desis.MustParseQuery("sliding(10s,2s) max,quantile(0.99) key=0"),
+	}
+	eng, err := desis.NewEngine(queries, desis.Options{
+		OnResult: func(r desis.Result) {
+			if r.Count == 0 {
+				return // empty windows fired while draining the stream tail
+			}
+			fmt.Printf("query %d window [%6d, %6d) n=%5d:", r.QueryID, r.Start, r.End, r.Count)
+			for _, v := range r.Values {
+				if v.OK {
+					fmt.Printf("  %s=%.2f", v.Spec, v.Value)
+				}
+			}
+			fmt.Println()
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Replay 30 seconds of a synthetic sensor stream (1 event/ms).
+	s := desis.NewStream(desis.StreamConfig{Seed: 42, Keys: 1, IntervalMS: 1})
+	for i := 0; i < 30_000; i++ {
+		eng.Process(s.Next())
+	}
+	// Close the final windows.
+	eng.AdvanceTo(s.Now() + 10_000)
+
+	st := eng.Stats()
+	fmt.Printf("\nprocessed %d events with %d operator executions (%.2f per event) across %d slices\n",
+		st.Events, st.Calculations, float64(st.Calculations)/float64(st.Events), st.Slices)
+}

@@ -1,0 +1,81 @@
+// Trafficmonitor: the paper's motivating domain — road-traffic telemetry
+// with selection predicates, session windows, and user-defined (per-trip)
+// windows, all sharing one stream.
+//
+//   - "how many speeders per minute"    (tumbling, WHERE speed >= 80)
+//   - "average crawl speed per minute"  (tumbling, WHERE speed < 25)
+//   - "max speed per trip"              (user-defined windows, §5.1.2)
+//   - "p90 speed per activity burst"    (session windows)
+//
+// go run ./examples/trafficmonitor
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"desis"
+)
+
+func main() {
+	speeders := desis.MustParseQuery("tumbling(60s) count key=0 value>=80")
+	speeders.ID = 1
+	crawl := desis.MustParseQuery("tumbling(60s) average,count key=0 value<25")
+	crawl.ID = 2
+	trip := desis.MustParseQuery("userdefined max,count key=0")
+	trip.ID = 3
+	burst := desis.MustParseQuery("session(5s) quantile(0.9) key=0")
+	burst.ID = 4
+
+	names := map[uint64]string{1: "speeders/min", 2: "crawl avg", 3: "trip max", 4: "burst p90"}
+	eng, err := desis.NewEngine([]desis.Query{speeders, crawl, trip, burst}, desis.Options{
+		OnResult: func(r desis.Result) {
+			fmt.Printf("%-12s [%7.1fs, %7.1fs)", names[r.QueryID], float64(r.Start)/1000, float64(r.End)/1000)
+			for _, v := range r.Values {
+				if v.OK {
+					fmt.Printf("  %s=%.1f", v.Spec, v.Value)
+				} else {
+					fmt.Printf("  %s=-", v.Spec)
+				}
+			}
+			fmt.Println()
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Simulate a car: trips separated by marker events (ignition off) and
+	// idle periods that end session windows.
+	rng := rand.New(rand.NewSource(3))
+	now := int64(0)
+	speed := 50.0
+	for trip := 0; trip < 3; trip++ {
+		tripLen := 60_000 + rng.Int63n(120_000)
+		for t := int64(0); t < tripLen; t += 200 {
+			speed += rng.NormFloat64() * 4
+			if speed < 0 {
+				speed = 0
+			}
+			if speed > 130 {
+				speed = 130
+			}
+			eng.Process(desis.Event{Time: now, Key: 0, Value: speed})
+			now += 200
+			// Occasional stop at a light: a gap long enough to end the
+			// 5-second session window.
+			if rng.Intn(200) == 0 {
+				now += 8000
+			}
+		}
+		// Ignition off: a user-defined window boundary ends the trip.
+		eng.Process(desis.Event{Time: now, Key: 0, Marker: desis.MarkerBoundary})
+		now += 30_000 // parked for 30s
+	}
+	eng.AdvanceTo(now + 60_000)
+
+	st := eng.Stats()
+	fmt.Printf("\n%d events, %.2f operator executions per event, %d slices shared by 4 queries\n",
+		st.Events, float64(st.Calculations)/float64(st.Events), st.Slices)
+}

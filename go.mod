@@ -1,0 +1,3 @@
+module desis
+
+go 1.22

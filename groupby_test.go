@@ -1,0 +1,166 @@
+package desis_test
+
+import (
+	"sort"
+	"testing"
+
+	"desis"
+)
+
+// TestGroupByTemplate: a key=* query instantiates per observed key and
+// matches explicit per-key queries exactly.
+func TestGroupByTemplate(t *testing.T) {
+	tmpl := desis.MustParseQuery("tumbling(100ms) average,count key=*")
+	tmpl.ID = 7
+	eng, err := desis.NewEngine([]desis.Query{tmpl}, desis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: one explicit query per key.
+	var explicit []desis.Query
+	for k := 0; k < 5; k++ {
+		q := desis.MustParseQuery("tumbling(100ms) average,count key=0")
+		q.Key = uint32(k)
+		q.ID = uint64(100 + k)
+		explicit = append(explicit, q)
+	}
+	ref, err := desis.NewEngine(explicit, desis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 5000; i++ {
+		ev := desis.Event{Time: int64(i), Key: uint32(i % 5), Value: float64(i % 13)}
+		eng.Process(ev)
+		ref.Process(ev)
+	}
+	eng.AdvanceTo(5000)
+	ref.AdvanceTo(5000)
+	got := eng.Results()
+	want := ref.Results()
+	if len(got) != len(want) {
+		t.Fatalf("template produced %d results, explicit %d", len(got), len(want))
+	}
+	type wkey struct {
+		key        uint32
+		start, end int64
+	}
+	gm := map[wkey]desis.Result{}
+	for _, r := range got {
+		if r.QueryID != 7 {
+			t.Fatalf("template result carries id %d, want 7", r.QueryID)
+		}
+		gm[wkey{r.Key, r.Start, r.End}] = r
+	}
+	for _, w := range want {
+		g, ok := gm[wkey{w.Key, w.Start, w.End}]
+		if !ok {
+			t.Errorf("missing template window key=%d [%d,%d)", w.Key, w.Start, w.End)
+			continue
+		}
+		if g.Count != w.Count || g.Values[0].Value != w.Values[0].Value {
+			t.Errorf("key=%d [%d,%d): got n=%d avg=%g, want n=%d avg=%g",
+				w.Key, w.Start, w.End, g.Count, g.Values[0].Value, w.Count, w.Values[0].Value)
+		}
+	}
+}
+
+// TestGroupByTemplateRemoval removes the template and all its instances.
+func TestGroupByTemplateRemoval(t *testing.T) {
+	tmpl := desis.MustParseQuery("tumbling(100ms) count key=*")
+	tmpl.ID = 1
+	eng, err := desis.NewEngine([]desis.Query{tmpl}, desis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		eng.Process(desis.Event{Time: int64(i), Key: uint32(i % 3), Value: 1})
+	}
+	if err := eng.RemoveQuery(1); err != nil {
+		t.Fatal(err)
+	}
+	eng.Results() // drop what was produced before removal
+	for i := 500; i < 1500; i++ {
+		eng.Process(desis.Event{Time: int64(i), Key: uint32(i % 3), Value: 1})
+	}
+	eng.AdvanceTo(2000)
+	for _, r := range eng.Results() {
+		if r.End > 500 {
+			t.Errorf("removed template still answered key=%d [%d,%d)", r.Key, r.Start, r.End)
+		}
+	}
+}
+
+// TestGroupByOnParallelEngine runs a template across shards.
+func TestGroupByOnParallelEngine(t *testing.T) {
+	tmpl := desis.MustParseQuery("tumbling(100ms) sum key=*")
+	tmpl.ID = 3
+	par, err := desis.NewParallelEngine([]desis.Query{tmpl}, 3, desis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		par.Process(desis.Event{Time: int64(i), Key: uint32(i % 7), Value: 1})
+	}
+	par.AdvanceTo(3000)
+	par.Barrier()
+	rs := par.Results()
+	par.Close()
+	// 7 keys x 30 windows.
+	if len(rs) != 210 {
+		t.Fatalf("got %d results, want 210", len(rs))
+	}
+	keys := map[uint32]int{}
+	for _, r := range rs {
+		keys[r.Key]++
+	}
+	if len(keys) != 7 {
+		t.Errorf("results cover %d keys, want 7", len(keys))
+	}
+	var ks []int
+	for _, n := range keys {
+		ks = append(ks, n)
+	}
+	sort.Ints(ks)
+	if ks[0] != 30 || ks[len(ks)-1] != 30 {
+		t.Errorf("per-key window counts %v, want all 30", ks)
+	}
+}
+
+// TestGroupByRejectedByCluster: decentralized deployments reject templates
+// (key discovery differs per node).
+func TestGroupByRejectedByCluster(t *testing.T) {
+	tmpl := desis.MustParseQuery("tumbling(100ms) sum key=*")
+	tmpl.ID = 1
+	if _, err := desis.NewCluster([]desis.Query{tmpl}, desis.ClusterOptions{Locals: 2}); err == nil {
+		t.Error("cluster accepted a group-by template")
+	}
+}
+
+// TestGroupByMixedWithConcrete: templates and concrete queries coexist; the
+// concrete query's key also gets template instances.
+func TestGroupByMixedWithConcrete(t *testing.T) {
+	tmpl := desis.MustParseQuery("tumbling(100ms) max key=*")
+	tmpl.ID = 1
+	fixed := desis.MustParseQuery("tumbling(200ms) sum key=2")
+	fixed.ID = 2
+	eng, err := desis.NewEngine([]desis.Query{tmpl, fixed}, desis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		eng.Process(desis.Event{Time: int64(i), Key: uint32(i % 4), Value: float64(i)})
+	}
+	eng.AdvanceTo(2000)
+	byQuery := map[uint64]int{}
+	for _, r := range eng.Results() {
+		byQuery[r.QueryID]++
+	}
+	if byQuery[1] != 4*20 {
+		t.Errorf("template windows = %d, want 80", byQuery[1])
+	}
+	if byQuery[2] != 10 {
+		t.Errorf("fixed windows = %d, want 10", byQuery[2])
+	}
+}

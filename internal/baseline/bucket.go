@@ -1,0 +1,277 @@
+package baseline
+
+import (
+	"desis/internal/core"
+	"desis/internal/event"
+	"desis/internal/operator"
+	"desis/internal/query"
+	"desis/internal/window"
+)
+
+// bucketSystem is the shared machinery of CeBuffer and DeBucket: one state
+// per query, one bucket per concurrent window, no sharing of any kind. With
+// buffered=true every window keeps its raw events and aggregates by
+// iterating the buffer at window end (CeBuffer); otherwise each window holds
+// an incrementally-updated aggregate (DeBucket).
+type bucketSystem struct {
+	name     string
+	buffered bool
+	queries  []*perQuery
+	byKey    map[uint32][]*perQuery
+	results  []core.Result
+	calcs    uint64
+	slices   uint64
+}
+
+// NewCeBuffer builds the central-buffer baseline: per-window event buffers,
+// no incremental aggregation (§6.1.1).
+func NewCeBuffer(queries []query.Query) (System, error) {
+	return newBucketSystem("CeBuffer", true, queries)
+}
+
+// NewDeBucket builds the Desis-bucket baseline: per-window incremental
+// aggregates, no sharing between windows (§6.1.1).
+func NewDeBucket(queries []query.Query) (System, error) {
+	return newBucketSystem("DeBucket", false, queries)
+}
+
+func newBucketSystem(name string, buffered bool, queries []query.Query) (*bucketSystem, error) {
+	s := &bucketSystem{name: name, buffered: buffered, byKey: make(map[uint32][]*perQuery)}
+	for _, q := range queries {
+		if err := q.Validate(); err != nil {
+			return nil, err
+		}
+		pq := &perQuery{sys: s, q: q, ops: q.Operators() | operator.OpCount}
+		s.queries = append(s.queries, pq)
+		s.byKey[q.Key] = append(s.byKey[q.Key], pq)
+	}
+	return s, nil
+}
+
+// Name implements System.
+func (s *bucketSystem) Name() string { return s.name }
+
+// Process implements System.
+func (s *bucketSystem) Process(ev event.Event) {
+	for _, pq := range s.byKey[ev.Key] {
+		pq.process(ev)
+	}
+}
+
+// AdvanceTo implements System.
+func (s *bucketSystem) AdvanceTo(t int64) {
+	for _, pq := range s.queries {
+		pq.advance(t)
+	}
+}
+
+// Results implements System.
+func (s *bucketSystem) Results() []core.Result {
+	r := s.results
+	s.results = nil
+	return r
+}
+
+// Calculations implements System.
+func (s *bucketSystem) Calculations() uint64 { return s.calcs }
+
+// Slices implements System. Every bucket is one slice: these systems cover
+// each window with exactly one slice (Figure 8b).
+func (s *bucketSystem) Slices() uint64 { return s.slices }
+
+// bucket is one concurrent window's private state.
+type bucket struct {
+	start, end int64 // event-time extent; end known upfront for fixed
+	cstart     int64 // count-axis start (count windows)
+	agg        operator.Agg
+	buf        []float64
+}
+
+// perQuery drives the window lifecycle of a single query.
+type perQuery struct {
+	sys  *bucketSystem
+	q    query.Query
+	ops  operator.Op
+	open []*bucket
+
+	started   bool
+	nextStart int64 // next fixed window start boundary
+	count     int64
+	sessions  window.Sessions
+}
+
+func (p *perQuery) process(ev event.Event) {
+	t := ev.Time
+	if !p.started {
+		p.start(t)
+	}
+	p.advance(t)
+	if ev.Marker != event.MarkerNone {
+		if p.q.Type == query.UserDefined {
+			p.marker(t)
+		}
+		return
+	}
+	switch {
+	case p.q.Type == query.Session:
+		p.sessions.Observe(t)
+		if len(p.open) == 0 {
+			p.open = append(p.open, p.newBucket(t, 0))
+		}
+	case p.q.Type == query.UserDefined:
+		if len(p.open) == 0 {
+			p.open = append(p.open, p.newBucket(t, 0))
+		}
+	case p.q.Measure == query.Count:
+		step := p.q.Length
+		if p.q.Type == query.Sliding {
+			step = p.q.Slide
+		}
+		if p.count%step == 0 {
+			p.open = append(p.open, p.newBucket(t, p.count))
+		}
+	}
+	if p.q.Pred.Matches(ev.Value) {
+		for _, b := range p.open {
+			p.add(b, ev.Value)
+		}
+	}
+	p.count++
+	if p.q.Measure == query.Count {
+		kept := p.open[:0]
+		for _, b := range p.open {
+			if b.cstart+p.q.Length == p.count {
+				p.close(b, b.cstart, p.count)
+			} else {
+				kept = append(kept, b)
+			}
+		}
+		p.open = kept
+	}
+}
+
+func (p *perQuery) start(t int64) {
+	p.started = true
+	switch {
+	case p.q.Type == query.Session:
+		p.sessions.Add(0, p.q.Gap)
+	case p.q.Type == query.UserDefined:
+		// Marker-driven; no calendar state.
+	case p.q.Measure == query.Time:
+		// Open every fixed window that overlaps the first event.
+		length, slide := p.q.Length, p.q.Length
+		if p.q.Type == query.Sliding {
+			slide = p.q.Slide
+		}
+		k := int64(0)
+		if t >= length {
+			k = (t-length)/slide + 1
+		}
+		for ; k*slide <= t; k++ {
+			p.open = append(p.open, p.newBucket(k*slide, 0))
+		}
+		p.nextStart = k * slide
+	}
+}
+
+// advance fires fixed boundaries and session expiries at or before t.
+func (p *perQuery) advance(t int64) {
+	if !p.started {
+		return
+	}
+	switch {
+	case p.q.Type == query.Session:
+		p.sessions.ExpireBefore(t, func(_ int, start, end int64) {
+			if len(p.open) == 1 {
+				b := p.open[0]
+				p.open = p.open[:0]
+				p.close(b, b.start, end)
+			}
+		})
+	case p.q.Measure == query.Time && p.q.Type != query.UserDefined:
+		slide := p.q.Length
+		if p.q.Type == query.Sliding {
+			slide = p.q.Slide
+		}
+		for {
+			minEnd := int64(window.NoBoundary)
+			if len(p.open) > 0 {
+				minEnd = p.open[0].end
+			}
+			b := p.nextStart
+			if minEnd < b {
+				b = minEnd
+			}
+			if b > t {
+				return
+			}
+			if b == p.nextStart {
+				p.open = append(p.open, p.newBucket(b, 0))
+				p.nextStart += slide
+			}
+			if b == minEnd {
+				w := p.open[0]
+				p.open = p.open[1:]
+				p.close(w, w.start, w.end)
+			}
+		}
+	}
+}
+
+func (p *perQuery) marker(t int64) {
+	if len(p.open) == 1 {
+		b := p.open[0]
+		p.open = p.open[:0]
+		p.close(b, b.start, t)
+	}
+	// The next user-defined window opens at the marker.
+	p.open = append(p.open, p.newBucket(t, 0))
+}
+
+func (p *perQuery) newBucket(start, cstart int64) *bucket {
+	b := &bucket{start: start, cstart: cstart}
+	if p.q.Measure == query.Time && p.q.Type != query.Session && p.q.Type != query.UserDefined {
+		b.end = start + p.q.Length
+	}
+	if !p.sys.buffered {
+		b.agg.Reset(p.ops)
+	}
+	return b
+}
+
+// add folds one event into a window. DeBucket pays the operator cost here;
+// CeBuffer only appends and pays at window end.
+func (p *perQuery) add(b *bucket, v float64) {
+	if p.sys.buffered {
+		b.buf = append(b.buf, v)
+		return
+	}
+	b.agg.Add(v)
+	p.sys.calcs += uint64(p.q.Operators().NumOps())
+}
+
+// close finishes a window and emits its result.
+func (p *perQuery) close(b *bucket, start, end int64) {
+	p.sys.slices++
+	if p.sys.buffered {
+		// CeBuffer iterates the whole buffer now.
+		b.agg.Reset(p.ops)
+		for _, v := range b.buf {
+			b.agg.Add(v)
+		}
+		p.sys.calcs += uint64(len(b.buf)) * uint64(p.q.Operators().NumOps())
+	}
+	b.agg.Finish()
+	values := make([]core.FuncValue, len(p.q.Funcs))
+	for i, spec := range p.q.Funcs {
+		v, ok := b.agg.Eval(spec)
+		values[i] = core.FuncValue{Spec: spec, Value: v, OK: ok}
+	}
+	p.sys.results = append(p.sys.results, core.Result{
+		QueryID: p.q.ID,
+		Start:   start,
+		End:     end,
+		Count:   b.agg.CountV,
+		Values:  values,
+	})
+}

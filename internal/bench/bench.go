@@ -1,0 +1,118 @@
+// Package bench implements the paper's evaluation (§6): one driver per
+// figure that regenerates the figure's series on the in-process substrate.
+// Every driver returns a Table; bench_test.go and cmd/desis-bench print the
+// same rows the paper plots. Absolute numbers depend on the host — the
+// shapes (who wins, by what factor, where crossovers fall) are what the
+// reproduction checks.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Config scales the experiments. Zero values choose test-friendly defaults;
+// cmd/desis-bench raises them toward paper scale.
+type Config struct {
+	// Events is the number of events per measurement (default 200_000).
+	Events int
+	// WindowCounts is the concurrent-window sweep (default 1,10,100,1000).
+	WindowCounts []int
+	// Locals is the maximum local-node count for scalability sweeps
+	// (default 4).
+	Locals int
+	// Keys is the distinct-key sweep maximum (default 64).
+	Keys int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Events <= 0 {
+		c.Events = 200_000
+	}
+	if len(c.WindowCounts) == 0 {
+		c.WindowCounts = []int{1, 10, 100, 1000}
+	}
+	if c.Locals <= 0 {
+		c.Locals = 4
+	}
+	if c.Keys <= 0 {
+		c.Keys = 64
+	}
+	return c
+}
+
+// Point is one measurement: series (system name), x (swept parameter), y
+// (measured value).
+type Point struct {
+	Series string
+	X      float64
+	Y      float64
+}
+
+// Table is a reproduced figure: the same series the paper plots.
+type Table struct {
+	ID     string // e.g. "fig6b"
+	Title  string
+	XLabel string
+	YLabel string
+	Points []Point
+}
+
+// Add appends one measurement.
+func (t *Table) Add(series string, x, y float64) {
+	t.Points = append(t.Points, Point{Series: series, X: x, Y: y})
+}
+
+// Fprint renders the table: one row per x value, one column per series.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "## %s — %s\n", t.ID, t.Title)
+	fmt.Fprintf(w, "   x = %s, y = %s\n", t.XLabel, t.YLabel)
+	var series []string
+	seen := map[string]bool{}
+	xs := map[float64]bool{}
+	for _, p := range t.Points {
+		if !seen[p.Series] {
+			seen[p.Series] = true
+			series = append(series, p.Series)
+		}
+		xs[p.X] = true
+	}
+	var xvals []float64
+	for x := range xs {
+		xvals = append(xvals, x)
+	}
+	sort.Float64s(xvals)
+	fmt.Fprintf(w, "%12s", "x")
+	for _, s := range series {
+		fmt.Fprintf(w, " %14s", s)
+	}
+	fmt.Fprintln(w)
+	for _, x := range xvals {
+		fmt.Fprintf(w, "%12g", x)
+		for _, s := range series {
+			y, ok := lookup(t.Points, s, x)
+			if ok {
+				fmt.Fprintf(w, " %14.4g", y)
+			} else {
+				fmt.Fprintf(w, " %14s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+func lookup(points []Point, series string, x float64) (float64, bool) {
+	for _, p := range points {
+		if p.Series == series && p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// Value returns the measurement of a series at x, for shape assertions.
+func (t *Table) Value(series string, x float64) (float64, bool) {
+	return lookup(t.Points, series, x)
+}

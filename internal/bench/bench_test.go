@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// tiny is a fast configuration for CI-style smoke runs.
+var tiny = Config{Events: 8000, WindowCounts: []int{1, 10, 50}, Locals: 2, Keys: 16}
+
+// TestAllExperimentsRun smoke-tests every figure driver end to end at small
+// scale — each must produce a non-empty table without error.
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range Experiments {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables, err := e.Run(tiny)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			for _, tb := range tables {
+				if len(tb.Points) == 0 {
+					t.Errorf("%s: table %s empty", e.ID, tb.ID)
+				}
+			}
+		})
+	}
+}
+
+// TestShapes asserts the paper's qualitative findings at small scale.
+func TestShapes(t *testing.T) {
+	t.Run("fig6b-desis-beats-cebuffer-at-many-windows", func(t *testing.T) {
+		tb, err := Fig6b(tiny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		desis, _ := tb.Value("Desis", 50)
+		ceb, _ := tb.Value("CeBuffer", 50)
+		if desis <= ceb {
+			t.Errorf("Desis %.0f <= CeBuffer %.0f at 50 windows", desis, ceb)
+		}
+		// Desis roughly flat in window count.
+		d1, _ := tb.Value("Desis", 1)
+		if desis < d1/6 {
+			t.Errorf("Desis throughput collapsed with windows: %.0f -> %.0f", d1, desis)
+		}
+	})
+
+	t.Run("fig8b-desis-slices-flat", func(t *testing.T) {
+		_, ts, err := Fig8ab(tiny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d1, _ := ts.Value("Desis", 1)
+		d50, _ := ts.Value("Desis", 50)
+		if d50 > d1*3 {
+			t.Errorf("Desis slices/min grew with windows: %.0f -> %.0f", d1, d50)
+		}
+		b1, _ := ts.Value("DeBucket", 1)
+		b50, _ := ts.Value("DeBucket", 50)
+		if b50 < b1*5 {
+			t.Errorf("DeBucket slices/min did not grow: %.0f -> %.0f", b1, b50)
+		}
+	})
+
+	t.Run("fig9b-desis-fewer-calculations", func(t *testing.T) {
+		_, tc, err := Fig9(tiny, "avgsum", "x", "y")
+		if err != nil {
+			t.Fatal(err)
+		}
+		desis, _ := tc.Value("Desis", 50)
+		desw, _ := tc.Value("DeSW", 50)
+		// avg+sum: 2 ops/event vs 3 ops/event.
+		if !(desis < desw) {
+			t.Errorf("Desis calcs %.0f not below DeSW %.0f", desis, desw)
+		}
+	})
+
+	t.Run("fig9d-quantiles-one-operator", func(t *testing.T) {
+		_, tc, err := Fig9(tiny, "quantiles", "x", "y")
+		if err != nil {
+			t.Fatal(err)
+		}
+		desis, _ := tc.Value("Desis", 50)
+		desw, _ := tc.Value("DeSW", 50)
+		if desis*10 > desw {
+			t.Errorf("Desis quantile calcs %.0f not ~50x below DeSW %.0f", desis, desw)
+		}
+	})
+
+	t.Run("fig11a-decentralized-saves-network", func(t *testing.T) {
+		tb, err := Fig11ab(tiny, false, "fig11a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		desis, _ := tb.Value("Desis", 0)
+		scotty, _ := tb.Value("Scotty", 0)
+		// The paper reports ~99% savings for decomposable functions.
+		if desis > scotty/20 {
+			t.Errorf("Desis local bytes %.0f not <<5%% of Scotty %.0f", desis, scotty)
+		}
+	})
+
+	t.Run("fig11d-desis-constant-disco-grows", func(t *testing.T) {
+		tb, err := Fig11d(tiny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d1, _ := tb.Value("Desis", 1)
+		d50, _ := tb.Value("Desis", 50)
+		if d50 > d1*3 {
+			t.Errorf("Desis bytes grew with windows: %.0f -> %.0f", d1, d50)
+		}
+		o1, _ := tb.Value("Disco", 1)
+		o50, _ := tb.Value("Disco", 50)
+		if o50 < o1*5 {
+			t.Errorf("Disco bytes did not grow with windows: %.0f -> %.0f", o1, o50)
+		}
+	})
+
+	t.Run("ablation-opsharing", func(t *testing.T) {
+		tb, err := AblationOperatorSharing(tiny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shared, _ := tb.Value("shared-operators", 50)
+		per, _ := tb.Value("per-function", 50)
+		if shared <= per {
+			t.Errorf("shared operators %.0f not faster than per-function %.0f", shared, per)
+		}
+	})
+}
+
+func TestRunAndRunAllPrint(t *testing.T) {
+	var sb strings.Builder
+	if err := Run("fig6a", tiny, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "fig6a") {
+		t.Errorf("output missing table header: %q", sb.String())
+	}
+	if err := Run("nope", tiny, io.Discard); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}

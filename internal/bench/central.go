@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"time"
+
+	"desis/internal/baseline"
+	"desis/internal/event"
+	"desis/internal/gen"
+	"desis/internal/query"
+)
+
+// SystemFactory builds one of the comparable central systems.
+type SystemFactory struct {
+	Name  string
+	Build func([]query.Query) (baseline.System, error)
+}
+
+// CentralSystems is the single-node comparison set of §6.2/§6.3.
+var CentralSystems = []SystemFactory{
+	{"Desis", func(qs []query.Query) (baseline.System, error) { return baseline.NewDesis(qs) }},
+	{"DeSW", baseline.NewDeSW},
+	{"Scotty", baseline.NewScotty},
+	{"DeBucket", baseline.NewDeBucket},
+	{"CeBuffer", baseline.NewCeBuffer},
+}
+
+// OptimizationSystems is the §6.3 subset (Desis and its in-architecture
+// ablated variants plus CeBuffer).
+var OptimizationSystems = []SystemFactory{
+	{"Desis", func(qs []query.Query) (baseline.System, error) { return baseline.NewDesis(qs) }},
+	{"DeSW", baseline.NewDeSW},
+	{"DeBucket", baseline.NewDeBucket},
+	{"CeBuffer", baseline.NewCeBuffer},
+}
+
+// centralRun builds, feeds and measures one system over one workload.
+type centralRun struct {
+	Throughput   float64
+	Calculations uint64
+	Slices       uint64
+	DurationSec  float64
+	Results      int
+}
+
+func runCentral(f SystemFactory, qs []query.Query, evs []event.Event, drainTo int64) (centralRun, error) {
+	sys, err := f.Build(qs)
+	if err != nil {
+		return centralRun{}, err
+	}
+	start := time.Now()
+	for i := range evs {
+		sys.Process(evs[i])
+	}
+	// Sustained ingest rate: the post-stream drain (closing windows past
+	// the last event) is excluded, as in sustainable-throughput reporting.
+	el := time.Since(start).Seconds()
+	sys.AdvanceTo(drainTo)
+	n := len(sys.Results())
+	return centralRun{
+		Throughput:   float64(len(evs)) / el,
+		Calculations: sys.Calculations(),
+		Slices:       sys.Slices(),
+		DurationSec:  el,
+		Results:      n,
+	}, nil
+}
+
+// runLatency measures per-window emission latency: the duration of the
+// Process (or AdvanceTo) call that completed the window — the cost of
+// assembling the result once its end punctuation arrives. CeBuffer pays its
+// whole buffer iteration here, incremental systems only the merge/eval.
+func runLatency(f SystemFactory, qs []query.Query, evs []event.Event, drainTo int64) (mean, p99 time.Duration, err error) {
+	sys, err := f.Build(qs)
+	if err != nil {
+		return 0, 0, err
+	}
+	var lat latencySamples
+	for i := range evs {
+		t0 := time.Now()
+		sys.Process(evs[i])
+		d := time.Since(t0)
+		if n := len(sys.Results()); n > 0 {
+			lat.record(d, n)
+		}
+	}
+	t0 := time.Now()
+	sys.AdvanceTo(drainTo)
+	if n := len(sys.Results()); n > 0 {
+		lat.record(time.Since(t0), n)
+	}
+	return lat.mean(), lat.quantile(0.99), nil
+}
+
+type latencySamples struct {
+	v []time.Duration
+}
+
+func (l *latencySamples) record(d time.Duration, n int) {
+	for i := 0; i < n; i++ {
+		l.v = append(l.v, d)
+	}
+}
+
+func (l *latencySamples) mean() time.Duration {
+	if len(l.v) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range l.v {
+		sum += d
+	}
+	return sum / time.Duration(len(l.v))
+}
+
+func (l *latencySamples) quantile(q float64) time.Duration {
+	if len(l.v) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), l.v...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	idx := int(q * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// stream materialises a standard workload stream. The drain point is just
+// far enough past the last event to close every 10-second window.
+func stream(cfg gen.StreamConfig, n int) ([]event.Event, int64) {
+	s := gen.NewStream(cfg)
+	evs := s.Events(n)
+	return evs, s.Now() + 11_000
+}

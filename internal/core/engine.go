@@ -1,0 +1,301 @@
+package core
+
+import (
+	"fmt"
+
+	"desis/internal/event"
+	"desis/internal/operator"
+	"desis/internal/query"
+)
+
+// Engine is the Desis aggregation engine: it executes every query-group over
+// the incoming stream, sharing slices and operators between all windows of a
+// group. One Engine instance runs per node; on local nodes it is configured
+// with OnSlice and emits per-slice partial results instead of assembling
+// windows.
+type Engine struct {
+	cfg       Config
+	groups    []*groupState
+	byKey     map[uint32][]*groupState
+	results   []Result
+	stats     Stats
+	templates []query.Query   // group-by (key=*) queries
+	tmplKeys  map[uint32]bool // keys already instantiated
+}
+
+// New builds an engine for the analyzed query-groups.
+func New(groups []*groupOf, cfg Config) *Engine {
+	e := &Engine{cfg: cfg, byKey: make(map[uint32][]*groupState)}
+	for _, g := range groups {
+		e.install(newGroupState(e, g))
+	}
+	return e
+}
+
+func (e *Engine) install(gs *groupState) {
+	e.groups = append(e.groups, gs)
+	e.byKey[gs.key] = append(e.byKey[gs.key], gs)
+}
+
+// Process ingests one event, routing it to every group of its key. The
+// first event of an unseen key instantiates any registered group-by
+// templates for it.
+func (e *Engine) Process(ev event.Event) {
+	if e.templates != nil && !e.tmplKeys[ev.Key] {
+		e.instantiateTemplates(ev.Key)
+	}
+	for _, gs := range e.byKey[ev.Key] {
+		gs.process(ev)
+	}
+}
+
+// AddTemplate registers a group-by query template (AnyKey): one instance
+// per observed key is created lazily, all answering under the template's
+// query id with the concrete key in Result.Key.
+func (e *Engine) AddTemplate(q query.Query) error {
+	probe := q
+	probe.AnyKey = false
+	if err := probe.Validate(); err != nil {
+		return err
+	}
+	if e.tmplKeys == nil {
+		e.tmplKeys = make(map[uint32]bool)
+	}
+	e.templates = append(e.templates, q)
+	// Keys whose template instantiation already ran need this template
+	// added explicitly; keys not yet instantiated pick it up with their
+	// next event.
+	for k := range e.tmplKeys {
+		inst := q
+		inst.AnyKey = false
+		inst.Key = k
+		if _, err := e.AddQuery(inst); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *Engine) instantiateTemplates(k uint32) {
+	e.tmplKeys[k] = true
+	for _, t := range e.templates {
+		inst := t
+		inst.AnyKey = false
+		inst.Key = k
+		// Template queries validated at AddTemplate; AddQuery cannot fail
+		// on placement for a fresh key.
+		_, _ = e.AddQuery(inst)
+	}
+}
+
+// ProcessBatch ingests a batch of events in order.
+func (e *Engine) ProcessBatch(evs []event.Event) {
+	for _, ev := range evs {
+		e.Process(ev)
+	}
+}
+
+// AdvanceTo moves event time forward to t without ingesting data: every
+// punctuation at or before t fires. Decentralized deployments drive this
+// from watermarks (§5.1.2); tests and harnesses use it to drain the final
+// windows of a replayed stream.
+func (e *Engine) AdvanceTo(t int64) {
+	for _, gs := range e.groups {
+		gs.advanceTime(t)
+	}
+}
+
+// Results returns and clears the window results accumulated so far. It is
+// only useful when no OnResult callback was configured.
+func (e *Engine) Results() []Result {
+	r := e.results
+	e.results = nil
+	return r
+}
+
+// Stats returns the engine's work counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+func (e *Engine) emit(r Result) {
+	e.stats.Windows++
+	if e.cfg.OnResult != nil {
+		e.cfg.OnResult(r)
+		return
+	}
+	e.results = append(e.results, r)
+}
+
+// NumGroups reports how many query-groups the engine maintains — the
+// quantity the optimization experiments of §6.3 vary across systems.
+func (e *Engine) NumGroups() int { return len(e.groups) }
+
+// AddQuery registers a query at runtime (§3.2). The query joins an existing
+// compatible query-group when one exists — the group's current slice is
+// closed at an administrative punctuation so the widened operator set
+// applies from here on — or founds a new group. Windows that started before
+// registration are not answered. It returns the group the query joined.
+func (e *Engine) AddQuery(q query.Query) (groupID uint32, err error) {
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	placement := query.Distributed
+	if e.cfg.Decentralized && q.Measure == query.Count {
+		placement = query.RootOnly
+	}
+	gs, ctx := e.placeQuery(q, placement)
+	if gs == nil {
+		g := &query.Group{
+			ID:        uint32(len(e.groups)),
+			Key:       q.Key,
+			Placement: placement,
+			Contexts:  []query.Predicate{q.Pred},
+		}
+		g.Queries = []query.GroupQuery{{Query: q, Ctx: 0}}
+		g.LogicalOps = q.Operators()
+		g.Ops = g.LogicalOps | operator.OpCount
+		gs = newGroupState(e, g)
+		e.install(gs)
+		return g.ID, nil
+	}
+	// Close the running slice so every slice has a uniform operator mask.
+	if gs.started {
+		cut := gs.lastEventTime
+		if cut < gs.lastPunct {
+			cut = gs.lastPunct
+		}
+		gs.closeSlice(cut)
+		gs.flushPending()
+	}
+	var specs []operator.FuncSpec
+	for _, m := range gs.members {
+		if !m.removed {
+			specs = append(specs, m.Funcs...)
+		}
+	}
+	specs = append(specs, q.Funcs...)
+	logical := operator.Union(specs)
+	gs.ops = logical | operator.OpCount
+	gs.logicalOps = uint64(logical.NumOps())
+	if gs.started {
+		// Reopen the current slice with the widened mask.
+		gs.cur.aggs = gs.newAggs()
+	}
+	gq := query.GroupQuery{Query: q, Ctx: ctx}
+	gs.addMember(gq)
+	if gs.started {
+		gs.nextTimeBound = gs.cal.NextBoundary(gs.lastPunct)
+		gs.nextCountID = gs.countCal.NextBoundary(gs.count)
+	}
+	return gs.id, nil
+}
+
+// placeQuery finds a group that can host q under the analyzer's rules,
+// extending its contexts if needed. A nil group means none fits.
+func (e *Engine) placeQuery(q query.Query, placement query.Placement) (*groupState, int) {
+	for _, gs := range e.byKey[q.Key] {
+		if gs.placement != placement {
+			continue
+		}
+		compatible := true
+		ctx := -1
+		for i, c := range gs.contexts {
+			if c.Equal(q.Pred) {
+				ctx = i
+				break
+			}
+			if c.Overlaps(q.Pred) {
+				compatible = false
+				break
+			}
+		}
+		if ctx >= 0 {
+			return gs, ctx
+		}
+		if compatible {
+			gs.contexts = append(gs.contexts, q.Pred)
+			if gs.started {
+				gs.cur.aggs = gs.newAggs()
+			}
+			return gs, len(gs.contexts) - 1
+		}
+	}
+	return nil, 0
+}
+
+// SyncGroup reconciles the engine with a group that was mutated (or created)
+// by query.Place at runtime: new contexts and members are registered, and a
+// widened operator mask takes effect from an administrative punctuation at
+// the current event time. Existing members and slices are untouched, so the
+// member indices EPs carry stay stable across the topology.
+func (e *Engine) SyncGroup(g *groupOf) {
+	var gs *groupState
+	for _, cand := range e.groups {
+		if cand.id == g.ID {
+			gs = cand
+			break
+		}
+	}
+	if gs == nil {
+		e.install(newGroupState(e, g))
+		return
+	}
+	changed := false
+	if len(g.Contexts) > len(gs.contexts) {
+		gs.contexts = append(gs.contexts, g.Contexts[len(gs.contexts):]...)
+		changed = true
+	}
+	if g.Ops != gs.ops {
+		gs.ops = g.Ops
+		gs.logicalOps = uint64(g.LogicalOps.NumOps())
+		changed = true
+	}
+	if changed && gs.started {
+		cut := gs.lastEventTime
+		if cut < gs.lastPunct {
+			cut = gs.lastPunct
+		}
+		gs.closeSlice(cut)
+		gs.flushPending()
+		gs.cur.aggs = gs.newAggs()
+	}
+	for i := len(gs.members); i < len(g.Queries); i++ {
+		gs.addMember(g.Queries[i])
+	}
+	if gs.started {
+		gs.nextTimeBound = gs.cal.NextBoundary(gs.lastPunct)
+		gs.nextCountID = gs.countCal.NextBoundary(gs.count)
+	}
+}
+
+// RemoveQuery unregisters a running query immediately; its open windows are
+// abandoned (§3.2 also allows waiting for the last window, which callers get
+// by delaying this call until the window result arrives). For group-by
+// templates it removes the template and every per-key instance.
+func (e *Engine) RemoveQuery(id uint64) error {
+	removed := false
+	for ti := len(e.templates) - 1; ti >= 0; ti-- {
+		if e.templates[ti].ID == id {
+			e.templates = append(e.templates[:ti], e.templates[ti+1:]...)
+			removed = true
+		}
+	}
+	if len(e.templates) == 0 {
+		e.templates = nil
+	}
+	for _, gs := range e.groups {
+		for i := range gs.members {
+			if gs.members[i].ID == id && !gs.members[i].removed {
+				gs.removeMember(i)
+				if gs.started {
+					gs.nextTimeBound = gs.cal.NextBoundary(gs.lastPunct)
+					gs.nextCountID = gs.countCal.NextBoundary(gs.count)
+				}
+				removed = true
+			}
+		}
+	}
+	if !removed {
+		return fmt.Errorf("core: no running query with id %d", id)
+	}
+	return nil
+}

@@ -1,0 +1,513 @@
+package core
+
+import (
+	"sort"
+
+	"desis/internal/event"
+	"desis/internal/operator"
+	"desis/internal/query"
+	"desis/internal/window"
+)
+
+// sliceRec is one closed slice: its extent on the time and count axes plus
+// one partial aggregate per selection context of the group.
+type sliceRec struct {
+	seq                  uint64 // creation order, monotone with position
+	start, end           int64  // event-time extent [start, end)
+	startCount, endCount int64  // count-axis extent (events ingested)
+	lastEvent            int64  // newest event time at close
+	aggs                 []operator.Agg
+}
+
+// member is a query inside a group, with registration bookkeeping so queries
+// added at runtime only answer windows that started after they arrived.
+type member struct {
+	query.GroupQuery
+	// ops is the member's own operator need (plus count): window assembly
+	// merges only these fields, so e.g. an average window in a group that
+	// also serves quantiles does not merge the retained value arrays.
+	ops      operator.Op
+	removed  bool
+	regTime  int64
+	regCount int64
+	// udOpenSeq is, for user-defined members, the sequence number of the
+	// first slice belonging to the currently open window. Membership of
+	// user-defined windows follows stream order, so a zero-span slice cut
+	// by the closing marker (same timestamp as the window start) must not
+	// leak into the next window; the sequence filter excludes it.
+	udOpenSeq uint64
+}
+
+// groupState is the runtime of one query-group: the shared slice stream and
+// all window trackers (§4.1, Figure 4).
+type groupState struct {
+	e          *Engine
+	id         uint32
+	key        uint32
+	placement  query.Placement
+	contexts   []query.Predicate
+	members    []member
+	ops        operator.Op
+	logicalOps uint64 // Table-1 union size, for calculation accounting
+
+	cal      window.Calendar    // fixed time-based windows
+	countCal window.Calendar    // fixed count-based windows
+	sessions window.Sessions    // session windows
+	ud       window.UserDefined // user-defined (marker) windows
+
+	started       bool
+	cur           sliceRec // open slice
+	lastPunct     int64    // end of the last closed slice on the time axis
+	nextTimeBound int64
+	count         int64 // events ingested (count-axis position)
+	nextCountID   int64
+	lastEventTime int64
+	nextSliceID   uint64
+
+	closed  []sliceRec // closed slices, monotone in start and startCount
+	pending *SlicePartial
+	scratch operator.Agg
+	runs    [][]float64        // scratch run list for value merging
+	rm      operator.RunMerger // k-way merger for non-decomposable values
+
+	// dedup implements the deduplication non-aggregate operator (§4.2.3):
+	// events identical in (time, value) within the current slice are
+	// dropped. nil when the group does not request deduplication.
+	dedup map[dedupKey]struct{}
+}
+
+type dedupKey struct {
+	t int64
+	v float64
+}
+
+func newGroupState(e *Engine, g *query.Group) *groupState {
+	gs := &groupState{
+		e:          e,
+		id:         g.ID,
+		key:        g.Key,
+		placement:  g.Placement,
+		contexts:   append([]query.Predicate(nil), g.Contexts...),
+		ops:        g.Ops,
+		logicalOps: uint64(g.LogicalOps.NumOps()),
+	}
+	if g.Dedup {
+		gs.dedup = make(map[dedupKey]struct{})
+	}
+	for _, gq := range g.Queries {
+		gs.addMember(gq)
+	}
+	return gs
+}
+
+// addMember registers a query in the group's trackers and returns its index.
+func (g *groupState) addMember(gq query.GroupQuery) int {
+	idx := len(g.members)
+	g.members = append(g.members, member{
+		GroupQuery: gq,
+		ops:        operator.Union(gq.Funcs) | operator.OpCount,
+		regTime:    g.lastPunct,
+		regCount:   g.count,
+	})
+	switch gq.Type {
+	case query.Tumbling:
+		if gq.Measure == query.Time {
+			g.cal.Add(idx, gq.Length, gq.Length)
+		} else {
+			g.countCal.Add(idx, gq.Length, gq.Length)
+		}
+	case query.Sliding:
+		if gq.Measure == query.Time {
+			g.cal.Add(idx, gq.Length, gq.Slide)
+		} else {
+			g.countCal.Add(idx, gq.Length, gq.Slide)
+		}
+	case query.Session:
+		g.sessions.Add(idx, gq.Gap)
+	case query.UserDefined:
+		g.ud.Add(idx)
+	}
+	return idx
+}
+
+// removeMember drops a query from all trackers.
+func (g *groupState) removeMember(idx int) {
+	g.members[idx].removed = true
+	g.cal.Remove(idx)
+	g.countCal.Remove(idx)
+	g.sessions.Remove(idx)
+	g.ud.Remove(idx)
+}
+
+// start opens the first slice at the time of the first event.
+func (g *groupState) start(t int64) {
+	g.started = true
+	g.lastPunct = t
+	g.lastEventTime = t
+	g.cur = sliceRec{start: t, startCount: g.count, lastEvent: t, aggs: g.newAggs()}
+	g.nextTimeBound = g.cal.NextBoundary(t)
+	g.nextCountID = g.countCal.NextBoundary(g.count)
+}
+
+func (g *groupState) newAggs() []operator.Agg {
+	aggs := make([]operator.Agg, len(g.contexts))
+	for i := range aggs {
+		aggs[i].Reset(g.ops)
+	}
+	return aggs
+}
+
+// process routes one event through the group: punctuations first (window
+// ends exclude the boundary event), then incremental aggregation, then
+// count-axis punctuations.
+func (g *groupState) process(ev event.Event) {
+	if !g.started {
+		g.start(ev.Time)
+	}
+	g.advanceTime(ev.Time)
+	if ev.Marker != event.MarkerNone {
+		g.handleMarker(ev.Time)
+		return
+	}
+	if g.dedup != nil {
+		k := dedupKey{ev.Time, ev.Value}
+		if _, dup := g.dedup[k]; dup {
+			return // duplicate within the slice: drop before any effect
+		}
+		g.dedup[k] = struct{}{}
+	}
+	// A data event that opens a session or the first user-defined window is
+	// a start punctuation: the slice must cut here so the new window's
+	// start aligns with a slice boundary (§4.1).
+	if (!g.sessions.Empty() && g.sessions.NeedsStart()) ||
+		(!g.ud.Empty() && g.ud.NeedsStart()) {
+		g.closeSlice(ev.Time)
+		g.flushPending()
+	}
+	for i := range g.contexts {
+		if g.contexts[i].Matches(ev.Value) {
+			g.cur.aggs[i].Add(ev.Value)
+			g.e.stats.Calculations += g.logicalOps
+		}
+	}
+	if !g.sessions.Empty() {
+		g.sessions.Observe(ev.Time)
+	}
+	if !g.ud.Empty() {
+		// Windows opened by this event start with the slice that will
+		// contain it.
+		g.ud.ObserveOpened(ev.Time, func(idx int) {
+			g.members[idx].udOpenSeq = g.nextSliceID
+		})
+	}
+	g.lastEventTime = ev.Time
+	g.cur.lastEvent = ev.Time
+	g.count++
+	g.e.stats.Events++
+	for g.count == g.nextCountID {
+		g.punctuateCount(ev.Time)
+		g.nextCountID = g.countCal.NextBoundary(g.count)
+	}
+}
+
+// advanceTime fires every time-axis punctuation (fixed boundaries and
+// session gap expiries) at or before t, in order.
+func (g *groupState) advanceTime(t int64) {
+	if !g.started {
+		return
+	}
+	for {
+		if g.e.cfg.PerEventBoundaryCheck {
+			// Ablation: re-derive the boundary on every event instead of
+			// caching the advance calendar (§6.2.1's "in advance" claim).
+			g.nextTimeBound = g.cal.NextBoundary(g.lastPunct)
+		}
+		b := g.nextTimeBound
+		if s := g.sessions.NextEnd(); s < b {
+			b = s
+		}
+		if b > t || b == window.NoBoundary {
+			return
+		}
+		g.closeSlice(b)
+		if g.e.cfg.OnSlice == nil {
+			g.cal.EndsAt(b, func(idx int, start int64) {
+				g.assembleTime(idx, start, b)
+			})
+		}
+		g.sessions.ExpireBefore(b, func(idx int, start, end int64) {
+			g.endDynamic(idx, start, end, g.sessions.LastEvent())
+		})
+		g.flushPending()
+		if b >= g.nextTimeBound {
+			g.nextTimeBound = g.cal.NextBoundary(b)
+		}
+		g.prune()
+	}
+}
+
+// handleMarker processes a user-defined window boundary event at t.
+func (g *groupState) handleMarker(t int64) {
+	if g.ud.Empty() {
+		return
+	}
+	g.closeSlice(t)
+	g.ud.Marker(t, func(idx int, start, end int64) {
+		g.endDynamic(idx, start, end, 0)
+	})
+	// The next window of every user-defined member starts with the next
+	// slice; the one just cut holds pre-marker events.
+	for i := range g.members {
+		if g.members[i].Type == query.UserDefined && !g.members[i].removed {
+			g.members[i].udOpenSeq = g.nextSliceID
+		}
+	}
+	g.flushPending()
+	g.prune()
+}
+
+// punctuateCount closes the slice at a count-axis boundary reached at event
+// time t and assembles the count windows that end there.
+func (g *groupState) punctuateCount(t int64) {
+	g.closeSlice(t)
+	if g.e.cfg.OnSlice == nil {
+		g.countCal.EndsAt(g.count, func(idx int, start int64) {
+			g.assembleCount(idx, start, g.count)
+		})
+	}
+	g.flushPending()
+	g.prune()
+}
+
+// endDynamic handles the end of a session or user-defined window: assembled
+// locally in store mode, or recorded as an EP on the outgoing slice partial
+// in slice-emitting mode (§5.1.2).
+func (g *groupState) endDynamic(idx int, start, end, gapStart int64) {
+	if g.e.cfg.OnSlice == nil {
+		g.assembleTime(idx, start, end)
+		return
+	}
+	if g.pending == nil {
+		g.pending = g.emptyPartial(end)
+	}
+	g.pending.EPs = append(g.pending.EPs, EP{
+		QueryIdx: int32(idx), Start: start, End: end, GapStart: gapStart,
+	})
+}
+
+// closeSlice terminates the open slice at time-axis position b (no-op when
+// the slice is empty on both axes), stores or stages it, and opens the next
+// one.
+func (g *groupState) closeSlice(b int64) {
+	if g.count == g.cur.startCount {
+		// No events since the last punctuation: slide the open slice
+		// forward instead of recording an empty one.
+		g.cur.start = b
+		g.lastPunct = b
+		return
+	}
+	g.cur.end = b
+	g.cur.endCount = g.count
+	g.cur.seq = g.nextSliceID
+	g.nextSliceID++
+	for i := range g.cur.aggs {
+		g.cur.aggs[i].Finish()
+	}
+	g.e.stats.Slices++
+	if g.e.cfg.OnSlice != nil {
+		g.stagePartial()
+	} else {
+		g.closed = append(g.closed, g.cur)
+	}
+	g.cur = sliceRec{start: b, startCount: g.count, lastEvent: g.lastEventTime, aggs: g.newAggs()}
+	g.lastPunct = b
+	if g.dedup != nil && len(g.dedup) > 0 {
+		// Deduplication is slice-scoped: the context resets with the slice.
+		g.dedup = make(map[dedupKey]struct{})
+	}
+}
+
+// stagePartial converts the closed slice into an outgoing SlicePartial; EPs
+// discovered while handling this punctuation attach to it before it ships.
+func (g *groupState) stagePartial() {
+	g.pending = &SlicePartial{
+		Group:     g.id,
+		ID:        g.cur.seq,
+		Start:     g.cur.start,
+		End:       g.cur.end,
+		LastEvent: g.cur.lastEvent,
+		Ingested:  g.cur.endCount - g.cur.startCount,
+		Aggs:      g.cur.aggs,
+	}
+}
+
+// emptyPartial builds a zero-extent partial at time b, used when an EP must
+// ship but the punctuation closed no slice.
+func (g *groupState) emptyPartial(b int64) *SlicePartial {
+	id := g.nextSliceID
+	g.nextSliceID++
+	return &SlicePartial{
+		Group: g.id, ID: id, Start: b, End: b, LastEvent: g.lastEventTime,
+		Aggs: g.newAggs(),
+	}
+}
+
+// flushPending ships the staged partial, if any.
+func (g *groupState) flushPending() {
+	if g.pending == nil {
+		return
+	}
+	p := g.pending
+	g.pending = nil
+	g.e.cfg.OnSlice(p)
+}
+
+// assembleTime merges the slices covering the time window [ws, we) of member
+// idx and emits its result (window merging, §4.2 / Figure 4).
+func (g *groupState) assembleTime(idx int, ws, we int64) {
+	m := &g.members[idx]
+	if m.removed || ws < m.regTime {
+		return
+	}
+	mops := g.memberOpsFor(m)
+	lo := sort.Search(len(g.closed), func(i int) bool { return g.closed[i].start >= ws })
+	g.scratch.Reset(mops &^ operator.OpNDSort)
+	g.scratch.Sorted = true
+	g.runs = g.runs[:0]
+	udSeq := uint64(0)
+	if m.Type == query.UserDefined {
+		udSeq = m.udOpenSeq
+	}
+	for i := lo; i < len(g.closed) && g.closed[i].end <= we; i++ {
+		if g.closed[i].seq < udSeq {
+			// Stream-order membership: slices cut before this user-defined
+			// window opened belong to its predecessor, even at equal
+			// timestamps.
+			continue
+		}
+		a := &g.closed[i].aggs[m.Ctx]
+		g.scratch.Merge(a)
+		if mops&operator.OpNDSort != 0 {
+			g.runs = append(g.runs, a.Values)
+		}
+	}
+	g.finishValues(m, mops)
+	g.emitResult(m, ws, we)
+}
+
+// finishValues attaches the non-decomposable results when the member reads
+// the group's sorted runs. Members that only need min/max (their own
+// operator is the decomposable sort, §4.2.2) take the run endpoints in
+// O(slices); everyone else gets the k-way merged values, which is
+// O(n log k) versus the O(n·k) of folding slices into the scratch one at a
+// time.
+func (g *groupState) finishValues(m *member, mops operator.Op) {
+	if mops&operator.OpNDSort == 0 {
+		return
+	}
+	if m.ops&operator.OpNDSort == 0 && m.ops&operator.OpDSort != 0 {
+		g.scratch.Ops |= operator.OpDSort
+		for _, r := range g.runs {
+			if len(r) == 0 {
+				continue
+			}
+			if r[0] < g.scratch.MinV {
+				g.scratch.MinV = r[0]
+			}
+			if last := r[len(r)-1]; last > g.scratch.MaxV {
+				g.scratch.MaxV = last
+			}
+		}
+		return
+	}
+	g.scratch.Values = g.rm.Merge(g.runs)
+	g.scratch.Ops |= operator.OpNDSort
+}
+
+// assembleCount merges the slices covering the count window (cs, ce] of
+// member idx.
+func (g *groupState) assembleCount(idx int, cs, ce int64) {
+	m := &g.members[idx]
+	if m.removed || cs < m.regCount {
+		return
+	}
+	mops := g.memberOpsFor(m)
+	lo := sort.Search(len(g.closed), func(i int) bool { return g.closed[i].startCount >= cs })
+	g.scratch.Reset(mops &^ operator.OpNDSort)
+	g.scratch.Sorted = true
+	g.runs = g.runs[:0]
+	for i := lo; i < len(g.closed) && g.closed[i].endCount <= ce; i++ {
+		a := &g.closed[i].aggs[m.Ctx]
+		g.scratch.Merge(a)
+		if mops&operator.OpNDSort != 0 {
+			g.runs = append(g.runs, a.Values)
+		}
+	}
+	g.finishValues(m, mops)
+	g.emitResult(m, cs, ce)
+}
+
+// memberOpsFor maps a member's operator needs onto the group's slice
+// representation: when the group executes the non-decomposable sort instead
+// of the decomposable one (§4.2.2's sharing rule), min/max read the sorted
+// values rather than the never-maintained min/max fields.
+func (g *groupState) memberOpsFor(m *member) operator.Op {
+	ops := m.ops
+	if ops&operator.OpDSort != 0 && g.ops&operator.OpDSort == 0 {
+		ops = (ops &^ operator.OpDSort) | operator.OpNDSort
+	}
+	return ops
+}
+
+// emitResult evaluates the member's functions over the merged scratch
+// aggregate and hands the result to the engine.
+func (g *groupState) emitResult(m *member, start, end int64) {
+	g.scratch.Finish()
+	if g.e.cfg.OnWindowAgg != nil {
+		g.e.cfg.OnWindowAgg(m.ID, start, end, &g.scratch)
+		return
+	}
+	values := make([]FuncValue, len(m.Funcs))
+	for i, spec := range m.Funcs {
+		v, ok := g.scratch.Eval(spec)
+		values[i] = FuncValue{Spec: spec, Value: v, OK: ok}
+	}
+	g.e.emit(Result{
+		QueryID: m.ID,
+		Key:     m.Key,
+		Start:   start,
+		End:     end,
+		Count:   g.scratch.CountV,
+		Values:  values,
+	})
+}
+
+// prune drops closed slices no longer covered by any open window on either
+// axis, keeping memory proportional to the longest open window (§2.3).
+func (g *groupState) prune() {
+	if len(g.closed) < 64 {
+		return
+	}
+	tNeed := g.cal.EarliestOpenStart(g.lastPunct)
+	if s := g.sessions.EarliestOpenStart(); s < tNeed {
+		tNeed = s
+	}
+	if s := g.ud.EarliestOpenStart(); s < tNeed {
+		tNeed = s
+	}
+	cNeed := g.countCal.EarliestOpenStart(g.count)
+	// A slice is only ever assembled into windows with ws <= slice.start
+	// (gathering requires start >= ws), so once every open or future window
+	// starts at or after tNeed/cNeed, slices that started strictly earlier
+	// on both axes can never be needed again. Note start < tNeed, not
+	// end <= tNeed: a zero-span slice sitting exactly at an open session's
+	// start must survive.
+	n := 0
+	for n < len(g.closed) && g.closed[n].start < tNeed && g.closed[n].startCount < cNeed {
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	g.closed = append(g.closed[:0], g.closed[n:]...)
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"desis/internal/event"
+	"desis/internal/operator"
+	"desis/internal/query"
+)
+
+func pow(x, y float64) float64 { return math.Pow(x, y) }
+func ceil(x float64) float64   { return math.Ceil(x) }
+
+// naiveResults is the reference oracle: it computes, for each query, every
+// window the engine is expected to emit after processing evs (in order) and
+// advancing event time to advTo, evaluating the aggregation functions by
+// brute force over the window's events. Events must be time-ordered.
+func naiveResults(queries []query.Query, evs []event.Event, advTo int64) []Result {
+	var out []Result
+	for _, q := range queries {
+		out = append(out, naiveQuery(q, evs, advTo)...)
+	}
+	return out
+}
+
+func naiveQuery(q query.Query, evs []event.Event, advTo int64) []Result {
+	// Events visible to the query's group: same key, in order. Markers are
+	// punctuation, not data.
+	var keyEvents []event.Event
+	var data []event.Event
+	firstEvent := int64(-1)
+	lastEvent := int64(-1)
+	for _, ev := range evs {
+		if ev.Key != q.Key {
+			continue
+		}
+		if firstEvent < 0 {
+			firstEvent = ev.Time
+		}
+		lastEvent = ev.Time
+		keyEvents = append(keyEvents, ev)
+		if ev.Marker == event.MarkerNone {
+			data = append(data, ev)
+		}
+	}
+	if firstEvent < 0 {
+		return nil
+	}
+	if q.Type == query.UserDefined {
+		// Membership follows stream order: an event that precedes the
+		// marker belongs to the closing window even at equal timestamps.
+		var out []Result
+		active := false
+		var start int64
+		var cur []float64
+		for _, ev := range keyEvents {
+			if ev.Marker != event.MarkerNone {
+				if active {
+					out = append(out, naiveEval(q, start, ev.Time, cur))
+				}
+				active, start, cur = true, ev.Time, nil
+				continue
+			}
+			if !active {
+				active, start = true, ev.Time
+			}
+			if q.Pred.Matches(ev.Value) {
+				cur = append(cur, ev.Value)
+			}
+		}
+		return out
+	}
+	adv := advTo
+	if lastEvent > adv {
+		adv = lastEvent
+	}
+
+	type win struct{ start, end int64 } // count windows use ordinals
+	var wins []win
+	switch {
+	case q.Type == query.Tumbling && q.Measure == query.Time:
+		for we := (firstEvent/q.Length + 1) * q.Length; we <= adv; we += q.Length {
+			if we > firstEvent {
+				wins = append(wins, win{we - q.Length, we})
+			}
+		}
+	case q.Type == query.Sliding && q.Measure == query.Time:
+		for k := int64(0); ; k++ {
+			we := k*q.Slide + q.Length
+			if we > adv {
+				break
+			}
+			if we > firstEvent {
+				wins = append(wins, win{we - q.Length, we})
+			}
+		}
+	case q.Measure == query.Count:
+		// Ordinals are 1-based positions in the group's data events.
+		n := int64(len(data))
+		step := q.Length
+		if q.Type == query.Sliding {
+			step = q.Slide
+		}
+		for k := int64(0); ; k++ {
+			end := k*step + q.Length
+			if end > n {
+				break
+			}
+			wins = append(wins, win{end - q.Length, end})
+		}
+	case q.Type == query.Session:
+		var start, last int64
+		active := false
+		for _, ev := range data {
+			if active && ev.Time >= last+q.Gap {
+				wins = append(wins, win{start, last + q.Gap})
+				active = false
+			}
+			if !active {
+				start = ev.Time
+				active = true
+			}
+			last = ev.Time
+		}
+		if active && last+q.Gap <= adv {
+			wins = append(wins, win{start, last + q.Gap})
+		}
+	}
+
+	var out []Result
+	for _, w := range wins {
+		var vals []float64
+		if q.Measure == query.Count {
+			for i := w.start; i < w.end; i++ {
+				if q.Pred.Matches(data[i].Value) {
+					vals = append(vals, data[i].Value)
+				}
+			}
+		} else {
+			for _, ev := range data {
+				if ev.Time >= w.start && ev.Time < w.end && q.Pred.Matches(ev.Value) {
+					vals = append(vals, ev.Value)
+				}
+			}
+		}
+		out = append(out, naiveEval(q, w.start, w.end, vals))
+	}
+	return out
+}
+
+func naiveEval(q query.Query, start, end int64, vals []float64) Result {
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	r := Result{QueryID: q.ID, Start: start, End: end, Count: int64(len(vals))}
+	for _, spec := range q.Funcs {
+		v, ok := naiveFunc(spec, vals, sorted)
+		r.Values = append(r.Values, FuncValue{Spec: spec, Value: v, OK: ok})
+	}
+	return r
+}
+
+func naiveFunc(spec operator.FuncSpec, vals, sorted []float64) (float64, bool) {
+	n := len(vals)
+	sum := 0.0
+	prod := 1.0
+	for _, v := range vals {
+		sum += v
+		prod *= v
+	}
+	switch spec.Func {
+	case operator.Count:
+		return float64(n), true
+	case operator.Sum:
+		if n == 0 {
+			return 0, false
+		}
+		return sum, true
+	case operator.Average:
+		if n == 0 {
+			return 0, false
+		}
+		return sum / float64(n), true
+	case operator.Product:
+		if n == 0 {
+			return 0, false
+		}
+		return prod, true
+	case operator.GeoMean:
+		if n == 0 {
+			return 0, false
+		}
+		return pow(prod, 1/float64(n)), true
+	case operator.Min:
+		if n == 0 {
+			return 0, false
+		}
+		return sorted[0], true
+	case operator.Max:
+		if n == 0 {
+			return 0, false
+		}
+		return sorted[n-1], true
+	case operator.Median:
+		return naiveQuantile(sorted, 0.5)
+	case operator.Quantile:
+		return naiveQuantile(sorted, spec.Arg)
+	}
+	return 0, false
+}
+
+func naiveQuantile(sorted []float64, q float64) (float64, bool) {
+	n := len(sorted)
+	if n == 0 {
+		return 0, false
+	}
+	rank := int(ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1], true
+}

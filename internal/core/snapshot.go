@@ -1,0 +1,262 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"desis/internal/operator"
+	"desis/internal/window"
+)
+
+// windowDynamicState aliases the trackers' serialisable state.
+type windowDynamicState = window.DynamicState
+
+// Engine snapshots extend the paper's basic fault tolerance (§3.2, which
+// covers node/query membership) with state checkpointing: a node can
+// serialise every group's slicing position, open and closed slices, and
+// dynamic-window trackers, and a restarted node resumes exactly where the
+// snapshot was taken. Snapshots pair with the same query set: callers
+// persist the queries (they are small) alongside the snapshot.
+
+// snapshotMagic guards against feeding arbitrary bytes to Restore.
+const snapshotMagic = 0x44455349 // "DESI"
+
+// snapshotVersion bumps when the layout changes.
+const snapshotVersion = 1
+
+// Snapshot appends a serialised checkpoint of the engine's complete mutable
+// state to buf. The engine must be quiescent (no concurrent Process).
+func (e *Engine) Snapshot(buf []byte) []byte {
+	buf = appendU32s(buf, snapshotMagic)
+	buf = appendU32s(buf, snapshotVersion)
+	buf = appendU64s(buf, e.stats.Events)
+	buf = appendU64s(buf, e.stats.Calculations)
+	buf = appendU64s(buf, e.stats.Slices)
+	buf = appendU64s(buf, e.stats.Windows)
+	buf = appendU32s(buf, uint32(len(e.groups)))
+	for _, gs := range e.groups {
+		buf = gs.snapshot(buf)
+	}
+	return buf
+}
+
+func (g *groupState) snapshot(buf []byte) []byte {
+	buf = appendU32s(buf, g.id)
+	buf = appendBool(buf, g.started)
+	buf = appendU64s(buf, uint64(g.lastPunct))
+	buf = appendU64s(buf, uint64(g.count))
+	buf = appendU64s(buf, uint64(g.lastEventTime))
+	buf = appendU64s(buf, g.nextSliceID)
+	buf = appendU64s(buf, uint64(len(g.members)))
+	for _, m := range g.members {
+		buf = appendBool(buf, m.removed)
+		buf = appendU64s(buf, uint64(m.regTime))
+		buf = appendU64s(buf, uint64(m.regCount))
+	}
+	// Open slice.
+	buf = appendSlice(buf, &g.cur)
+	// Closed slices.
+	buf = appendU32s(buf, uint32(len(g.closed)))
+	for i := range g.closed {
+		buf = appendSlice(buf, &g.closed[i])
+	}
+	// Dynamic trackers.
+	sess, lastEv, have := g.sessions.State()
+	buf = appendU64s(buf, uint64(lastEv))
+	buf = appendBool(buf, have)
+	buf = appendDynamic(buf, sess)
+	buf = appendDynamic(buf, g.ud.State())
+	return buf
+}
+
+func appendSlice(buf []byte, s *sliceRec) []byte {
+	buf = appendU64s(buf, uint64(s.start))
+	buf = appendU64s(buf, uint64(s.end))
+	buf = appendU64s(buf, uint64(s.startCount))
+	buf = appendU64s(buf, uint64(s.endCount))
+	buf = appendU64s(buf, uint64(s.lastEvent))
+	buf = appendU32s(buf, uint32(len(s.aggs)))
+	for i := range s.aggs {
+		buf = operator.AppendAgg(buf, &s.aggs[i])
+	}
+	return buf
+}
+
+func appendDynamic(buf []byte, entries []windowDynamicState) []byte {
+	buf = appendU32s(buf, uint32(len(entries)))
+	for _, e := range entries {
+		buf = appendU32s(buf, uint32(e.ID))
+		buf = appendBool(buf, e.Active)
+		buf = appendU64s(buf, uint64(e.Start))
+	}
+	return buf
+}
+
+// Restore rebuilds an engine from groups (the same set, in the same order,
+// as when the snapshot was taken — persist the queries with the snapshot)
+// and a checkpoint produced by Snapshot.
+func Restore(groups []*groupOf, cfg Config, snap []byte) (*Engine, error) {
+	r := &snapReader{buf: snap}
+	if r.u32() != snapshotMagic {
+		return nil, fmt.Errorf("core: not a snapshot")
+	}
+	if v := r.u32(); v != snapshotVersion {
+		return nil, fmt.Errorf("core: snapshot version %d, want %d", v, snapshotVersion)
+	}
+	e := New(groups, cfg)
+	e.stats.Events = r.u64()
+	e.stats.Calculations = r.u64()
+	e.stats.Slices = r.u64()
+	e.stats.Windows = r.u64()
+	n := int(r.u32())
+	if r.err == nil && n != len(e.groups) {
+		return nil, fmt.Errorf("core: snapshot has %d groups, engine has %d", n, len(e.groups))
+	}
+	for i := 0; i < n && r.err == nil; i++ {
+		if err := e.groups[i].restore(r); err != nil {
+			return nil, err
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return e, nil
+}
+
+func (g *groupState) restore(r *snapReader) error {
+	if id := r.u32(); r.err == nil && id != g.id {
+		return fmt.Errorf("core: snapshot group id %d, engine group %d", id, g.id)
+	}
+	g.started = r.bool()
+	g.lastPunct = int64(r.u64())
+	g.count = int64(r.u64())
+	g.lastEventTime = int64(r.u64())
+	g.nextSliceID = r.u64()
+	nm := int(r.u64())
+	if r.err == nil && nm != len(g.members) {
+		return fmt.Errorf("core: snapshot has %d members, group %d has %d", nm, g.id, len(g.members))
+	}
+	for i := 0; i < nm && r.err == nil; i++ {
+		removed := r.bool()
+		g.members[i].regTime = int64(r.u64())
+		g.members[i].regCount = int64(r.u64())
+		if removed && !g.members[i].removed {
+			g.removeMember(i)
+		}
+	}
+	if err := readSlice(r, &g.cur); err != nil {
+		return err
+	}
+	nc := int(r.u32())
+	g.closed = g.closed[:0]
+	for i := 0; i < nc && r.err == nil; i++ {
+		var s sliceRec
+		if err := readSlice(r, &s); err != nil {
+			return err
+		}
+		g.closed = append(g.closed, s)
+	}
+	lastEv := int64(r.u64())
+	have := r.bool()
+	g.sessions.SetState(readDynamic(r), lastEv, have)
+	g.ud.SetState(readDynamic(r))
+	if g.started {
+		g.nextTimeBound = g.cal.NextBoundary(g.lastPunct)
+		g.nextCountID = g.countCal.NextBoundary(g.count)
+	}
+	return r.err
+}
+
+func readSlice(r *snapReader, s *sliceRec) error {
+	s.start = int64(r.u64())
+	s.end = int64(r.u64())
+	s.startCount = int64(r.u64())
+	s.endCount = int64(r.u64())
+	s.lastEvent = int64(r.u64())
+	n := int(r.u32())
+	s.aggs = make([]operator.Agg, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		rest, err := operator.DecodeAgg(r.buf, &s.aggs[i])
+		if err != nil {
+			r.err = err
+			return err
+		}
+		r.buf = rest
+		// Open-slice aggregates are mid-accumulation: not sorted yet.
+		s.aggs[i].Sorted = false
+	}
+	return r.err
+}
+
+func readDynamic(r *snapReader) []windowDynamicState {
+	n := int(r.u32())
+	out := make([]windowDynamicState, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		out = append(out, windowDynamicState{
+			ID:     int(r.u32()),
+			Active: r.bool(),
+			Start:  int64(r.u64()),
+		})
+	}
+	return out
+}
+
+// --- little-endian helpers ---
+
+func appendU32s(buf []byte, v uint32) []byte {
+	var t [4]byte
+	binary.LittleEndian.PutUint32(t[:], v)
+	return append(buf, t[:]...)
+}
+
+func appendU64s(buf []byte, v uint64) []byte {
+	var t [8]byte
+	binary.LittleEndian.PutUint64(t[:], v)
+	return append(buf, t[:]...)
+}
+
+func appendBool(buf []byte, b bool) []byte {
+	if b {
+		return append(buf, 1)
+	}
+	return append(buf, 0)
+}
+
+type snapReader struct {
+	buf []byte
+	err error
+}
+
+func (r *snapReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.buf) < n {
+		r.err = fmt.Errorf("core: truncated snapshot")
+		return nil
+	}
+	b := r.buf[:n]
+	r.buf = r.buf[n:]
+	return b
+}
+
+func (r *snapReader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *snapReader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *snapReader) bool() bool {
+	b := r.take(1)
+	return b != nil && b[0] == 1
+}

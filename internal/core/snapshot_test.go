@@ -1,0 +1,170 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"desis/internal/query"
+)
+
+// TestSnapshotRestoreContinuation is the central checkpoint property: run a
+// stream halfway, snapshot, restore into a fresh engine, continue — the
+// combined results must equal an uninterrupted run.
+func TestSnapshotRestoreContinuation(t *testing.T) {
+	queries := []query.Query{
+		query.MustParse("tumbling(100ms) average key=0"),
+		query.MustParse("sliding(150ms,50ms) median key=0"),
+		query.MustParse("session(60ms) count key=0"),
+		query.MustParse("userdefined max key=0"),
+		query.MustParse("tumbling(16ev) sum key=0"),
+	}
+	for i := range queries {
+		queries[i].ID = uint64(i + 1)
+	}
+	rng := rand.New(rand.NewSource(21))
+	evs := randomStream(rng, 500, 1)
+	adv := evs[len(evs)-1].Time + 2000
+
+	// Uninterrupted run.
+	groups, err := query.Analyze(queries, query.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := New(groups, Config{})
+	ref.ProcessBatch(evs)
+	ref.AdvanceTo(adv)
+	want := ref.Results()
+
+	// Interrupted run: snapshot at several cut points.
+	for _, cut := range []int{0, 1, 137, 250, 499} {
+		groups2, err := query.Analyze(queries, query.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e1 := New(groups2, Config{})
+		e1.ProcessBatch(evs[:cut])
+		first := e1.Results()
+		snap := e1.Snapshot(nil)
+
+		groups3, err := query.Analyze(queries, query.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e2, err := Restore(groups3, Config{}, snap)
+		if err != nil {
+			t.Fatalf("cut %d: Restore: %v", cut, err)
+		}
+		e2.ProcessBatch(evs[cut:])
+		e2.AdvanceTo(adv)
+		got := append(first, e2.Results()...)
+		if !resultsEqual(got, want) {
+			t.Errorf("cut %d: resumed run diverged (%d vs %d results)", cut, len(got), len(want))
+		}
+	}
+}
+
+// TestSnapshotRestoreQuick fuzzes the continuation property over random
+// workloads and cut points.
+func TestSnapshotRestoreQuick(t *testing.T) {
+	f := func(seed int64, cutRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		queries := randomQueries(rng, 1+rng.Intn(5))
+		evs := randomStream(rng, 200, 2)
+		cut := int(cutRaw) % (len(evs) + 1)
+		adv := evs[len(evs)-1].Time + 3000
+
+		want := runEngineQuiet(queries, evs, adv)
+
+		groups, err := query.Analyze(queries, query.Options{})
+		if err != nil {
+			return false
+		}
+		e1 := New(groups, Config{})
+		e1.ProcessBatch(evs[:cut])
+		first := e1.Results()
+		snap := e1.Snapshot(nil)
+		groups2, _ := query.Analyze(queries, query.Options{})
+		e2, err := Restore(groups2, Config{}, snap)
+		if err != nil {
+			return false
+		}
+		e2.ProcessBatch(evs[cut:])
+		e2.AdvanceTo(adv)
+		return resultsEqual(append(first, e2.Results()...), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSnapshotPreservesStats(t *testing.T) {
+	q := query.MustParse("tumbling(50ms) average key=0")
+	q.ID = 1
+	groups, _ := query.Analyze([]query.Query{q}, query.Options{})
+	e := New(groups, Config{})
+	e.ProcessBatch(evenStream(100, 5))
+	st := e.Stats()
+	groups2, _ := query.Analyze([]query.Query{q}, query.Options{})
+	e2, err := Restore(groups2, Config{}, e.Snapshot(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Stats() != st {
+		t.Errorf("restored stats %+v, want %+v", e2.Stats(), st)
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	q := query.MustParse("tumbling(50ms) sum key=0")
+	q.ID = 1
+	groups, _ := query.Analyze([]query.Query{q}, query.Options{})
+	if _, err := Restore(groups, Config{}, []byte("not a snapshot")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Restore(groups, Config{}, nil); err == nil {
+		t.Error("empty snapshot accepted")
+	}
+	// Truncations must error, not panic.
+	e := New(groups, Config{})
+	e.ProcessBatch(evenStream(50, 7))
+	snap := e.Snapshot(nil)
+	for i := 0; i < len(snap); i += 13 {
+		groups2, _ := query.Analyze([]query.Query{q}, query.Options{})
+		if _, err := Restore(groups2, Config{}, snap[:i]); err == nil {
+			t.Fatalf("truncated snapshot of %d/%d bytes accepted", i, len(snap))
+		}
+	}
+	// Mismatched group set.
+	other := query.MustParse("tumbling(50ms) sum key=5")
+	other.ID = 9
+	groups3, _ := query.Analyze([]query.Query{q, other}, query.Options{})
+	if _, err := Restore(groups3, Config{}, snap); err == nil {
+		t.Error("snapshot restored onto a different group set")
+	}
+}
+
+func TestSnapshotWithRemovedQuery(t *testing.T) {
+	a := query.MustParse("tumbling(50ms) sum key=0")
+	a.ID = 1
+	b := query.MustParse("tumbling(100ms) count key=0")
+	b.ID = 2
+	groups, _ := query.Analyze([]query.Query{a, b}, query.Options{})
+	e := New(groups, Config{})
+	e.ProcessBatch(evenStream(30, 5))
+	if err := e.RemoveQuery(2); err != nil {
+		t.Fatal(err)
+	}
+	groups2, _ := query.Analyze([]query.Query{a, b}, query.Options{})
+	e2, err := Restore(groups2, Config{}, e.Snapshot(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2.ProcessBatch(evenStream(60, 5)[30:])
+	e2.AdvanceTo(1000)
+	for _, r := range e2.Results() {
+		if r.QueryID == 2 && r.End > 150 {
+			t.Errorf("removed query revived after restore: %v", r)
+		}
+	}
+}

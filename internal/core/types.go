@@ -1,0 +1,129 @@
+// Package core implements the Desis aggregation engine (§4): it slices the
+// concurrent windows of each query-group at every start/end punctuation,
+// executes the group's operator union once per event, and assembles window
+// results (or emits per-slice partial results, when deployed on a local node
+// of a decentralized topology) from the shared slices.
+package core
+
+import (
+	"desis/internal/operator"
+	"desis/internal/query"
+)
+
+// FuncValue is the evaluated value of one aggregation function of a query.
+type FuncValue struct {
+	// Spec is the function that was evaluated.
+	Spec operator.FuncSpec
+	// Value is the result; meaningless when OK is false.
+	Value float64
+	// OK is false when the window was empty and the function is undefined
+	// on empty input (everything except count).
+	OK bool
+}
+
+// Result is the output of one window of one query.
+type Result struct {
+	// QueryID identifies the query (the template id for group-by queries).
+	QueryID uint64
+	// Key is the event key the window aggregated — meaningful for group-by
+	// template instances, fixed to the query's key otherwise.
+	Key uint32
+	// Start and End bound the window: event-time milliseconds for
+	// time-based windows, event ordinals for count-based ones.
+	Start, End int64
+	// Count is the number of events aggregated into the window.
+	Count int64
+	// Values holds one entry per aggregation function of the query.
+	Values []FuncValue
+}
+
+// EP is an end punctuation that travelled with a slice partial: it tells
+// upstream nodes that a dynamic (session or user-defined) window of the
+// group ended (§5.1.2). Fixed windows need no EPs — their boundaries are
+// recomputed from the window attributes on every node.
+type EP struct {
+	// QueryIdx indexes the group's Queries slice. Groups are formed
+	// deterministically, so the index means the same on every node.
+	QueryIdx int32
+	// Start and End are the window bounds in event time.
+	Start, End int64
+	// GapStart is the time of the last event before the inactivity gap for
+	// session windows (the root checks that gaps cover each other); zero
+	// for user-defined windows.
+	GapStart int64
+}
+
+// SlicePartial is the per-slice partial result a local or intermediate node
+// ships to its parent (§5.1). It carries one aggregate per selection context
+// of the group.
+type SlicePartial struct {
+	// Group identifies the query-group.
+	Group uint32
+	// ID is the auto-incrementing slice id within (node, group).
+	ID uint64
+	// Start and End bound the slice in event time.
+	Start, End int64
+	// LastEvent is the time of the newest event the producing node had
+	// seen when the slice closed; it doubles as the node's watermark.
+	LastEvent int64
+	// Ingested is the number of events the slice ingested before selection
+	// predicates, i.e. the activity signal session reconstruction needs —
+	// an event can extend a session even when every predicate rejects it.
+	Ingested int64
+	// Aggs holds the partial aggregate per selection context.
+	Aggs []operator.Agg
+	// EPs lists dynamic window ends that coincide with this slice close.
+	EPs []EP
+}
+
+// Events reports the total number of events across all contexts of the
+// partial.
+func (p *SlicePartial) Events() int64 {
+	var n int64
+	for i := range p.Aggs {
+		n += p.Aggs[i].CountV
+	}
+	return n
+}
+
+// Stats counts the engine's work, matching the accounting of the paper's
+// evaluation.
+type Stats struct {
+	// Events is the number of events ingested (after key routing).
+	Events uint64
+	// Calculations is the number of logical operator executions: per event
+	// and matching selection context, the Table-1 operator union size of
+	// the group (Figures 9b, 9d, 9f).
+	Calculations uint64
+	// Slices is the number of slices produced (Figures 8b, 8d).
+	Slices uint64
+	// Windows is the number of window results emitted.
+	Windows uint64
+}
+
+// Config configures an Engine.
+type Config struct {
+	// OnResult receives window results as they are produced. When nil,
+	// results accumulate and are retrieved with Results.
+	OnResult func(Result)
+	// OnSlice, when non-nil, puts the engine into slice-emitting mode: the
+	// mode local nodes run in. Slices are shipped instead of stored and no
+	// windows are assembled locally.
+	OnSlice func(*SlicePartial)
+	// OnWindowAgg, when non-nil, intercepts window completion with the
+	// merged (finished) aggregate instead of evaluating the functions and
+	// emitting a Result. Disco-style systems use it to ship per-window
+	// partial results (§5: "Disco has to send partial results per window").
+	// The aggregate is only valid for the duration of the call.
+	OnWindowAgg func(queryID uint64, start, end int64, agg *operator.Agg)
+	// PerEventBoundaryCheck disables the advance punctuation calendar and
+	// re-derives the next boundary on every event — the strategy of the
+	// baseline systems, kept for the ablation benchmark.
+	PerEventBoundaryCheck bool
+	// Decentralized applies the decentralized placement rules when queries
+	// are added at runtime (count-based windows are RootOnly, §5.2).
+	Decentralized bool
+}
+
+// groupOf re-exports the analyzer's group type for readability.
+type groupOf = query.Group

@@ -1,0 +1,111 @@
+// Package event defines the stream event model shared by every Desis
+// component: the engine, the generators, the baselines, and the wire codec.
+//
+// An event mirrors the four-field record of the paper's data generator
+// (§6.1.2): a timestamp, a key, a value, and a user-defined-window marker.
+package event
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Marker values for the Marker field of an Event. A non-zero marker delimits
+// user-defined windows: every marker event ends the currently open
+// user-defined window and starts the next one (e.g. the end of a car trip in
+// the paper's running example).
+const (
+	// MarkerNone tags an ordinary data event.
+	MarkerNone uint8 = 0
+	// MarkerBoundary tags a user-defined window boundary event.
+	MarkerBoundary uint8 = 1
+)
+
+// Event is a single stream record. Times are in milliseconds of event time;
+// the engine never inspects wall-clock time on the data path, which keeps
+// replayed workloads deterministic.
+type Event struct {
+	// Time is the event timestamp in milliseconds.
+	Time int64
+	// Key identifies the logical sub-stream (sensor id, attribute, ...).
+	// Queries select events by key; windows with different keys never share
+	// a query-group.
+	Key uint32
+	// Marker is MarkerNone for data events and MarkerBoundary for
+	// user-defined window boundaries.
+	Marker uint8
+	// Value is the measurement the aggregation functions consume.
+	Value float64
+}
+
+// EncodedSize is the number of bytes Append writes per event.
+const EncodedSize = 8 + 4 + 1 + 8
+
+// Append appends the binary encoding of e to buf and returns the extended
+// slice. The layout is little-endian: time int64, key uint32, marker uint8,
+// value float64.
+func (e Event) Append(buf []byte) []byte {
+	var tmp [EncodedSize]byte
+	binary.LittleEndian.PutUint64(tmp[0:8], uint64(e.Time))
+	binary.LittleEndian.PutUint32(tmp[8:12], e.Key)
+	tmp[12] = e.Marker
+	binary.LittleEndian.PutUint64(tmp[13:21], mathFloat64bits(e.Value))
+	return append(buf, tmp[:]...)
+}
+
+// Decode reads one event from buf, which must hold at least EncodedSize
+// bytes. It returns the event and the remaining bytes.
+func Decode(buf []byte) (Event, []byte, error) {
+	if len(buf) < EncodedSize {
+		return Event{}, buf, fmt.Errorf("event: short buffer: %d bytes, need %d", len(buf), EncodedSize)
+	}
+	e := Event{
+		Time:   int64(binary.LittleEndian.Uint64(buf[0:8])),
+		Key:    binary.LittleEndian.Uint32(buf[8:12]),
+		Marker: buf[12],
+		Value:  mathFloat64frombits(binary.LittleEndian.Uint64(buf[13:21])),
+	}
+	return e, buf[EncodedSize:], nil
+}
+
+// AppendBatch appends a length-prefixed batch of events to buf.
+func AppendBatch(buf []byte, events []Event) []byte {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], uint32(len(events)))
+	buf = append(buf, tmp[:]...)
+	for _, e := range events {
+		buf = e.Append(buf)
+	}
+	return buf
+}
+
+// DecodeBatch decodes a batch written by AppendBatch, appending events to dst
+// (which may be nil) to let callers reuse buffers.
+func DecodeBatch(buf []byte, dst []Event) ([]Event, []byte, error) {
+	if len(buf) < 4 {
+		return dst, buf, fmt.Errorf("event: short batch header: %d bytes", len(buf))
+	}
+	n := binary.LittleEndian.Uint32(buf[0:4])
+	buf = buf[4:]
+	if uint64(len(buf)) < uint64(n)*EncodedSize {
+		return dst, buf, fmt.Errorf("event: short batch body: %d events declared, %d bytes left", n, len(buf))
+	}
+	for i := uint32(0); i < n; i++ {
+		var e Event
+		var err error
+		e, buf, err = Decode(buf)
+		if err != nil {
+			return dst, buf, err
+		}
+		dst = append(dst, e)
+	}
+	return dst, buf, nil
+}
+
+// String renders the event for logs and test failures.
+func (e Event) String() string {
+	if e.Marker != MarkerNone {
+		return fmt.Sprintf("event(t=%d key=%d marker=%d v=%g)", e.Time, e.Key, e.Marker, e.Value)
+	}
+	return fmt.Sprintf("event(t=%d key=%d v=%g)", e.Time, e.Key, e.Value)
+}

@@ -1,0 +1,128 @@
+package event
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Event{
+		{},
+		{Time: 1, Key: 2, Marker: MarkerNone, Value: 3.5},
+		{Time: -1, Key: math.MaxUint32, Marker: MarkerBoundary, Value: -0.0},
+		{Time: math.MaxInt64, Key: 0, Marker: 200, Value: math.Inf(1)},
+		{Time: math.MinInt64, Key: 7, Marker: 1, Value: math.SmallestNonzeroFloat64},
+	}
+	for _, want := range cases {
+		buf := want.Append(nil)
+		if len(buf) != EncodedSize {
+			t.Fatalf("Append wrote %d bytes, want %d", len(buf), EncodedSize)
+		}
+		got, rest, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", want, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("Decode left %d bytes", len(rest))
+		}
+		if got != want {
+			t.Errorf("round trip: got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDecodeShortBuffer(t *testing.T) {
+	e := Event{Time: 10, Key: 1, Value: 2}
+	buf := e.Append(nil)
+	for i := 0; i < EncodedSize; i++ {
+		if _, _, err := Decode(buf[:i]); err == nil {
+			t.Errorf("Decode of %d bytes succeeded, want error", i)
+		}
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	events := []Event{
+		{Time: 1, Key: 1, Value: 1},
+		{Time: 2, Key: 2, Value: 2, Marker: MarkerBoundary},
+		{Time: 3, Key: 3, Value: -3},
+	}
+	buf := AppendBatch(nil, events)
+	got, rest, err := DecodeBatch(buf, nil)
+	if err != nil {
+		t.Fatalf("DecodeBatch: %v", err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("DecodeBatch left %d bytes", len(rest))
+	}
+	if len(got) != len(events) {
+		t.Fatalf("got %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if got[i] != events[i] {
+			t.Errorf("event %d: got %v, want %v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestBatchEmpty(t *testing.T) {
+	buf := AppendBatch(nil, nil)
+	got, rest, err := DecodeBatch(buf, nil)
+	if err != nil {
+		t.Fatalf("DecodeBatch: %v", err)
+	}
+	if len(got) != 0 || len(rest) != 0 {
+		t.Fatalf("empty batch: got %d events, %d rest bytes", len(got), len(rest))
+	}
+}
+
+func TestBatchAppendsToDst(t *testing.T) {
+	pre := []Event{{Time: 99}}
+	buf := AppendBatch(nil, []Event{{Time: 1}})
+	got, _, err := DecodeBatch(buf, pre)
+	if err != nil {
+		t.Fatalf("DecodeBatch: %v", err)
+	}
+	if len(got) != 2 || got[0].Time != 99 || got[1].Time != 1 {
+		t.Fatalf("DecodeBatch did not append to dst: %v", got)
+	}
+}
+
+func TestBatchShortBody(t *testing.T) {
+	buf := AppendBatch(nil, []Event{{Time: 1}, {Time: 2}})
+	if _, _, err := DecodeBatch(buf[:len(buf)-1], nil); err == nil {
+		t.Error("DecodeBatch of truncated body succeeded, want error")
+	}
+	if _, _, err := DecodeBatch(buf[:3], nil); err == nil {
+		t.Error("DecodeBatch of truncated header succeeded, want error")
+	}
+}
+
+func TestEncodeDecodeQuick(t *testing.T) {
+	f := func(tm int64, key uint32, marker uint8, value float64) bool {
+		want := Event{Time: tm, Key: key, Marker: marker, Value: value}
+		got, rest, err := Decode(want.Append(nil))
+		if err != nil || len(rest) != 0 {
+			return false
+		}
+		// NaN never compares equal; compare bit patterns instead.
+		if math.IsNaN(value) {
+			return got.Time == want.Time && got.Key == want.Key && got.Marker == want.Marker &&
+				math.Float64bits(got.Value) == math.Float64bits(want.Value)
+		}
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := (Event{Time: 1, Key: 2, Value: 3}).String(); s != "event(t=1 key=2 v=3)" {
+		t.Errorf("String() = %q", s)
+	}
+	if s := (Event{Time: 1, Key: 2, Value: 3, Marker: 1}).String(); s != "event(t=1 key=2 marker=1 v=3)" {
+		t.Errorf("marker String() = %q", s)
+	}
+}

@@ -1,0 +1,124 @@
+package gen
+
+import (
+	"math/rand"
+
+	"desis/internal/operator"
+	"desis/internal/query"
+)
+
+// QueryConfig shapes the random query mix of §6.5.1 ("query generators
+// randomly produce queries with different keys, window types, window
+// measures, decomposable functions, and window lengths").
+type QueryConfig struct {
+	// Seed makes the mix deterministic.
+	Seed int64
+	// Keys draws each query's key uniformly from [0, Keys). Default 1.
+	Keys int
+	// Types is the window-type palette to draw from; empty means tumbling
+	// and sliding.
+	Types []query.WindowType
+	// Funcs is the aggregation-function palette; empty means the
+	// decomposable set (sum, count, average, min, max).
+	Funcs []operator.Func
+	// AllowCount permits count-based measures (drawn 25% of the time).
+	AllowCount bool
+	// MinLenMS and MaxLenMS bound time window lengths (defaults 1000 and
+	// 10000 — the paper's 1–10 s).
+	MinLenMS, MaxLenMS int64
+	// SessionGapMS is the session gap when Session is drawn (default
+	// 500ms).
+	SessionGapMS int64
+	// CountLen is the count-window length when a count measure is drawn
+	// (default 1000 events).
+	CountLen int64
+}
+
+// Queries draws n random valid queries with ids 1..n.
+func Queries(n int, cfg QueryConfig) []query.Query {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.Keys <= 0 {
+		cfg.Keys = 1
+	}
+	if len(cfg.Types) == 0 {
+		cfg.Types = []query.WindowType{query.Tumbling, query.Sliding}
+	}
+	if len(cfg.Funcs) == 0 {
+		cfg.Funcs = []operator.Func{
+			operator.Sum, operator.Count, operator.Average, operator.Min, operator.Max,
+		}
+	}
+	if cfg.MinLenMS <= 0 {
+		cfg.MinLenMS = 1000
+	}
+	if cfg.MaxLenMS < cfg.MinLenMS {
+		cfg.MaxLenMS = cfg.MinLenMS * 10
+	}
+	if cfg.SessionGapMS <= 0 {
+		cfg.SessionGapMS = 500
+	}
+	if cfg.CountLen <= 0 {
+		cfg.CountLen = 1000
+	}
+	out := make([]query.Query, 0, n)
+	for i := 0; i < n; i++ {
+		q := query.Query{
+			ID:   uint64(i + 1),
+			Key:  uint32(rng.Intn(cfg.Keys)),
+			Pred: query.All(),
+		}
+		f := cfg.Funcs[rng.Intn(len(cfg.Funcs))]
+		spec := operator.FuncSpec{Func: f}
+		if f == operator.Quantile {
+			spec.Arg = float64(1+rng.Intn(999)) / 1000
+		}
+		q.Funcs = []operator.FuncSpec{spec}
+		q.Type = cfg.Types[rng.Intn(len(cfg.Types))]
+		span := cfg.MaxLenMS - cfg.MinLenMS + 1
+		switch q.Type {
+		case query.Tumbling:
+			q.Length = cfg.MinLenMS + rng.Int63n(span)
+			if cfg.AllowCount && rng.Intn(4) == 0 {
+				q.Measure = query.Count
+				q.Length = cfg.CountLen
+			}
+		case query.Sliding:
+			q.Length = cfg.MinLenMS + rng.Int63n(span)
+			q.Slide = 1 + rng.Int63n(q.Length)
+			if cfg.AllowCount && rng.Intn(4) == 0 {
+				q.Measure = query.Count
+				q.Length = cfg.CountLen
+				q.Slide = 1 + rng.Int63n(q.Length)
+			}
+		case query.Session:
+			q.Gap = cfg.SessionGapMS
+		case query.UserDefined:
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+// TumblingSweep builds n tumbling queries with lengths equally distributed
+// between minMS and maxMS on a minMS grid — the concurrent-window workload
+// of §6.2.1 and §6.3.1 ("equally distributed lengths from 1 to 10 seconds").
+// The grid keeps window boundaries aligned, which is why the slice count
+// stays constant no matter how many concurrent windows run (Figure 8b).
+func TumblingSweep(n int, minMS, maxMS int64, f operator.Func) []query.Query {
+	steps := maxMS / minMS
+	if steps < 1 {
+		steps = 1
+	}
+	out := make([]query.Query, 0, n)
+	for i := 0; i < n; i++ {
+		length := minMS * (1 + int64(i)%steps)
+		out = append(out, query.Query{
+			ID:     uint64(i + 1),
+			Pred:   query.All(),
+			Type:   query.Tumbling,
+			Length: length,
+			Funcs:  []operator.FuncSpec{{Func: f}},
+		})
+	}
+	return out
+}

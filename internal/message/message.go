@@ -1,0 +1,89 @@
+// Package message is Desis' message manager (§3.1): the wire protocol and
+// transports that connect the nodes of a decentralized topology. It offers a
+// binary codec, a Disco-style textual codec (Disco "uses strings to send
+// events and messages between nodes", §6.4.1 — the reason for its higher
+// network overhead in Figure 11b), an in-process pipe transport with exact
+// byte accounting, a bandwidth-throttled pipe that emulates constrained
+// links such as the Raspberry-Pi cluster's 1 GbE (§6.5.2), and a TCP
+// transport for real deployments.
+package message
+
+import (
+	"desis/internal/core"
+	"desis/internal/event"
+	"desis/internal/query"
+)
+
+// Kind discriminates the message payload.
+type Kind uint8
+
+// Message kinds.
+const (
+	// KindHello introduces a child node to its parent.
+	KindHello Kind = iota + 1
+	// KindQuerySet distributes the full query set from the root downward.
+	KindQuerySet
+	// KindEventBatch carries raw events: local-node input, forwarding in
+	// centralized systems, and RootOnly groups in Desis.
+	KindEventBatch
+	// KindPartial carries one per-slice partial result upward.
+	KindPartial
+	// KindWatermark advances the receiver's view of the sender's event
+	// time; it closes user-defined and session windows timely (§5.1.2).
+	KindWatermark
+	// KindResult carries a window result from the root to a client.
+	KindResult
+	// KindAddQuery registers a query at runtime (§3.2).
+	KindAddQuery
+	// KindRemoveQuery removes a running query by id (§3.2).
+	KindRemoveQuery
+	// KindHeartbeat keeps the node-liveness timeout of §3.2 from firing.
+	KindHeartbeat
+)
+
+// Message is the unit of communication between nodes. Exactly the fields
+// implied by Kind are meaningful.
+type Message struct {
+	Kind Kind
+	// From identifies the sending node.
+	From uint32
+	// Events is the payload of KindEventBatch.
+	Events []event.Event
+	// Partial is the payload of KindPartial.
+	Partial *core.SlicePartial
+	// Watermark is the payload of KindWatermark, and the optional drain
+	// deadline of KindRemoveQuery.
+	Watermark int64
+	// Queries is the payload of KindQuerySet and KindAddQuery.
+	Queries []query.Query
+	// QueryID is the payload of KindRemoveQuery.
+	QueryID uint64
+	// Result is the payload of KindResult.
+	Result *core.Result
+}
+
+// Codec serialises messages. Implementations must be inverses:
+// Decode(Append(nil, m)) == m.
+type Codec interface {
+	// Append appends the encoding of m to buf.
+	Append(buf []byte, m *Message) ([]byte, error)
+	// Decode parses one message from buf, which holds exactly one message.
+	Decode(buf []byte) (*Message, error)
+	// Name identifies the codec in logs.
+	Name() string
+}
+
+// Conn is a bidirectional, message-oriented connection between two nodes.
+type Conn interface {
+	// Send transmits one message; it may block for backpressure or
+	// bandwidth throttling.
+	Send(m *Message) error
+	// Recv blocks for the next message; it returns io.EOF after the peer
+	// closed the connection.
+	Recv() (*Message, error)
+	// Close shuts down this side; the peer's Recv drains then returns EOF.
+	Close() error
+	// BytesSent reports the total encoded bytes sent on this side — the
+	// network-overhead accounting of §6.4.1.
+	BytesSent() uint64
+}

@@ -1,0 +1,129 @@
+package message
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// maxFrame bounds a single message frame (64 MiB), protecting against
+// corrupt length prefixes.
+const maxFrame = 64 << 20
+
+// TCPConn is a Conn over a TCP socket with 4-byte length framing.
+type TCPConn struct {
+	c     net.Conn
+	codec Codec
+	r     *bufio.Reader
+	w     *bufio.Writer
+	wmu   sync.Mutex
+	sent  atomic.Uint64
+}
+
+// NewTCPConn wraps an established connection. The same codec must be used on
+// both ends.
+func NewTCPConn(c net.Conn, codec Codec) *TCPConn {
+	return &TCPConn{
+		c:     c,
+		codec: codec,
+		r:     bufio.NewReaderSize(c, 1<<16),
+		w:     bufio.NewWriterSize(c, 1<<16),
+	}
+}
+
+// Dial connects to a Desis node at addr.
+func Dial(addr string, codec Codec) (*TCPConn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("message: dial %s: %w", addr, err)
+	}
+	return NewTCPConn(c, codec), nil
+}
+
+// Send implements Conn. It is safe for concurrent use.
+func (t *TCPConn) Send(m *Message) error {
+	payload, err := t.codec.Append(nil, m)
+	if err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	if _, err := t.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := t.w.Write(payload); err != nil {
+		return err
+	}
+	if err := t.w.Flush(); err != nil {
+		return err
+	}
+	t.sent.Add(uint64(len(payload)) + 4)
+	return nil
+}
+
+// Recv implements Conn.
+func (t *TCPConn) Recv() (*Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(t.r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("message: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(t.r, payload); err != nil {
+		return nil, err
+	}
+	return t.codec.Decode(payload)
+}
+
+// Close implements Conn.
+func (t *TCPConn) Close() error {
+	t.wmu.Lock()
+	t.w.Flush()
+	t.wmu.Unlock()
+	return t.c.Close()
+}
+
+// BytesSent implements Conn.
+func (t *TCPConn) BytesSent() uint64 { return t.sent.Load() }
+
+// Listener accepts Desis node connections.
+type Listener struct {
+	l     net.Listener
+	codec Codec
+}
+
+// Listen starts a listener on addr (e.g. ":7070").
+func Listen(addr string, codec Codec) (*Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("message: listen %s: %w", addr, err)
+	}
+	return &Listener{l: l, codec: codec}, nil
+}
+
+// Accept blocks for the next inbound connection.
+func (l *Listener) Accept() (*TCPConn, error) {
+	c, err := l.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return NewTCPConn(c, l.codec), nil
+}
+
+// Addr returns the bound address, useful with ":0" listeners.
+func (l *Listener) Addr() string { return l.l.Addr().String() }
+
+// Close stops accepting.
+func (l *Listener) Close() error { return l.l.Close() }
+
+var _ Conn = (*TCPConn)(nil)
+var _ Conn = (*Pipe)(nil)

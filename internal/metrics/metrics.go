@@ -1,0 +1,164 @@
+// Package metrics provides the measurement instruments of §6.1: throughput
+// meters and coordinated-omission-free latency histograms.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Throughput measures events per second of wall time.
+type Throughput struct {
+	start  time.Time
+	events uint64
+}
+
+// Start begins (or restarts) the measurement.
+func (t *Throughput) Start() { t.start = time.Now(); t.events = 0 }
+
+// Add records n processed events.
+func (t *Throughput) Add(n int) { t.events += uint64(n) }
+
+// EventsPerSecond reports the rate so far.
+func (t *Throughput) EventsPerSecond() float64 {
+	el := time.Since(t.start).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(t.events) / el
+}
+
+// Events reports the processed-event count.
+func (t *Throughput) Events() uint64 { return t.events }
+
+// Histogram records durations in logarithmic buckets (HDR-style, ~4%
+// resolution) so recording is allocation-free on the hot path.
+type Histogram struct {
+	buckets [512]uint64
+	count   uint64
+	sum     time.Duration
+	max     time.Duration
+}
+
+// bucketOf maps a duration to a logarithmic bucket index.
+func bucketOf(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	// 16 sub-buckets per octave of nanoseconds.
+	l := math.Log2(float64(d))
+	i := int(l * 16)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len((&Histogram{}).buckets) {
+		i = len((&Histogram{}).buckets) - 1
+	}
+	return i
+}
+
+// valueOf returns the representative duration of a bucket.
+func valueOf(i int) time.Duration {
+	return time.Duration(math.Exp2(float64(i) / 16))
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(d time.Duration) {
+	h.buckets[bucketOf(d)]++
+	h.count++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count reports the number of samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean reports the average sample.
+func (h *Histogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Max reports the largest sample.
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Quantile reports the q-quantile (0 < q <= 1) with ~4% resolution.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.buckets {
+		seen += c
+		if seen >= rank {
+			return valueOf(i)
+		}
+	}
+	return h.max
+}
+
+// String summarises the histogram.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		h.count, h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.max)
+}
+
+// Merge folds o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	for i, c := range o.buckets {
+		h.buckets[i] += c
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Samples is a simple exact-quantile recorder for low-volume measurements
+// (e.g. per-window latencies in short runs).
+type Samples struct {
+	v []time.Duration
+}
+
+// Record adds one sample.
+func (s *Samples) Record(d time.Duration) { s.v = append(s.v, d) }
+
+// Quantile reports the exact q-quantile.
+func (s *Samples) Quantile(q float64) time.Duration {
+	if len(s.v) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), s.v...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// Mean reports the average sample.
+func (s *Samples) Mean() time.Duration {
+	if len(s.v) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range s.v {
+		sum += d
+	}
+	return sum / time.Duration(len(s.v))
+}
+
+// Count reports the number of samples.
+func (s *Samples) Count() int { return len(s.v) }

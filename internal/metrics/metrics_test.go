@@ -1,0 +1,85 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestThroughput(t *testing.T) {
+	var tp Throughput
+	tp.Start()
+	tp.Add(500)
+	tp.Add(500)
+	if tp.Events() != 1000 {
+		t.Fatalf("events = %d", tp.Events())
+	}
+	time.Sleep(10 * time.Millisecond)
+	eps := tp.EventsPerSecond()
+	if eps <= 0 || eps > 1000/0.01 {
+		t.Errorf("events/s = %g out of plausible range", eps)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	// Log buckets have ~4% resolution; check within 10%.
+	within := func(got, want time.Duration) bool {
+		lo := want - want/10
+		hi := want + want/10
+		return got >= lo && got <= hi
+	}
+	if got := h.Quantile(0.5); !within(got, 500*time.Microsecond) {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := h.Quantile(0.99); !within(got, 990*time.Microsecond) {
+		t.Errorf("p99 = %v", got)
+	}
+	if h.Max() != time.Millisecond {
+		t.Errorf("max = %v", h.Max())
+	}
+	if m := h.Mean(); !within(m, 500500*time.Nanosecond) {
+		t.Errorf("mean = %v", m)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Record(time.Millisecond)
+	b.Record(3 * time.Millisecond)
+	a.Merge(&b)
+	if a.Count() != 2 || a.Max() != 3*time.Millisecond {
+		t.Errorf("merged: %v", a.String())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Error("empty histogram not zero")
+	}
+}
+
+func TestSamples(t *testing.T) {
+	var s Samples
+	for _, d := range []time.Duration{5, 1, 3, 2, 4} {
+		s.Record(d * time.Millisecond)
+	}
+	if s.Count() != 5 {
+		t.Fatal("count")
+	}
+	if got := s.Quantile(0.5); got != 3*time.Millisecond {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := s.Quantile(1); got != 5*time.Millisecond {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := s.Mean(); got != 3*time.Millisecond {
+		t.Errorf("mean = %v", got)
+	}
+}

@@ -1,0 +1,382 @@
+package node
+
+import (
+	"sort"
+
+	"desis/internal/core"
+	"desis/internal/operator"
+	"desis/internal/query"
+	"desis/internal/window"
+)
+
+// Assembler is the root node's window-merging stage (§5.1.3): it gathers
+// merged slice partials, re-derives fixed window boundaries from the window
+// attributes, reconstructs session windows from activity extents (the gap
+// covering of §5.1.2), closes user-defined windows from EP unions and
+// watermarks, and emits final query results.
+type Assembler struct {
+	states   map[uint32]*rootGroup
+	onResult func(core.Result)
+}
+
+type rootGroup struct {
+	g         *query.Group
+	cal       window.Calendar
+	buffer    []*core.SlicePartial // arrived, waiting for the watermark
+	store     []*core.SlicePartial // processed, sorted by Start
+	dirty     bool
+	sess      map[int32]*sessCand
+	uds       map[int32]*udState
+	started   bool
+	lastPunct int64
+	scratch   operator.Agg
+	runs      [][]float64        // scratch run list for value merging
+	rm        operator.RunMerger // k-way merger for non-decomposable values
+	reg       []int64            // per-member registration time (runtime AddQuery)
+	removed   []bool             // per-member removal flag (indices stay stable)
+}
+
+// sessCand is the open global session of one session query, tracked from
+// activity extents of merged partials: a new partial whose start lies beyond
+// lastActivity+gap means the children's gaps covered each other and the
+// session ended (§5.1.2).
+type sessCand struct {
+	gap          int64
+	active       bool
+	start        int64
+	lastActivity int64
+}
+
+// udState tracks one user-defined-window query: open candidates are unions
+// of overlapping child EP intervals, closed once the watermark passes them.
+type udState struct {
+	openStart int64
+	cands     []udCand
+	// barStart/barEnd remember the extent of the partial that carried the
+	// most recent EP: it holds pre-marker events and must not leak into
+	// the window opening at the same timestamp (stream-order membership —
+	// only zero-span partials are ambiguous by extent).
+	barStart, barEnd int64
+	barSet           bool
+}
+
+type udCand struct{ start, end int64 }
+
+// NewAssembler builds the assembly stage for the distributed groups.
+func NewAssembler(groups []*query.Group, onResult func(core.Result)) *Assembler {
+	a := &Assembler{states: make(map[uint32]*rootGroup), onResult: onResult}
+	for _, g := range groups {
+		if g.Placement != query.Distributed {
+			continue
+		}
+		a.installGroup(g)
+	}
+	return a
+}
+
+func (a *Assembler) installGroup(g *query.Group) {
+	rg := &rootGroup{g: g, sess: make(map[int32]*sessCand), uds: make(map[int32]*udState)}
+	for idx := range g.Queries {
+		rg.registerMember(idx, 0)
+	}
+	a.states[g.ID] = rg
+}
+
+func (rg *rootGroup) registerMember(idx int, regTime int64) {
+	gq := rg.g.Queries[idx]
+	switch gq.Type {
+	case query.Tumbling:
+		if gq.Measure == query.Time {
+			rg.cal.Add(idx, gq.Length, gq.Length)
+		}
+	case query.Sliding:
+		if gq.Measure == query.Time {
+			rg.cal.Add(idx, gq.Length, gq.Slide)
+		}
+	case query.Session:
+		rg.sess[int32(idx)] = &sessCand{gap: gq.Gap}
+	case query.UserDefined:
+		rg.uds[int32(idx)] = &udState{openStart: regTime}
+	}
+	rg.reg = append(rg.reg, regTime)
+	rg.removed = append(rg.removed, false)
+}
+
+// SyncGroup reconciles the assembler with a group mutated (or created) by
+// query.Place: new members register with the current watermark as their
+// registration time, so they only answer windows starting afterwards.
+func (a *Assembler) SyncGroup(g *query.Group, regTime int64) {
+	rg, ok := a.states[g.ID]
+	if !ok {
+		a.installGroup(g)
+		return
+	}
+	for idx := len(rg.reg); idx < len(g.Queries); idx++ {
+		rg.registerMember(idx, regTime)
+	}
+}
+
+// RemoveMember unregisters one member; indices of the others are stable.
+func (a *Assembler) RemoveMember(groupID uint32, idx int) {
+	rg, ok := a.states[groupID]
+	if !ok || idx >= len(rg.removed) {
+		return
+	}
+	rg.removed[idx] = true
+	rg.cal.Remove(idx)
+	delete(rg.sess, int32(idx))
+	delete(rg.uds, int32(idx))
+}
+
+// AddPartial buffers a merged partial until the watermark matures it.
+func (a *Assembler) AddPartial(p *core.SlicePartial) {
+	rg, ok := a.states[p.Group]
+	if !ok {
+		return
+	}
+	rg.buffer = append(rg.buffer, p)
+}
+
+// AdvanceTo processes everything the watermark W has matured: partials with
+// End <= W, fixed boundaries <= W, expired sessions, and user-defined
+// candidates.
+func (a *Assembler) AdvanceTo(w int64) {
+	for _, rg := range a.states {
+		a.advanceGroup(rg, w)
+	}
+}
+
+func (a *Assembler) advanceGroup(rg *rootGroup, w int64) {
+	// Mature partials, in (End, Start) order so session activity tracking
+	// sees a coherent timeline.
+	var take []*core.SlicePartial
+	rest := rg.buffer[:0]
+	for _, p := range rg.buffer {
+		if p.End <= w {
+			take = append(take, p)
+		} else {
+			rest = append(rest, p)
+		}
+	}
+	rg.buffer = rest
+	sort.Slice(take, func(i, j int) bool {
+		if take[i].End != take[j].End {
+			return take[i].End < take[j].End
+		}
+		return take[i].Start < take[j].Start
+	})
+	for _, p := range take {
+		if !rg.started {
+			rg.started = true
+			rg.lastPunct = p.Start
+			for _, us := range rg.uds {
+				us.openStart = p.Start
+			}
+		}
+		if p.Ingested > 0 {
+			a.trackSessions(rg, p)
+		}
+		for _, ep := range p.EPs {
+			if us, ok := rg.uds[ep.QueryIdx]; ok {
+				addUDCandidate(us, ep.Start, ep.End)
+				us.barStart, us.barEnd, us.barSet = p.Start, p.End, true
+			}
+		}
+		rg.store = append(rg.store, p)
+		rg.dirty = true
+	}
+	if rg.dirty {
+		sort.Slice(rg.store, func(i, j int) bool { return rg.store[i].Start < rg.store[j].Start })
+		rg.dirty = false
+	}
+	if !rg.started {
+		return
+	}
+	// Fixed windows: every boundary the watermark passed.
+	for b := rg.cal.NextBoundary(rg.lastPunct); b <= w && b != window.NoBoundary; b = rg.cal.NextBoundary(b) {
+		rg.cal.EndsAt(b, func(idx int, ws int64) {
+			a.assemble(rg, idx, ws, b)
+		})
+		rg.lastPunct = b
+	}
+	// Sessions whose gap elapsed below the watermark.
+	for idx, sc := range rg.sess {
+		if sc.active && sc.lastActivity+sc.gap <= w {
+			a.assemble(rg, int(idx), sc.start, sc.lastActivity+sc.gap)
+			sc.active = false
+		}
+	}
+	// User-defined candidates the watermark passed.
+	for idx, us := range rg.uds {
+		kept := us.cands[:0]
+		for _, c := range us.cands {
+			if c.end <= w {
+				a.assemble(rg, int(idx), c.start, c.end)
+				if c.end > us.openStart {
+					us.openStart = c.end
+				}
+			} else {
+				kept = append(kept, c)
+			}
+		}
+		us.cands = kept
+	}
+	a.prune(rg, w)
+}
+
+// trackSessions extends or restarts every session candidate with the
+// activity extent of one matured partial.
+func (a *Assembler) trackSessions(rg *rootGroup, p *core.SlicePartial) {
+	for idx, sc := range rg.sess {
+		if sc.active && p.Start >= sc.lastActivity+sc.gap {
+			a.assemble(rg, int(idx), sc.start, sc.lastActivity+sc.gap)
+			sc.active = false
+		}
+		if !sc.active {
+			sc.active = true
+			sc.start = p.Start
+			sc.lastActivity = p.LastEvent
+			continue
+		}
+		if p.Start < sc.start {
+			sc.start = p.Start
+		}
+		if p.LastEvent > sc.lastActivity {
+			sc.lastActivity = p.LastEvent
+		}
+	}
+}
+
+// addUDCandidate unions the EP interval [s, e) into the query's open
+// candidates; overlapping intervals from different children merge — the
+// interval form of "gaps covering each other".
+func addUDCandidate(us *udState, s, e int64) {
+	for i := range us.cands {
+		c := &us.cands[i]
+		if s < c.end && c.start < e {
+			if s < c.start {
+				c.start = s
+			}
+			if e > c.end {
+				c.end = e
+			}
+			return
+		}
+	}
+	us.cands = append(us.cands, udCand{start: s, end: e})
+}
+
+// assemble merges the stored partials covering [ws, we) for the member at
+// idx and emits the result.
+func (a *Assembler) assemble(rg *rootGroup, idx int, ws, we int64) {
+	if idx < len(rg.removed) && rg.removed[idx] {
+		return
+	}
+	if idx < len(rg.reg) && ws < rg.reg[idx] {
+		return
+	}
+	m := rg.g.Queries[idx]
+	lo := sort.Search(len(rg.store), func(i int) bool { return rg.store[i].Start >= ws })
+	// Merge only the fields this member's functions need (core does the
+	// same); min/max fall back to the sorted values when the group shares
+	// the non-decomposable sort.
+	mops := operator.Union(m.Funcs) | operator.OpCount
+	if mops&operator.OpDSort != 0 && rg.g.Ops&operator.OpDSort == 0 {
+		mops = (mops &^ operator.OpDSort) | operator.OpNDSort
+	}
+	rg.scratch.Reset(mops &^ operator.OpNDSort)
+	rg.scratch.Sorted = true
+	rg.runs = rg.runs[:0]
+	us := rg.uds[int32(idx)]
+	for i := lo; i < len(rg.store); i++ {
+		p := rg.store[i]
+		if p.Start >= we {
+			break
+		}
+		if us != nil && us.barSet && we > us.barEnd &&
+			p.Start == p.End && p.Start == us.barStart && p.End == us.barEnd {
+			// Zero-span partial cut by the marker that closed the previous
+			// user-defined window: its events precede this window.
+			continue
+		}
+		if p.End <= we && m.Ctx < len(p.Aggs) {
+			rg.scratch.Merge(&p.Aggs[m.Ctx])
+			if mops&operator.OpNDSort != 0 {
+				rg.runs = append(rg.runs, p.Aggs[m.Ctx].Values)
+			}
+		}
+	}
+	if mops&operator.OpNDSort != 0 {
+		raw := operator.Union(m.Funcs)
+		if raw&operator.OpNDSort == 0 && raw&operator.OpDSort != 0 {
+			// Min/max over sorted runs: the endpoints suffice (O(slices)).
+			rg.scratch.Ops |= operator.OpDSort
+			for _, r := range rg.runs {
+				if len(r) == 0 {
+					continue
+				}
+				if r[0] < rg.scratch.MinV {
+					rg.scratch.MinV = r[0]
+				}
+				if last := r[len(r)-1]; last > rg.scratch.MaxV {
+					rg.scratch.MaxV = last
+				}
+			}
+		} else {
+			rg.scratch.Values = rg.rm.Merge(rg.runs)
+			rg.scratch.Ops |= operator.OpNDSort
+		}
+	}
+	rg.scratch.Finish()
+	values := make([]core.FuncValue, len(m.Funcs))
+	for i, spec := range m.Funcs {
+		v, ok := rg.scratch.Eval(spec)
+		values[i] = core.FuncValue{Spec: spec, Value: v, OK: ok}
+	}
+	a.onResult(core.Result{
+		QueryID: m.ID,
+		Start:   ws,
+		End:     we,
+		Count:   rg.scratch.CountV,
+		Values:  values,
+	})
+}
+
+// prune drops stored partials no open or future window can need.
+func (a *Assembler) prune(rg *rootGroup, w int64) {
+	if len(rg.store) < 64 {
+		return
+	}
+	tNeed := rg.cal.EarliestOpenStart(rg.lastPunct)
+	for _, sc := range rg.sess {
+		if sc.active && sc.start < tNeed {
+			tNeed = sc.start
+		}
+	}
+	for _, us := range rg.uds {
+		if us.openStart < tNeed {
+			tNeed = us.openStart
+		}
+		for _, c := range us.cands {
+			if c.start < tNeed {
+				tNeed = c.start
+			}
+		}
+	}
+	n := 0
+	for n < len(rg.store) && rg.store[n].Start < tNeed {
+		n++
+	}
+	if n > 0 {
+		rg.store = append(rg.store[:0], rg.store[n:]...)
+	}
+}
+
+// Group returns the state's group by id, for runtime query management.
+func (a *Assembler) Group(id uint32) (*query.Group, bool) {
+	rg, ok := a.states[id]
+	if !ok {
+		return nil, false
+	}
+	return rg.g, true
+}

@@ -1,0 +1,310 @@
+package node
+
+import (
+	"io"
+	"runtime"
+	"sync"
+
+	"desis/internal/core"
+	"desis/internal/event"
+	"desis/internal/message"
+	"desis/internal/query"
+)
+
+// ClusterConfig shapes an in-process topology.
+type ClusterConfig struct {
+	// Locals is the number of local (stream-ingesting) nodes.
+	Locals int
+	// Intermediates is the number of intermediate nodes; zero connects the
+	// locals directly to the root. Locals spread round-robin.
+	Intermediates int
+	// Codec is the wire codec; nil means message.Binary{}.
+	Codec message.Codec
+	// Bandwidth throttles every link to this many bytes per second; zero
+	// means unlimited. Used to model the 1 GbE Raspberry-Pi links (§6.5.2).
+	Bandwidth float64
+	// Buffer is the per-link queue depth in messages (default 256); the
+	// bound provides backpressure for sustainable-throughput measurement.
+	Buffer int
+	// BatchSize coalesces forwarded raw events (default 256).
+	BatchSize int
+	// OnResult receives final window results; nil accumulates them for
+	// Results.
+	OnResult func(core.Result)
+}
+
+// Cluster is an in-process decentralized Desis deployment: all nodes of the
+// topology run in one address space, connected by byte-accounted pipes, so
+// experiments can measure network overhead and per-node work without a
+// physical cluster. It is the substitution for the paper's 10-node testbed;
+// cmd/desis-node deploys the same node types over TCP.
+type Cluster struct {
+	cfg    ClusterConfig
+	locals []*Local
+	inters []*Intermediate
+	root   *Root
+	rootMu sync.Mutex
+
+	localConns []message.Conn // for byte accounting
+	interConns []message.Conn
+
+	resMu   sync.Mutex
+	results []core.Result
+
+	wg         sync.WaitGroup
+	interPumps []*sync.WaitGroup // child pumps per intermediate
+	closed     bool
+	advanced   int64 // highest AdvanceAll target, for WaitRoot
+}
+
+// NewCluster analyzes nothing — pass groups from query.Analyze with
+// Decentralized: true so count-based windows route to the root.
+func NewCluster(groups []*query.Group, cfg ClusterConfig) *Cluster {
+	if cfg.Locals <= 0 {
+		cfg.Locals = 1
+	}
+	if cfg.Codec == nil {
+		cfg.Codec = message.Binary{}
+	}
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = 256
+	}
+	c := &Cluster{cfg: cfg}
+	collect := cfg.OnResult
+	if collect == nil {
+		collect = func(r core.Result) {
+			c.resMu.Lock()
+			c.results = append(c.results, r)
+			c.resMu.Unlock()
+		}
+	}
+
+	newPipe := func() (*message.Pipe, *message.Pipe) {
+		if cfg.Bandwidth > 0 {
+			return message.NewThrottledPipe(cfg.Codec, cfg.Buffer, cfg.Bandwidth)
+		}
+		return message.NewPipe(cfg.Codec, cfg.Buffer)
+	}
+
+	localID := func(i int) uint32 { return uint32(1 + i) }
+	interID := func(i int) uint32 { return uint32(1001 + i) }
+
+	// Root's children: the intermediates, or the locals when there are none.
+	var rootChildren []uint32
+	if cfg.Intermediates > 0 {
+		for i := 0; i < cfg.Intermediates; i++ {
+			rootChildren = append(rootChildren, interID(i))
+		}
+	} else {
+		for i := 0; i < cfg.Locals; i++ {
+			rootChildren = append(rootChildren, localID(i))
+		}
+	}
+	c.root = NewRoot(groups, rootChildren, collect)
+
+	// Intermediates and their upward links.
+	interUp := make([]*message.Pipe, cfg.Intermediates)
+	for i := 0; i < cfg.Intermediates; i++ {
+		up, rootSide := newPipe()
+		interUp[i] = up
+		c.interConns = append(c.interConns, up)
+		var children []uint32
+		for j := 0; j < cfg.Locals; j++ {
+			if j%cfg.Intermediates == i {
+				children = append(children, localID(j))
+			}
+		}
+		inter := NewIntermediate(interID(i), children, up)
+		c.inters = append(c.inters, inter)
+		c.interPumps = append(c.interPumps, &sync.WaitGroup{})
+		c.pumpToRoot(rootSide)
+	}
+
+	// Locals and their upward links.
+	for i := 0; i < cfg.Locals; i++ {
+		up, parentSide := newPipe()
+		c.localConns = append(c.localConns, up)
+		c.locals = append(c.locals, NewLocal(localID(i), groups, up, cfg.BatchSize))
+		if cfg.Intermediates > 0 {
+			c.pumpToIntermediate(i%cfg.Intermediates, parentSide)
+		} else {
+			c.pumpToRoot(parentSide)
+		}
+	}
+	return c
+}
+
+// pumpToRoot drains a connection into the root until EOF.
+func (c *Cluster) pumpToRoot(conn message.Conn) {
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		for {
+			m, err := conn.Recv()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return
+			}
+			c.rootMu.Lock()
+			_ = c.root.Handle(m)
+			c.rootMu.Unlock()
+		}
+	}()
+}
+
+// pumpToIntermediate drains a connection into intermediate idx until EOF;
+// the node's own mutex serialises concurrent children.
+func (c *Cluster) pumpToIntermediate(idx int, conn message.Conn) {
+	n := c.inters[idx]
+	c.wg.Add(1)
+	c.interPumps[idx].Add(1)
+	go func() {
+		defer c.wg.Done()
+		defer c.interPumps[idx].Done()
+		for {
+			m, err := conn.Recv()
+			if err != nil {
+				return
+			}
+			_ = n.HandleLocked(m)
+		}
+	}()
+}
+
+// Local returns the i-th local node, the injection point for generator data.
+func (c *Cluster) Local(i int) *Local { return c.locals[i] }
+
+// NumLocals reports the local-node count.
+func (c *Cluster) NumLocals() int { return len(c.locals) }
+
+// Push feeds events to local node i.
+func (c *Cluster) Push(i int, evs []event.Event) error {
+	return c.locals[i].Process(evs)
+}
+
+// Advance advances event time on local node i to t. Safe for concurrent use
+// across distinct locals (each local is single-threaded).
+func (c *Cluster) Advance(i int, t int64) error {
+	return c.locals[i].AdvanceTo(t)
+}
+
+// AdvanceAll advances event time on every local node to t, propagating
+// watermarks up the topology.
+func (c *Cluster) AdvanceAll(t int64) error {
+	for _, l := range c.locals {
+		if err := l.AdvanceTo(t); err != nil {
+			return err
+		}
+	}
+	if t > c.advanced {
+		c.advanced = t
+	}
+	return nil
+}
+
+// WaitRoot blocks until the root's watermark reaches t — i.e. everything up
+// to t has been merged and assembled.
+func (c *Cluster) WaitRoot(t int64) {
+	for c.RootWatermark() < t {
+		runtime.Gosched()
+	}
+}
+
+// AddQuery registers a query on every node of the topology (§3.2). It first
+// waits for the root to catch up with the latest AdvanceAll, so the new
+// query's registration time is well defined across nodes.
+func (c *Cluster) AddQuery(q query.Query) error {
+	c.WaitRoot(c.advanced)
+	c.rootMu.Lock()
+	err := c.root.AddQuery(q)
+	c.rootMu.Unlock()
+	if err != nil {
+		return err
+	}
+	for _, l := range c.locals {
+		if err := l.AddQuery(q); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RemoveQuery removes a running query everywhere.
+func (c *Cluster) RemoveQuery(id uint64) error {
+	c.WaitRoot(c.advanced)
+	c.rootMu.Lock()
+	err := c.root.RemoveQuery(id)
+	c.rootMu.Unlock()
+	if err != nil {
+		return err
+	}
+	for _, l := range c.locals {
+		if err := l.RemoveQuery(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close shuts the topology down bottom-up and waits for in-flight messages
+// to drain.
+func (c *Cluster) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	var firstErr error
+	for _, l := range c.locals {
+		if err := l.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	// Each intermediate closes its uplink only after all of its child
+	// pumps drained to EOF, so no partials are lost on the way up.
+	for i, it := range c.inters {
+		c.interPumps[i].Wait()
+		if err := it.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	c.wg.Wait()
+	return firstErr
+}
+
+// Results returns the window results accumulated so far (when no OnResult
+// callback was configured) and clears the buffer.
+func (c *Cluster) Results() []core.Result {
+	c.resMu.Lock()
+	defer c.resMu.Unlock()
+	r := c.results
+	c.results = nil
+	return r
+}
+
+// NetworkBytes reports the bytes sent by all local nodes and by all
+// intermediate nodes — the per-layer accounting of Figure 11.
+func (c *Cluster) NetworkBytes() (localBytes, intermediateBytes uint64) {
+	for _, conn := range c.localConns {
+		localBytes += conn.BytesSent()
+	}
+	for _, conn := range c.interConns {
+		intermediateBytes += conn.BytesSent()
+	}
+	return localBytes, intermediateBytes
+}
+
+// RootTime reports how far the root has advanced (Deployment interface).
+func (c *Cluster) RootTime() int64 { return c.RootWatermark() }
+
+// RootWatermark reports how far the root has advanced.
+func (c *Cluster) RootWatermark() int64 {
+	c.rootMu.Lock()
+	defer c.rootMu.Unlock()
+	return c.root.Watermark()
+}
+
+// Root exposes the root node (callers must not mutate it concurrently with
+// a running topology; use the Cluster methods instead).
+func (c *Cluster) Root() *Root { return c.root }

@@ -1,0 +1,99 @@
+package node
+
+import (
+	"fmt"
+	"sync"
+
+	"desis/internal/core"
+	"desis/internal/event"
+	"desis/internal/message"
+)
+
+// Intermediate is an intermediate node: a Merger between its children and
+// its parent. It merges aligned slice partials (the intermediate incremental
+// aggregation of §5.1), relays raw event batches of RootOnly groups
+// preserving their origin, and forwards the merged watermark.
+type Intermediate struct {
+	id     uint32
+	merger *Merger
+	parent message.Conn
+	mu     sync.Mutex
+	err    error
+}
+
+// NewIntermediate builds an intermediate node expecting the given children,
+// sending to parent.
+func NewIntermediate(id uint32, children []uint32, parent message.Conn) *Intermediate {
+	n := &Intermediate{id: id, parent: parent}
+	n.merger = NewMerger(children)
+	n.merger.Out = func(p *core.SlicePartial) {
+		n.send(&message.Message{Kind: message.KindPartial, From: n.id, Partial: p})
+	}
+	n.merger.OutEvents = func(from uint32, evs []event.Event) {
+		// Preserve the origin id: the root orders RootOnly events per
+		// originating stream.
+		n.send(&message.Message{Kind: message.KindEventBatch, From: from, Events: evs})
+	}
+	n.merger.OutWatermark = func(w int64) {
+		n.send(&message.Message{Kind: message.KindWatermark, From: n.id, Watermark: w})
+	}
+	return n
+}
+
+func (n *Intermediate) send(m *message.Message) {
+	if n.err != nil {
+		return
+	}
+	n.err = n.parent.Send(m)
+}
+
+// Handle dispatches one message from a child.
+func (n *Intermediate) Handle(m *message.Message) error {
+	switch m.Kind {
+	case message.KindPartial:
+		n.merger.HandlePartial(m.From, m.Partial)
+	case message.KindWatermark:
+		n.merger.HandleWatermark(m.From, m.Watermark)
+	case message.KindEventBatch:
+		n.merger.HandleEvents(m.From, m.Events)
+	case message.KindHello, message.KindHeartbeat:
+	default:
+		return fmt.Errorf("node: intermediate cannot handle message kind %d", m.Kind)
+	}
+	return n.err
+}
+
+// HandleLocked is Handle behind the node's mutex, for concurrent child
+// pumps; the merger itself is single-threaded.
+func (n *Intermediate) HandleLocked(m *message.Message) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.Handle(m)
+}
+
+// AddChild and RemoveChild adjust the expected child set at runtime (§3.2).
+// They are unsynchronised; concurrent servers use the Locked variants.
+func (n *Intermediate) AddChild(id uint32)    { n.merger.AddChild(id) }
+func (n *Intermediate) RemoveChild(id uint32) { n.merger.RemoveChild(id) }
+
+// AddChildLocked and RemoveChildLocked take the node's mutex, for use
+// alongside HandleLocked from concurrent per-child goroutines.
+func (n *Intermediate) AddChildLocked(id uint32) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.merger.AddChild(id)
+}
+
+func (n *Intermediate) RemoveChildLocked(id uint32) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.merger.RemoveChild(id)
+}
+
+// Close closes the parent connection.
+func (n *Intermediate) Close() error {
+	if err := n.parent.Close(); err != nil {
+		return err
+	}
+	return n.err
+}

@@ -1,0 +1,151 @@
+// Package node implements Desis' decentralized aggregation (§5): local
+// nodes slice raw streams and ship per-slice partial results, intermediate
+// nodes merge partials from their children, and the root node assembles
+// window results. Count-based (RootOnly) query-groups are forwarded as raw
+// events and evaluated by an engine on the root, which is the only node that
+// observes the global event order (§5.2).
+package node
+
+import (
+	"fmt"
+
+	"desis/internal/core"
+	"desis/internal/event"
+	"desis/internal/message"
+	"desis/internal/query"
+)
+
+// Local is a local node: it ingests a data stream, runs the aggregation
+// engine in slice-emitting mode for distributed groups, forwards raw events
+// for RootOnly groups, and emits watermarks so parents can close windows
+// timely.
+type Local struct {
+	id      uint32
+	conn    message.Conn
+	engine  *core.Engine
+	groups  []*query.Group  // full shared group set, for runtime Place
+	forward map[uint32]bool // keys needed by RootOnly groups
+	buf     []event.Event
+	batchSz int
+	wm      int64
+	err     error
+}
+
+// NewLocal builds a local node for the analyzed groups, sending to parent.
+// batchSize controls how many RootOnly events are coalesced per message.
+func NewLocal(id uint32, groups []*query.Group, parent message.Conn, batchSize int) *Local {
+	if batchSize <= 0 {
+		batchSize = 256
+	}
+	l := &Local{id: id, conn: parent, forward: make(map[uint32]bool), batchSz: batchSize}
+	l.groups = append(l.groups, groups...)
+	var dist []*query.Group
+	for _, g := range groups {
+		if g.Placement == query.RootOnly {
+			l.forward[g.Key] = true
+		}
+		if g.Placement == query.Distributed {
+			dist = append(dist, g)
+		}
+	}
+	l.engine = core.New(dist, core.Config{
+		Decentralized: true,
+		OnSlice:       l.sendPartial,
+	})
+	return l
+}
+
+func (l *Local) sendPartial(p *core.SlicePartial) {
+	if l.err != nil {
+		return
+	}
+	if p.Ingested == 0 && len(p.EPs) == 0 {
+		return // nothing to contribute; watermarks carry progress
+	}
+	l.err = l.conn.Send(&message.Message{Kind: message.KindPartial, From: l.id, Partial: p})
+}
+
+// Process ingests a batch of in-order events from this node's data stream.
+func (l *Local) Process(evs []event.Event) error {
+	for _, ev := range evs {
+		if l.forward[ev.Key] {
+			l.buf = append(l.buf, ev)
+			if len(l.buf) >= l.batchSz {
+				l.flushForward()
+			}
+		}
+		l.engine.Process(ev)
+		if ev.Time > l.wm {
+			l.wm = ev.Time
+		}
+	}
+	return l.err
+}
+
+func (l *Local) flushForward() {
+	if len(l.buf) == 0 || l.err != nil {
+		return
+	}
+	l.err = l.conn.Send(&message.Message{Kind: message.KindEventBatch, From: l.id, Events: l.buf})
+	l.buf = nil
+}
+
+// AdvanceTo moves this node's event time to t: pending punctuations fire,
+// forwarded events flush, and a watermark is emitted. Call it at least once
+// per ingestion quantum; the stream's own timestamps advance it implicitly.
+func (l *Local) AdvanceTo(t int64) error {
+	if t > l.wm {
+		l.wm = t
+	}
+	l.engine.AdvanceTo(l.wm)
+	l.flushForward()
+	if l.err != nil {
+		return l.err
+	}
+	l.err = l.conn.Send(&message.Message{Kind: message.KindWatermark, From: l.id, Watermark: l.wm})
+	return l.err
+}
+
+// AddQuery registers a query at runtime, mirroring the root's broadcast.
+// Every node applies the same deterministic placement, so group ids and
+// member indices stay topology-wide consistent.
+func (l *Local) AddQuery(q query.Query) error {
+	g, _, created, err := query.Place(l.groups, q, query.Options{Decentralized: true})
+	if err != nil {
+		return err
+	}
+	if created {
+		l.groups = append(l.groups, g)
+	}
+	if g.Placement == query.RootOnly {
+		l.forward[g.Key] = true
+		return nil
+	}
+	l.engine.SyncGroup(g)
+	return nil
+}
+
+// RemoveQuery unregisters a running distributed query.
+func (l *Local) RemoveQuery(id uint64) error {
+	// RootOnly queries live in the root's engine; removing one here is a
+	// no-op (the forward set stays conservative).
+	if err := l.engine.RemoveQuery(id); err != nil {
+		return nil //nolint:nilerr // not found locally means root-only
+	}
+	return nil
+}
+
+// Stats exposes the underlying engine's counters.
+func (l *Local) Stats() core.Stats { return l.engine.Stats() }
+
+// Close flushes and closes the parent connection.
+func (l *Local) Close() error {
+	l.flushForward()
+	if err := l.conn.Close(); err != nil {
+		return err
+	}
+	if l.err != nil {
+		return fmt.Errorf("node: local %d: %w", l.id, l.err)
+	}
+	return nil
+}

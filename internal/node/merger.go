@@ -1,0 +1,197 @@
+package node
+
+import (
+	"sort"
+
+	"desis/internal/core"
+	"desis/internal/event"
+	"desis/internal/operator"
+)
+
+// Merger is the protocol logic of an intermediate node (§5.1.1): it merges
+// the per-slice partial results of its children by slice extent, performing
+// the intermediate incremental aggregation, and forwards one merged partial
+// per slice. Fixed slices align across children (their boundaries are
+// global), so most slices merge k-to-1; dynamic punctuations (session
+// starts/ends, markers) produce child-specific extents, which are flushed
+// unmerged once the watermark passes them. Raw event batches (RootOnly
+// groups) pass through. The merger is single-threaded: the owner pumps
+// messages into Handle.
+type Merger struct {
+	// Out receives merged partials.
+	Out func(*core.SlicePartial)
+	// OutEvents receives forwarded raw-event batches.
+	OutEvents func(from uint32, evs []event.Event)
+	// OutWatermark receives the merged (minimum) watermark, monotone.
+	OutWatermark func(int64)
+
+	children  map[uint32]*childState
+	pending   map[mergeKey]*mergeEntry
+	watermark int64
+	maxEnd    int64 // newest slice end seen, for final flushes
+	sent      int64
+}
+
+type childState struct {
+	watermark int64
+}
+
+type mergeKey struct {
+	group      uint32
+	start, end int64
+}
+
+type mergeEntry struct {
+	p    *core.SlicePartial
+	seen int
+}
+
+// NewMerger builds a merger expecting the given child node ids.
+func NewMerger(children []uint32) *Merger {
+	m := &Merger{
+		children: make(map[uint32]*childState),
+		pending:  make(map[mergeKey]*mergeEntry),
+	}
+	for _, id := range children {
+		m.children[id] = &childState{watermark: -1}
+	}
+	return m
+}
+
+// AddChild registers a child joining at runtime (§3.2).
+func (m *Merger) AddChild(id uint32) {
+	m.children[id] = &childState{watermark: m.watermark}
+}
+
+// RemoveChild drops a child (node loss / removal): slices waiting for it can
+// complete with the remaining children at the next watermark. When the last
+// child leaves, everything pending flushes and the watermark advances to the
+// newest slice end, so downstream windows close.
+func (m *Merger) RemoveChild(id uint32) {
+	delete(m.children, id)
+	if len(m.children) == 0 {
+		if m.maxEnd > m.watermark {
+			m.watermark = m.maxEnd
+		}
+		m.flushUpTo(m.watermark)
+		if m.OutWatermark != nil {
+			m.OutWatermark(m.watermark)
+		}
+		return
+	}
+	m.advance()
+}
+
+// NumChildren reports the current child count — the "length" of an
+// intermediate slice in the paper's terms.
+func (m *Merger) NumChildren() int { return len(m.children) }
+
+// HandlePartial merges one child partial.
+func (m *Merger) HandlePartial(from uint32, p *core.SlicePartial) {
+	if p.End > m.maxEnd {
+		m.maxEnd = p.End
+	}
+	k := mergeKey{p.Group, p.Start, p.End}
+	e, ok := m.pending[k]
+	if !ok {
+		e = &mergeEntry{p: p}
+		m.pending[k] = e
+	} else {
+		mergePartial(e.p, p)
+	}
+	e.seen++
+	if e.seen >= len(m.children) {
+		delete(m.pending, k)
+		m.emit(e.p)
+	}
+}
+
+// HandleWatermark advances a child's watermark; when the minimum over all
+// children advances, incomplete slices older than it are flushed and the new
+// watermark is forwarded.
+func (m *Merger) HandleWatermark(from uint32, w int64) {
+	c, ok := m.children[from]
+	if !ok {
+		return
+	}
+	if w > c.watermark {
+		c.watermark = w
+	}
+	m.advance()
+}
+
+// HandleEvents forwards a raw batch (RootOnly groups).
+func (m *Merger) HandleEvents(from uint32, evs []event.Event) {
+	if m.OutEvents != nil {
+		m.OutEvents(from, evs)
+	}
+}
+
+func (m *Merger) advance() {
+	min := int64(-1)
+	first := true
+	for _, c := range m.children {
+		if first || c.watermark < min {
+			min = c.watermark
+			first = false
+		}
+	}
+	if first || min <= m.watermark {
+		return
+	}
+	m.watermark = min
+	m.flushUpTo(min)
+	if m.OutWatermark != nil {
+		m.OutWatermark(min)
+	}
+}
+
+// flushUpTo emits pending slices the watermark has passed: children without
+// a matching extent simply had no such slice (dynamic punctuation
+// misalignment, or a removed node).
+func (m *Merger) flushUpTo(w int64) {
+	var flush []*mergeEntry
+	for k, e := range m.pending {
+		if k.end <= w {
+			flush = append(flush, e)
+			delete(m.pending, k)
+		}
+	}
+	sort.Slice(flush, func(i, j int) bool {
+		if flush[i].p.End != flush[j].p.End {
+			return flush[i].p.End < flush[j].p.End
+		}
+		return flush[i].p.Start < flush[j].p.Start
+	})
+	for _, e := range flush {
+		m.emit(e.p)
+	}
+}
+
+func (m *Merger) emit(p *core.SlicePartial) {
+	m.sent++
+	if m.Out != nil {
+		m.Out(p)
+	}
+}
+
+// PartialsSent reports how many merged partials were forwarded.
+func (m *Merger) PartialsSent() int64 { return m.sent }
+
+// mergePartial folds src into dst: aggregates merge pairwise per selection
+// context, EPs concatenate, and LastEvent takes the maximum.
+func mergePartial(dst, src *core.SlicePartial) {
+	for len(dst.Aggs) < len(src.Aggs) {
+		a := operator.NewAgg(src.Aggs[len(dst.Aggs)].Ops)
+		a.Finish()
+		dst.Aggs = append(dst.Aggs, a)
+	}
+	for i := range src.Aggs {
+		dst.Aggs[i].Merge(&src.Aggs[i])
+	}
+	dst.EPs = append(dst.EPs, src.EPs...)
+	dst.Ingested += src.Ingested
+	if src.LastEvent > dst.LastEvent {
+		dst.LastEvent = src.LastEvent
+	}
+}

@@ -1,0 +1,135 @@
+package node
+
+import (
+	"fmt"
+	"sort"
+
+	"desis/internal/core"
+	"desis/internal/event"
+	"desis/internal/message"
+	"desis/internal/query"
+)
+
+// Root is the root node of a Desis topology: it merges the partial-result
+// streams of its children (it behaves like an intermediate node toward
+// them), assembles final windows for distributed groups, and runs a full
+// aggregation engine over the time-merged raw events of RootOnly
+// (count-based) groups, because only the root observes the global event
+// order (§5.2).
+type Root struct {
+	merger   *Merger
+	asm      *Assembler
+	eng      *core.Engine
+	groups   []*query.Group
+	evBuf    map[uint32][]event.Event
+	onResult func(core.Result)
+	wm       int64
+}
+
+// NewRoot builds a root for the analyzed groups, expecting the given child
+// node ids.
+func NewRoot(groups []*query.Group, children []uint32, onResult func(core.Result)) *Root {
+	r := &Root{
+		groups:   append([]*query.Group(nil), groups...),
+		evBuf:    make(map[uint32][]event.Event),
+		onResult: onResult,
+	}
+	var rootOnly []*query.Group
+	for _, g := range groups {
+		if g.Placement == query.RootOnly {
+			rootOnly = append(rootOnly, g)
+		}
+	}
+	r.eng = core.New(rootOnly, core.Config{OnResult: onResult})
+	r.asm = NewAssembler(groups, onResult)
+	r.merger = NewMerger(children)
+	r.merger.Out = r.asm.AddPartial
+	r.merger.OutEvents = func(from uint32, evs []event.Event) {
+		r.evBuf[from] = append(r.evBuf[from], evs...)
+	}
+	r.merger.OutWatermark = r.advance
+	return r
+}
+
+// Handle dispatches one message from a child.
+func (r *Root) Handle(m *message.Message) error {
+	switch m.Kind {
+	case message.KindPartial:
+		r.merger.HandlePartial(m.From, m.Partial)
+	case message.KindWatermark:
+		r.merger.HandleWatermark(m.From, m.Watermark)
+	case message.KindEventBatch:
+		r.evBuf[m.From] = append(r.evBuf[m.From], m.Events...)
+	case message.KindHello, message.KindHeartbeat:
+	case message.KindAddQuery:
+		for _, q := range m.Queries {
+			if err := r.AddQuery(q); err != nil {
+				return err
+			}
+		}
+	case message.KindRemoveQuery:
+		return r.RemoveQuery(m.QueryID)
+	default:
+		return fmt.Errorf("node: root cannot handle message kind %d", m.Kind)
+	}
+	return nil
+}
+
+// advance moves the root watermark: raw events up to w feed the RootOnly
+// engine in global time order, and the assembler closes matured windows.
+func (r *Root) advance(w int64) {
+	r.wm = w
+	var merged []event.Event
+	for from, buf := range r.evBuf {
+		n := sort.Search(len(buf), func(i int) bool { return buf[i].Time > w })
+		if n == 0 {
+			continue
+		}
+		merged = append(merged, buf[:n]...)
+		r.evBuf[from] = buf[n:]
+	}
+	if len(merged) > 0 {
+		sort.SliceStable(merged, func(i, j int) bool { return merged[i].Time < merged[j].Time })
+		r.eng.ProcessBatch(merged)
+	}
+	r.eng.AdvanceTo(w)
+	r.asm.AdvanceTo(w)
+}
+
+// Watermark reports how far the root's event time has advanced.
+func (r *Root) Watermark() int64 { return r.wm }
+
+// AddQuery registers a query at runtime. The caller must broadcast the same
+// query to every node (the Cluster does this); placement is deterministic.
+func (r *Root) AddQuery(q query.Query) error {
+	g, _, created, err := query.Place(r.groups, q, query.Options{Decentralized: true})
+	if err != nil {
+		return err
+	}
+	if created {
+		r.groups = append(r.groups, g)
+	}
+	if g.Placement == query.RootOnly {
+		r.eng.SyncGroup(g)
+		return nil
+	}
+	r.asm.SyncGroup(g, r.wm)
+	return nil
+}
+
+// RemoveQuery unregisters a running query by id.
+func (r *Root) RemoveQuery(id uint64) error {
+	g, idx, ok := query.Lookup(r.groups, id)
+	if !ok {
+		return fmt.Errorf("node: no running query with id %d", id)
+	}
+	if g.Placement == query.RootOnly {
+		return r.eng.RemoveQuery(id)
+	}
+	r.asm.RemoveMember(g.ID, idx)
+	return nil
+}
+
+// AddChild and RemoveChild adjust the expected child set at runtime (§3.2).
+func (r *Root) AddChild(id uint32)    { r.merger.AddChild(id) }
+func (r *Root) RemoveChild(id uint32) { r.merger.RemoveChild(id) }

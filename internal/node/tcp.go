@@ -1,0 +1,477 @@
+package node
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"desis/internal/core"
+	"desis/internal/event"
+	"desis/internal/message"
+	"desis/internal/query"
+)
+
+// TCP deployment: the same Local/Intermediate/Root node types served over
+// real sockets, used by cmd/desis-node. The protocol is:
+//
+//  1. a child connects to its parent and sends KindHello with its node id;
+//  2. the parent replies with KindQuerySet (intermediates cache and relay
+//     the set they received from above);
+//  3. the child streams partials/events/watermarks upward; heartbeats keep
+//     the §3.2 liveness timeout from firing;
+//  4. when a child disconnects (or times out) it is removed from the merge
+//     expectations, as the paper's fault tolerance prescribes;
+//  5. control clients (cmd/desis-ctl) connect to the root and send
+//     KindAddQuery / KindRemoveQuery as their first message; the root
+//     applies the change and broadcasts it down the tree (§3.2 runtime
+//     query management).
+
+// HeartbeatInterval is how often idle children emit heartbeats.
+const HeartbeatInterval = 2 * time.Second
+
+// RootServer is a root node listening for children and control clients.
+type RootServer struct {
+	root     *Root
+	mu       sync.Mutex
+	children map[uint32]*message.TCPConn
+	l        *message.Listener
+	queries  []query.Query
+	expected int
+	active   int
+	seen     int
+	timeout  time.Duration
+	done     chan struct{}
+	err      error
+}
+
+// ServeRoot starts a root node on addr. It expects nChildren direct
+// children; Wait returns once they have all connected and disconnected. A
+// zero timeout disables the liveness check.
+func ServeRoot(addr string, queries []query.Query, nChildren int, timeout time.Duration, codec message.Codec, onResult func(core.Result)) (*RootServer, error) {
+	if codec == nil {
+		codec = message.Binary{}
+	}
+	groups, err := query.Analyze(queries, query.Options{Decentralized: true})
+	if err != nil {
+		return nil, err
+	}
+	l, err := message.Listen(addr, codec)
+	if err != nil {
+		return nil, err
+	}
+	s := &RootServer{
+		l:        l,
+		children: make(map[uint32]*message.TCPConn),
+		queries:  queries,
+		expected: nChildren,
+		timeout:  timeout,
+		done:     make(chan struct{}),
+	}
+	s.root = NewRoot(groups, nil, onResult)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *RootServer) Addr() string { return s.l.Addr() }
+
+func (s *RootServer) acceptLoop() {
+	for {
+		conn, err := s.l.Accept()
+		if err != nil {
+			return
+		}
+		go s.serveConn(conn)
+	}
+}
+
+// serveConn dispatches on the first message: children say hello, control
+// clients issue a command directly.
+func (s *RootServer) serveConn(conn *message.TCPConn) {
+	defer conn.Close()
+	first, err := conn.Recv()
+	if err != nil {
+		return
+	}
+	switch first.Kind {
+	case message.KindHello:
+		s.serveChild(conn, first.From)
+	case message.KindAddQuery, message.KindRemoveQuery:
+		s.serveControl(conn, first)
+	}
+}
+
+func (s *RootServer) serveChild(conn *message.TCPConn, childID uint32) {
+	s.mu.Lock()
+	s.root.AddChild(childID)
+	s.children[childID] = conn
+	s.seen++
+	s.active++
+	err := conn.Send(&message.Message{Kind: message.KindQuerySet, Queries: s.queries})
+	s.mu.Unlock()
+	if err == nil {
+		for {
+			m, err := recvWithTimeout(conn, s.timeout)
+			if err != nil {
+				break
+			}
+			s.mu.Lock()
+			s.err = s.root.Handle(m)
+			s.mu.Unlock()
+		}
+	}
+	s.mu.Lock()
+	s.root.RemoveChild(childID)
+	delete(s.children, childID)
+	s.active--
+	if s.expected > 0 && s.seen >= s.expected && s.active == 0 {
+		select {
+		case <-s.done:
+		default:
+			close(s.done)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// serveControl applies one control command and broadcasts it downward; the
+// ack is a KindHello (or the connection closes with an error).
+func (s *RootServer) serveControl(conn *message.TCPConn, m *message.Message) {
+	var err error
+	switch m.Kind {
+	case message.KindAddQuery:
+		for _, q := range m.Queries {
+			if err = s.AddQuery(q); err != nil {
+				break
+			}
+		}
+	case message.KindRemoveQuery:
+		err = s.RemoveQuery(m.QueryID)
+	}
+	if err != nil {
+		return // closing without ack signals failure to the client
+	}
+	_ = conn.Send(&message.Message{Kind: message.KindHello})
+}
+
+// AddQuery registers a query at runtime on the root and every node below it.
+func (s *RootServer) AddQuery(q query.Query) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.root.AddQuery(q); err != nil {
+		return err
+	}
+	s.queries = append(s.queries, q)
+	down := &message.Message{Kind: message.KindAddQuery, Queries: []query.Query{q}}
+	for id, c := range s.children {
+		if err := c.Send(down); err != nil {
+			return fmt.Errorf("node: broadcast to child %d: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// RemoveQuery removes a running query everywhere.
+func (s *RootServer) RemoveQuery(id uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.root.RemoveQuery(id); err != nil {
+		return err
+	}
+	down := &message.Message{Kind: message.KindRemoveQuery, QueryID: id}
+	for cid, c := range s.children {
+		if err := c.Send(down); err != nil {
+			return fmt.Errorf("node: broadcast to child %d: %w", cid, err)
+		}
+	}
+	return nil
+}
+
+// recvWithTimeout wraps Recv; a zero timeout blocks forever. (TCPConn has no
+// deadline plumbing, so the timeout is enforced by a watchdog per call only
+// when configured.)
+func recvWithTimeout(conn *message.TCPConn, timeout time.Duration) (*message.Message, error) {
+	if timeout <= 0 {
+		return conn.Recv()
+	}
+	type res struct {
+		m   *message.Message
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		m, err := conn.Recv()
+		ch <- res{m, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.m, r.err
+	case <-time.After(timeout):
+		conn.Close()
+		return nil, fmt.Errorf("node: child timed out after %v", timeout)
+	}
+}
+
+// Wait blocks until every expected child connected and disconnected.
+func (s *RootServer) Wait() error {
+	<-s.done
+	s.l.Close()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Close stops the listener.
+func (s *RootServer) Close() error { return s.l.Close() }
+
+// IntermediateServer is an intermediate node over TCP: it merges its
+// children's partial streams, forwards to its parent, and relays control
+// messages downward.
+type IntermediateServer struct {
+	l        *message.Listener
+	inter    *Intermediate
+	parent   *message.TCPConn
+	qmu      sync.Mutex
+	children map[uint32]*message.TCPConn
+	queries  []query.Query
+	expected int
+	active   int
+	seen     int
+	timeout  time.Duration
+	done     chan struct{}
+}
+
+// ServeIntermediate starts an intermediate node on addr, connected to
+// parentAddr, expecting nChildren children.
+func ServeIntermediate(addr, parentAddr string, id uint32, nChildren int, timeout time.Duration, codec message.Codec) (*IntermediateServer, error) {
+	if codec == nil {
+		codec = message.Binary{}
+	}
+	parent, err := message.Dial(parentAddr, codec)
+	if err != nil {
+		return nil, err
+	}
+	if err := parent.Send(&message.Message{Kind: message.KindHello, From: id}); err != nil {
+		return nil, err
+	}
+	qs, err := parent.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("node: intermediate handshake: %w", err)
+	}
+	if qs.Kind != message.KindQuerySet {
+		return nil, fmt.Errorf("node: intermediate expected query set, got kind %d", qs.Kind)
+	}
+	l, err := message.Listen(addr, codec)
+	if err != nil {
+		return nil, err
+	}
+	s := &IntermediateServer{
+		l:        l,
+		parent:   parent,
+		children: make(map[uint32]*message.TCPConn),
+		queries:  qs.Queries,
+		expected: nChildren,
+		timeout:  timeout,
+		done:     make(chan struct{}),
+	}
+	s.inter = NewIntermediate(id, nil, parent)
+	go s.acceptLoop()
+	go s.downstreamLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *IntermediateServer) Addr() string { return s.l.Addr() }
+
+func (s *IntermediateServer) acceptLoop() {
+	for {
+		conn, err := s.l.Accept()
+		if err != nil {
+			return
+		}
+		go s.serveChild(conn)
+	}
+}
+
+// downstreamLoop relays control messages arriving from the parent to every
+// child (the "root sends the new topology/queries to all other nodes" flow
+// of §3.2). The merger never reads from the parent, so this goroutine owns
+// the downward direction.
+func (s *IntermediateServer) downstreamLoop() {
+	for {
+		m, err := s.parent.Recv()
+		if err != nil {
+			return
+		}
+		switch m.Kind {
+		case message.KindAddQuery, message.KindRemoveQuery:
+			s.qmu.Lock()
+			if m.Kind == message.KindAddQuery {
+				s.queries = append(s.queries, m.Queries...)
+			}
+			for _, c := range s.children {
+				_ = c.Send(m)
+			}
+			s.qmu.Unlock()
+		}
+	}
+}
+
+func (s *IntermediateServer) serveChild(conn *message.TCPConn) {
+	defer conn.Close()
+	first, err := recvWithTimeout(conn, s.timeout)
+	if err != nil || first.Kind != message.KindHello {
+		return
+	}
+	childID := first.From
+	s.inter.AddChildLocked(childID)
+	s.qmu.Lock()
+	s.children[childID] = conn
+	s.seen++
+	s.active++
+	err = conn.Send(&message.Message{Kind: message.KindQuerySet, Queries: s.queries})
+	s.qmu.Unlock()
+	if err == nil {
+		for {
+			m, err := recvWithTimeout(conn, s.timeout)
+			if err != nil {
+				break
+			}
+			_ = s.inter.HandleLocked(m)
+		}
+	}
+	s.inter.RemoveChildLocked(childID)
+	s.qmu.Lock()
+	delete(s.children, childID)
+	s.active--
+	if s.expected > 0 && s.seen >= s.expected && s.active == 0 {
+		select {
+		case <-s.done:
+		default:
+			close(s.done)
+		}
+	}
+	s.qmu.Unlock()
+}
+
+// Wait blocks until all expected children have come and gone, then closes
+// the uplink and listener.
+func (s *IntermediateServer) Wait() error {
+	<-s.done
+	s.l.Close()
+	return s.inter.Close()
+}
+
+// LocalSession is the handle RunLocalTCP gives the feed callback: it
+// serialises the caller's stream against control messages (AddQuery /
+// RemoveQuery) arriving from the parent.
+type LocalSession struct {
+	mu sync.Mutex
+	l  *Local
+}
+
+// Process ingests a batch of in-order events.
+func (s *LocalSession) Process(evs []event.Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.l.Process(evs)
+}
+
+// AdvanceTo advances event time and emits a watermark.
+func (s *LocalSession) AdvanceTo(t int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.l.AdvanceTo(t)
+}
+
+// Stats exposes the engine counters.
+func (s *LocalSession) Stats() core.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.l.Stats()
+}
+
+// RunLocalTCP connects a local node to parentAddr, performs the handshake,
+// and invokes feed with the ready session. Control messages from the parent
+// are applied concurrently. The connection closes when feed returns.
+func RunLocalTCP(parentAddr string, id uint32, batchSize int, codec message.Codec, feed func(*LocalSession) error) error {
+	if codec == nil {
+		codec = message.Binary{}
+	}
+	conn, err := message.Dial(parentAddr, codec)
+	if err != nil {
+		return err
+	}
+	if err := conn.Send(&message.Message{Kind: message.KindHello, From: id}); err != nil {
+		return err
+	}
+	qs, err := conn.Recv()
+	if err != nil {
+		return fmt.Errorf("node: local handshake: %w", err)
+	}
+	if qs.Kind != message.KindQuerySet {
+		return fmt.Errorf("node: local expected query set, got kind %d", qs.Kind)
+	}
+	groups, err := query.Analyze(qs.Queries, query.Options{Decentralized: true})
+	if err != nil {
+		return err
+	}
+	session := &LocalSession{l: NewLocal(id, groups, conn, batchSize)}
+	go func() {
+		for {
+			m, err := conn.Recv()
+			if err != nil {
+				return
+			}
+			session.mu.Lock()
+			switch m.Kind {
+			case message.KindAddQuery:
+				for _, q := range m.Queries {
+					_ = session.l.AddQuery(q)
+				}
+			case message.KindRemoveQuery:
+				_ = session.l.RemoveQuery(m.QueryID)
+			}
+			session.mu.Unlock()
+		}
+	}()
+	if err := feed(session); err != nil {
+		session.mu.Lock()
+		defer session.mu.Unlock()
+		session.l.Close()
+		return err
+	}
+	session.mu.Lock()
+	defer session.mu.Unlock()
+	return session.l.Close()
+}
+
+// Control connects to a root as a control client and applies one command:
+// a non-nil addQuery adds it; otherwise removeID is removed.
+func Control(rootAddr string, codec message.Codec, addQuery *query.Query, removeID uint64) error {
+	if codec == nil {
+		codec = message.Binary{}
+	}
+	conn, err := message.Dial(rootAddr, codec)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	var m *message.Message
+	if addQuery != nil {
+		m = &message.Message{Kind: message.KindAddQuery, Queries: []query.Query{*addQuery}}
+	} else {
+		m = &message.Message{Kind: message.KindRemoveQuery, QueryID: removeID}
+	}
+	if err := conn.Send(m); err != nil {
+		return err
+	}
+	ack, err := conn.Recv()
+	if err != nil {
+		return fmt.Errorf("node: control command rejected: %w", err)
+	}
+	if ack.Kind != message.KindHello {
+		return fmt.Errorf("node: unexpected control ack kind %d", ack.Kind)
+	}
+	return nil
+}

@@ -1,0 +1,233 @@
+package operator
+
+import (
+	"math"
+	"sort"
+)
+
+// Agg is the per-slice aggregate state for one selection context. It holds
+// the intermediate results of every primitive operator the query-group
+// needs; unused fields stay at their zero/identity values and cost nothing
+// on the hot path because Add branches on the operator mask once per event.
+//
+// The zero Agg is not ready to use: call Reset (or NewAgg) so the min/max
+// and product identities are installed.
+type Agg struct {
+	// Ops is the operator mask this state was reset for.
+	Ops Op
+	// CountV is the event count (OpCount).
+	CountV int64
+	// SumV is the running sum (OpSum).
+	SumV float64
+	// ProdV is the running product (OpMult).
+	ProdV float64
+	// MinV and MaxV are the decomposable sort results (OpDSort).
+	MinV, MaxV float64
+	// Values are the retained events of the non-decomposable sort
+	// (OpNDSort); sorted ascending once Finish has run.
+	Values []float64
+	// Sorted records whether Values is sorted. Merging two sorted runs is
+	// linear; merging unsorted data falls back to append+sort.
+	Sorted bool
+}
+
+// NewAgg returns an Agg ready to accumulate for the given operator set.
+func NewAgg(ops Op) Agg {
+	var a Agg
+	a.Reset(ops)
+	return a
+}
+
+// Reset re-initialises a for a new slice, keeping the Values buffer to avoid
+// reallocation.
+func (a *Agg) Reset(ops Op) {
+	a.Ops = ops
+	a.CountV = 0
+	a.SumV = 0
+	a.ProdV = 1
+	a.MinV = math.Inf(1)
+	a.MaxV = math.Inf(-1)
+	a.Values = a.Values[:0]
+	a.Sorted = false
+}
+
+// Add folds one event value into the aggregate. This is the engine's
+// innermost loop; it performs exactly one update per operator in the mask.
+func (a *Agg) Add(v float64) {
+	ops := a.Ops
+	if ops&OpCount != 0 {
+		a.CountV++
+	}
+	if ops&OpSum != 0 {
+		a.SumV += v
+	}
+	if ops&OpMult != 0 {
+		a.ProdV *= v
+	}
+	if ops&OpDSort != 0 {
+		if v < a.MinV {
+			a.MinV = v
+		}
+		if v > a.MaxV {
+			a.MaxV = v
+		}
+	}
+	if ops&OpNDSort != 0 {
+		a.Values = append(a.Values, v)
+	}
+}
+
+// Finish completes the slice: the non-decomposable sort runs once, here,
+// so that parents of a decentralized topology receive sorted runs and the
+// root only ever merges (§5.2).
+func (a *Agg) Finish() {
+	if a.Ops&OpNDSort != 0 && !a.Sorted {
+		sort.Float64s(a.Values)
+	}
+	a.Sorted = true
+}
+
+// Empty reports whether the aggregate saw no events. It is only meaningful
+// when the mask contains OpCount or OpNDSort; the engine guarantees one of
+// them is always present (it adds OpCount when a group would otherwise have
+// no cardinality signal).
+func (a *Agg) Empty() bool {
+	if a.Ops&OpCount != 0 {
+		return a.CountV == 0
+	}
+	return len(a.Values) == 0
+}
+
+// Merge folds the partial result b into a. Both sides must be Finished when
+// the mask contains OpNDSort; the merge of two sorted runs is linear.
+func (a *Agg) Merge(b *Agg) {
+	ops := a.Ops
+	if ops&OpCount != 0 {
+		a.CountV += b.CountV
+	}
+	if ops&OpSum != 0 {
+		a.SumV += b.SumV
+	}
+	if ops&OpMult != 0 {
+		a.ProdV *= b.ProdV
+	}
+	if ops&OpDSort != 0 {
+		if b.MinV < a.MinV {
+			a.MinV = b.MinV
+		}
+		if b.MaxV > a.MaxV {
+			a.MaxV = b.MaxV
+		}
+	}
+	if ops&OpNDSort != 0 {
+		a.Values = mergeSorted(a.Values, b.Values)
+	}
+}
+
+// mergeSorted merges two ascending runs into a new ascending slice.
+func mergeSorted(x, y []float64) []float64 {
+	if len(x) == 0 {
+		return append(x, y...)
+	}
+	if len(y) == 0 {
+		return x
+	}
+	out := make([]float64, 0, len(x)+len(y))
+	i, j := 0, 0
+	for i < len(x) && j < len(y) {
+		if x[i] <= y[j] {
+			out = append(out, x[i])
+			i++
+		} else {
+			out = append(out, y[j])
+			j++
+		}
+	}
+	out = append(out, x[i:]...)
+	out = append(out, y[j:]...)
+	return out
+}
+
+// Eval computes the final value of one aggregation function from the
+// (merged, finished) aggregate. ok is false when the window was empty and
+// the function has no defined value (all except count).
+func (a *Agg) Eval(spec FuncSpec) (v float64, ok bool) {
+	switch spec.Func {
+	case Count:
+		return float64(a.CountV), true
+	case Sum:
+		if a.Empty() {
+			return 0, false
+		}
+		return a.SumV, true
+	case Average:
+		if a.CountV == 0 {
+			return 0, false
+		}
+		return a.SumV / float64(a.CountV), true
+	case Product:
+		if a.Empty() {
+			return 0, false
+		}
+		return a.ProdV, true
+	case GeoMean:
+		if a.CountV == 0 {
+			return 0, false
+		}
+		return math.Pow(a.ProdV, 1/float64(a.CountV)), true
+	case Min:
+		return a.evalMin()
+	case Max:
+		return a.evalMax()
+	case Median:
+		return a.quantile(0.5)
+	case Quantile:
+		return a.quantile(spec.Arg)
+	default:
+		return 0, false
+	}
+}
+
+func (a *Agg) evalMin() (float64, bool) {
+	// min answered by the non-decomposable sort when that is the operator
+	// the group executed (§4.2.2 sharing between max/min and median).
+	if a.Ops&OpDSort != 0 {
+		if math.IsInf(a.MinV, 1) {
+			return 0, false
+		}
+		return a.MinV, true
+	}
+	if len(a.Values) == 0 {
+		return 0, false
+	}
+	return a.Values[0], true
+}
+
+func (a *Agg) evalMax() (float64, bool) {
+	if a.Ops&OpDSort != 0 {
+		if math.IsInf(a.MaxV, -1) {
+			return 0, false
+		}
+		return a.MaxV, true
+	}
+	if len(a.Values) == 0 {
+		return 0, false
+	}
+	return a.Values[len(a.Values)-1], true
+}
+
+// quantile uses the nearest-rank definition on the sorted values.
+func (a *Agg) quantile(q float64) (float64, bool) {
+	n := len(a.Values)
+	if n == 0 {
+		return 0, false
+	}
+	rank := int(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return a.Values[rank-1], true
+}

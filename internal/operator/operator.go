@@ -1,0 +1,191 @@
+// Package operator implements Desis' aggregate operators (§4.2 of the
+// paper): the primitive computations that aggregation functions are broken
+// down into so that different functions can share per-slice work.
+//
+// Table 1 of the paper maps every supported aggregation function to the
+// operators it needs:
+//
+//	sum            -> sum
+//	count          -> count
+//	average        -> sum, count
+//	product        -> multiplication
+//	geometric mean -> multiplication, count
+//	max            -> decomposable sort
+//	min            -> decomposable sort
+//	median         -> non-decomposable sort
+//	quantile       -> non-decomposable sort
+//
+// A slice executes the *union* of the operators required by all queries of
+// its query-group exactly once per event, regardless of how many windows and
+// functions the slice feeds.
+package operator
+
+import "fmt"
+
+// Func identifies an aggregation function a query may request.
+type Func uint8
+
+// The aggregation functions of Table 1.
+const (
+	Sum Func = iota
+	Count
+	Average
+	Product
+	GeoMean
+	Min
+	Max
+	Median
+	Quantile
+	numFuncs
+)
+
+var funcNames = [...]string{
+	Sum: "sum", Count: "count", Average: "average", Product: "product",
+	GeoMean: "geomean", Min: "min", Max: "max", Median: "median", Quantile: "quantile",
+}
+
+// String returns the lower-case name used by the query language.
+func (f Func) String() string {
+	if int(f) < len(funcNames) {
+		return funcNames[f]
+	}
+	return fmt.Sprintf("Func(%d)", uint8(f))
+}
+
+// ParseFunc converts a query-language name to a Func.
+func ParseFunc(name string) (Func, error) {
+	for f, n := range funcNames {
+		if n == name {
+			return Func(f), nil
+		}
+	}
+	return 0, fmt.Errorf("operator: unknown aggregation function %q", name)
+}
+
+// Decomposable reports whether f can be computed from per-slice partial
+// results without retaining raw values (distributive or algebraic in the
+// Gray et al. classification the paper builds on).
+func (f Func) Decomposable() bool {
+	return f != Median && f != Quantile
+}
+
+// Op is a bit set of the primitive operators a slice must execute.
+type Op uint8
+
+// The primitive operators of §4.2.1.
+const (
+	// OpSum accumulates the running sum of values.
+	OpSum Op = 1 << iota
+	// OpCount counts events.
+	OpCount
+	// OpMult accumulates the running product of values.
+	OpMult
+	// OpDSort is the decomposable sort: it keeps only the running minimum
+	// and maximum and drops computed events. Shared between min and max.
+	OpDSort
+	// OpNDSort is the non-decomposable sort: it retains every value and
+	// sorts once when the slice terminates. Shared between max, min,
+	// median, and quantile.
+	OpNDSort
+)
+
+var opNames = []struct {
+	op   Op
+	name string
+}{
+	{OpSum, "sum"},
+	{OpCount, "count"},
+	{OpMult, "mult"},
+	{OpDSort, "dsort"},
+	{OpNDSort, "ndsort"},
+}
+
+// String lists the operators in the set, e.g. "sum|count".
+func (o Op) String() string {
+	if o == 0 {
+		return "none"
+	}
+	s := ""
+	for _, n := range opNames {
+		if o&n.op != 0 {
+			if s != "" {
+				s += "|"
+			}
+			s += n.name
+		}
+	}
+	return s
+}
+
+// NumOps returns how many primitive operators are in the set. The engine
+// uses it to count per-event calculations (Figures 9b/9d/9f of the paper).
+func (o Op) NumOps() int {
+	n := 0
+	for v := o; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+// OperatorsOf returns the Table-1 operator set of a single function.
+func OperatorsOf(f Func) Op {
+	switch f {
+	case Sum:
+		return OpSum
+	case Count:
+		return OpCount
+	case Average:
+		return OpSum | OpCount
+	case Product:
+		return OpMult
+	case GeoMean:
+		return OpMult | OpCount
+	case Min, Max:
+		return OpDSort
+	case Median, Quantile:
+		return OpNDSort
+	default:
+		return 0
+	}
+}
+
+// Union returns the combined operator set for a collection of function
+// specs, applying the sharing rule of §4.2.2: when any function needs the
+// non-decomposable sort, min and max piggyback on it and their decomposable
+// sort is dropped (the sorted values answer min/max for free).
+func Union(specs []FuncSpec) Op {
+	var o Op
+	for _, s := range specs {
+		o |= OperatorsOf(s.Func)
+	}
+	if o&OpNDSort != 0 {
+		o &^= OpDSort
+	}
+	return o
+}
+
+// FuncSpec is one aggregation function request of a query. Arg carries the
+// quantile fraction in (0, 1]; it is ignored by the other functions.
+type FuncSpec struct {
+	Func Func
+	Arg  float64
+}
+
+// String renders the spec in query-language form, e.g. "quantile(0.99)".
+func (s FuncSpec) String() string {
+	if s.Func == Quantile {
+		return fmt.Sprintf("quantile(%g)", s.Arg)
+	}
+	return s.Func.String()
+}
+
+// Validate reports whether the spec is well formed.
+func (s FuncSpec) Validate() error {
+	if s.Func >= numFuncs {
+		return fmt.Errorf("operator: unknown function %d", s.Func)
+	}
+	if s.Func == Quantile && (s.Arg <= 0 || s.Arg > 1) {
+		return fmt.Errorf("operator: quantile argument %g outside (0, 1]", s.Arg)
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package operator
+
+// RunMerger merges many ascending runs into one ascending sequence using
+// pairwise merge rounds over two reusable buffers: O(n log k) copies and no
+// steady-state allocation. Window assembly uses it instead of folding
+// slices one by one into the scratch aggregate, which would cost O(n·k)
+// (the dominant cost for quantile windows spanning many slices).
+//
+// The returned slice may alias an internal buffer or a single input run; it
+// is only valid until the next Merge call and must be treated read-only.
+type RunMerger struct {
+	bufA, bufB []float64
+	runs       [][]float64
+	next       [][]float64
+}
+
+// Merge merges the ascending runs. Empty runs are skipped.
+func (m *RunMerger) Merge(runs [][]float64) []float64 {
+	m.runs = m.runs[:0]
+	total := 0
+	for _, r := range runs {
+		if len(r) > 0 {
+			m.runs = append(m.runs, r)
+			total += len(r)
+		}
+	}
+	if len(m.runs) == 0 {
+		return nil
+	}
+	if cap(m.bufA) < total {
+		m.bufA = make([]float64, 0, total)
+	}
+	if cap(m.bufB) < total {
+		m.bufB = make([]float64, 0, total)
+	}
+	cur := m.runs
+	buf, other := m.bufA, m.bufB
+	for len(cur) > 1 {
+		m.next = m.next[:0]
+		out := buf[:0]
+		for i := 0; i+1 < len(cur); i += 2 {
+			start := len(out)
+			out = mergeTwo(out, cur[i], cur[i+1])
+			m.next = append(m.next, out[start:len(out):len(out)])
+		}
+		if len(cur)%2 == 1 {
+			// Copy the odd run into this round's buffer too: every
+			// next-round run must live outside the buffer the next round
+			// writes into.
+			start := len(out)
+			out = append(out, cur[len(cur)-1]...)
+			m.next = append(m.next, out[start:len(out):len(out)])
+		}
+		cur, m.next = m.next, cur[:0]
+		buf, other = other, buf
+	}
+	return cur[0]
+}
+
+// mergeTwo appends the merge of ascending x and y to out.
+func mergeTwo(out, x, y []float64) []float64 {
+	i, j := 0, 0
+	for i < len(x) && j < len(y) {
+		if x[i] <= y[j] {
+			out = append(out, x[i])
+			i++
+		} else {
+			out = append(out, y[j])
+			j++
+		}
+	}
+	out = append(out, x[i:]...)
+	return append(out, y[j:]...)
+}

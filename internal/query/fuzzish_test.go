@@ -1,0 +1,111 @@
+package query
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParsersNeverPanicQuick throws random garbage and mutated valid inputs
+// at both parsers: they must return errors, never panic, and anything they
+// accept must Validate (templates modulo key).
+func TestParsersNeverPanicQuick(t *testing.T) {
+	valid := []string{
+		"tumbling(1s) average key=3 value>=80",
+		"sliding(10s,2s) sum,count key=1",
+		"session(30s) median key=2 value<25",
+		"tumbling(1000ev) quantile(0.95) key=7",
+		"userdefined max key=*",
+		"SELECT avg(value), max(value) FROM stream WHERE key = 3 AND value >= 80 WINDOW TUMBLING 1s",
+		"SELECT quantile(value, 0.95) FROM s WINDOW SLIDING 10s SLIDE 2s",
+		"SELECT median(value) FROM s WHERE key = * WINDOW SESSION GAP 30s",
+	}
+	alphabet := " ()*,<>=!0123456789abcdefghijklmnopqrstuvwxyzSELECTFROMWHEREWINDOW.\t"
+	f := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		rng := rand.New(rand.NewSource(seed))
+		var s string
+		switch rng.Intn(3) {
+		case 0: // pure noise
+			n := rng.Intn(80)
+			b := make([]byte, n)
+			for i := range b {
+				b[i] = alphabet[rng.Intn(len(alphabet))]
+			}
+			s = string(b)
+		case 1: // truncated valid input
+			v := valid[rng.Intn(len(valid))]
+			s = v[:rng.Intn(len(v)+1)]
+		case 2: // valid input with random byte edits
+			b := []byte(valid[rng.Intn(len(valid))])
+			for k := 0; k < 1+rng.Intn(4); k++ {
+				b[rng.Intn(len(b))] = alphabet[rng.Intn(len(alphabet))]
+			}
+			s = string(b)
+		}
+		q, err := ParseAny(s)
+		if err != nil {
+			return true
+		}
+		probe := q
+		probe.AnyKey = false
+		return probe.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStringParseFixpoint: String() of anything parsed re-parses to the
+// same query, for both syntaxes' outputs.
+func TestStringParseFixpoint(t *testing.T) {
+	inputs := []string{
+		"tumbling(1s) average key=3 value>=80",
+		"sliding(10s,2s) sum,count key=1",
+		"session(30s) median key=2 value<25",
+		"tumbling(1000ev) quantile(0.95) key=7",
+		"userdefined max key=*",
+		"SELECT geomean(value), product(value) FROM s WINDOW TUMBLING 5s",
+		"SELECT min(value) FROM s WHERE value >= 1 AND value < 2 WINDOW SLIDING 100 EVENTS SLIDE 25 EVENTS",
+	}
+	for _, in := range inputs {
+		q, err := ParseAny(in)
+		if err != nil {
+			t.Fatalf("ParseAny(%q): %v", in, err)
+		}
+		again, err := ParseAny(q.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", q.String(), in, err)
+		}
+		if q.String() != again.String() {
+			t.Errorf("not a fixpoint: %q -> %q", q.String(), again.String())
+		}
+	}
+}
+
+// TestSQLKeywordCaseInsensitive.
+func TestSQLKeywordCaseInsensitive(t *testing.T) {
+	variants := []string{
+		"select AVG(value) from s window tumbling 1s",
+		"SeLeCt AvG(value) FrOm s WiNdOw TuMbLiNg 1s",
+	}
+	want := MustParseSQL("SELECT avg(value) FROM s WINDOW TUMBLING 1s").String()
+	for _, v := range variants {
+		q, err := ParseSQL(v)
+		if err != nil {
+			t.Errorf("ParseSQL(%q): %v", v, err)
+			continue
+		}
+		if q.String() != want {
+			t.Errorf("ParseSQL(%q) = %s, want %s", v, q.String(), want)
+		}
+	}
+	if !strings.EqualFold("TUMBLING", "tumbling") {
+		t.Fatal("sanity")
+	}
+}

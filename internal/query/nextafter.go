@@ -1,0 +1,10 @@
+package query
+
+import "math"
+
+// nextAfter returns the smallest float64 strictly greater than v, used to
+// turn strict/inclusive comparison operators into the canonical half-open
+// predicate interval.
+func nextAfter(v float64) float64 {
+	return math.Nextafter(v, math.Inf(1))
+}

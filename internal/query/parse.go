@@ -1,0 +1,188 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"desis/internal/operator"
+)
+
+// Parse reads a query from the small textual query language used by the
+// command-line tools and examples. Tokens are whitespace-separated and may
+// appear in any order:
+//
+//	tumbling(1s) average key=3 value>=80
+//	sliding(10s,2s) sum,count key=1
+//	session(30s) median key=2 value<25
+//	tumbling(1000ev) quantile(0.95) key=7
+//	userdefined max key=0
+//
+// Window extents accept ms, s, m suffixes (milliseconds by default) or an
+// "ev" suffix for count-based windows. The predicate defaults to all values;
+// "value>=X" and "value<Y" tokens may be combined into a range.
+func Parse(s string) (Query, error) {
+	q := Query{Pred: All()}
+	haveWindow := false
+	for _, tok := range strings.Fields(s) {
+		switch {
+		case strings.HasPrefix(tok, "tumbling("):
+			ext, m, err := parseExtents(tok, "tumbling", 1)
+			if err != nil {
+				return Query{}, err
+			}
+			q.Type, q.Measure, q.Length = Tumbling, m, ext[0]
+			haveWindow = true
+		case strings.HasPrefix(tok, "sliding("):
+			ext, m, err := parseExtents(tok, "sliding", 2)
+			if err != nil {
+				return Query{}, err
+			}
+			q.Type, q.Measure, q.Length, q.Slide = Sliding, m, ext[0], ext[1]
+			haveWindow = true
+		case strings.HasPrefix(tok, "session("):
+			ext, m, err := parseExtents(tok, "session", 1)
+			if err != nil {
+				return Query{}, err
+			}
+			if m != Time {
+				return Query{}, fmt.Errorf("query: session gap must be time-based in %q", tok)
+			}
+			q.Type, q.Measure, q.Gap = Session, Time, ext[0]
+			haveWindow = true
+		case tok == "userdefined":
+			q.Type, q.Measure = UserDefined, Time
+			haveWindow = true
+		case tok == "key=*":
+			q.AnyKey = true
+		case strings.HasPrefix(tok, "key="):
+			k, err := strconv.ParseUint(tok[len("key="):], 10, 32)
+			if err != nil {
+				return Query{}, fmt.Errorf("query: bad key in %q: %v", tok, err)
+			}
+			q.Key = uint32(k)
+		case strings.HasPrefix(tok, "value"):
+			if err := applyPredicate(&q.Pred, tok); err != nil {
+				return Query{}, err
+			}
+		default:
+			funcs, err := parseFuncs(tok)
+			if err != nil {
+				return Query{}, fmt.Errorf("query: unrecognised token %q: %v", tok, err)
+			}
+			q.Funcs = append(q.Funcs, funcs...)
+		}
+	}
+	if !haveWindow {
+		return Query{}, fmt.Errorf("query: missing window specification in %q", s)
+	}
+	if err := q.Validate(); err != nil {
+		return Query{}, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse that panics on error, for tests and examples.
+func MustParse(s string) Query {
+	q, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+func parseExtents(tok, name string, want int) ([]int64, Measure, error) {
+	inner := strings.TrimSuffix(strings.TrimPrefix(tok, name+"("), ")")
+	if len(inner) == len(tok) || !strings.HasSuffix(tok, ")") {
+		return nil, Time, fmt.Errorf("query: malformed window %q", tok)
+	}
+	parts := strings.Split(inner, ",")
+	if len(parts) != want {
+		return nil, Time, fmt.Errorf("query: %s wants %d extents, got %d in %q", name, want, len(parts), tok)
+	}
+	var out []int64
+	measure := Time
+	for i, p := range parts {
+		v, m, err := parseExtent(p)
+		if err != nil {
+			return nil, Time, fmt.Errorf("query: bad extent in %q: %v", tok, err)
+		}
+		if i == 0 {
+			measure = m
+		} else if m != measure {
+			return nil, Time, fmt.Errorf("query: mixed measures in %q", tok)
+		}
+		out = append(out, v)
+	}
+	return out, measure, nil
+}
+
+// parseExtent reads "1s", "500ms", "2m", "1000ev", or a bare millisecond
+// count.
+func parseExtent(s string) (int64, Measure, error) {
+	mult := int64(1)
+	measure := Time
+	switch {
+	case strings.HasSuffix(s, "ev"):
+		s, measure = s[:len(s)-2], Count
+	case strings.HasSuffix(s, "ms"):
+		s = s[:len(s)-2]
+	case strings.HasSuffix(s, "s"):
+		s, mult = s[:len(s)-1], 1000
+	case strings.HasSuffix(s, "m"):
+		s, mult = s[:len(s)-1], 60_000
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, Time, err
+	}
+	return v * mult, measure, nil
+}
+
+func applyPredicate(p *Predicate, tok string) error {
+	rest := tok[len("value"):]
+	for _, op := range []string{">=", "<=", ">", "<", "="} {
+		if strings.HasPrefix(rest, op) {
+			v, err := strconv.ParseFloat(rest[len(op):], 64)
+			if err != nil {
+				return fmt.Errorf("query: bad predicate %q: %v", tok, err)
+			}
+			switch op {
+			case ">=":
+				p.Min = v
+			case ">":
+				// Values are float64; use the next representable value up
+				// so "value>v" excludes v itself.
+				p.Min = nextAfter(v)
+			case "<":
+				p.Max = v
+			case "<=":
+				p.Max = nextAfter(v)
+			case "=":
+				p.Min, p.Max = v, nextAfter(v)
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("query: bad predicate %q", tok)
+}
+
+func parseFuncs(tok string) ([]operator.FuncSpec, error) {
+	var out []operator.FuncSpec
+	for _, part := range strings.Split(tok, ",") {
+		if strings.HasPrefix(part, "quantile(") && strings.HasSuffix(part, ")") {
+			arg, err := strconv.ParseFloat(part[len("quantile("):len(part)-1], 64)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, operator.FuncSpec{Func: operator.Quantile, Arg: arg})
+			continue
+		}
+		f, err := operator.ParseFunc(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, operator.FuncSpec{Func: f})
+	}
+	return out, nil
+}

@@ -1,0 +1,148 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"desis/internal/operator"
+)
+
+// randomPlaceQuery draws a valid query for placement fuzzing.
+func randomPlaceQuery(rng *rand.Rand, id uint64) Query {
+	q := Query{ID: id, Key: uint32(rng.Intn(4)), Pred: All()}
+	switch rng.Intn(3) {
+	case 0:
+		q.Pred = Above(float64(rng.Intn(100)))
+	case 1:
+		q.Pred = Below(float64(rng.Intn(100)))
+	}
+	q.Funcs = []operator.FuncSpec{{Func: operator.Func(rng.Intn(int(operator.Quantile)))}}
+	if q.Funcs[0].Func == operator.Quantile {
+		q.Funcs[0].Arg = 0.5
+	}
+	switch rng.Intn(3) {
+	case 0:
+		q.Type, q.Length = Tumbling, int64(10+rng.Intn(100))
+	case 1:
+		q.Type = Sliding
+		q.Length = int64(20 + rng.Intn(100))
+		q.Slide = 1 + rng.Int63n(q.Length)
+	case 2:
+		q.Type, q.Gap = Session, int64(10+rng.Intn(50))
+	}
+	if rng.Intn(4) == 0 {
+		q.Measure = Count
+		q.Type = Tumbling
+		q.Length = int64(5 + rng.Intn(50))
+		q.Gap = 0
+	}
+	return q
+}
+
+// TestPlaceMatchesAnalyzeQuick: building a group set incrementally with
+// Place must produce exactly the same groups, contexts, and member order as
+// analyzing the whole set at once — the invariant the wire protocol's group
+// and member indices depend on.
+func TestPlaceMatchesAnalyzeQuick(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw)%20
+		queries := make([]Query, n)
+		for i := range queries {
+			queries[i] = randomPlaceQuery(rng, uint64(i+1))
+		}
+		opts := Options{Decentralized: true}
+		want, err := Analyze(queries, opts)
+		if err != nil {
+			return false
+		}
+		var got []*Group
+		for _, q := range queries {
+			g, _, created, err := Place(got, q, opts)
+			if err != nil {
+				return false
+			}
+			if created {
+				got = append(got, g)
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			a, b := got[i], want[i]
+			if a.ID != b.ID || a.Key != b.Key || a.Placement != b.Placement ||
+				a.Ops != b.Ops || a.LogicalOps != b.LogicalOps {
+				return false
+			}
+			if len(a.Queries) != len(b.Queries) || len(a.Contexts) != len(b.Contexts) {
+				return false
+			}
+			for j := range b.Queries {
+				if a.Queries[j].ID != b.Queries[j].ID || a.Queries[j].Ctx != b.Queries[j].Ctx {
+					return false
+				}
+			}
+			for j := range b.Contexts {
+				if !a.Contexts[j].Equal(b.Contexts[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAnalyzeInvariantsQuick checks structural invariants of any analysis:
+// every query appears exactly once; contexts within a group are pairwise
+// equal-or-disjoint (never partially overlapping); each member's context
+// matches its predicate; group ids are dense.
+func TestAnalyzeInvariantsQuick(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw)%30
+		queries := make([]Query, n)
+		for i := range queries {
+			queries[i] = randomPlaceQuery(rng, uint64(i+1))
+		}
+		groups, err := Analyze(queries, Options{Decentralized: rng.Intn(2) == 0})
+		if err != nil {
+			return false
+		}
+		seen := map[uint64]int{}
+		for gi, g := range groups {
+			if g.ID != uint32(gi) {
+				return false
+			}
+			for i, a := range g.Contexts {
+				for j, b := range g.Contexts {
+					if i != j && a.Overlaps(b) && !a.Equal(b) {
+						return false
+					}
+				}
+			}
+			for _, gq := range g.Queries {
+				seen[gq.ID]++
+				if gq.Key != g.Key {
+					return false
+				}
+				if !g.Contexts[gq.Ctx].Equal(gq.Pred) {
+					return false
+				}
+			}
+		}
+		for _, q := range queries {
+			if seen[q.ID] != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,80 @@
+package query
+
+import (
+	"fmt"
+	"math"
+)
+
+// Predicate is a selection on the event value: the half-open interval
+// [Min, Max). The zero Predicate is NOT "match all"; use All. Selection
+// predicates decide query-group membership (§4.2.3): queries whose
+// predicates are equal share one selection context; queries whose
+// predicates do not overlap can live in the same group with separate
+// contexts; partially overlapping predicates force separate groups.
+type Predicate struct {
+	Min float64 // inclusive lower bound
+	Max float64 // exclusive upper bound
+}
+
+// All returns the predicate matching every value.
+func All() Predicate {
+	return Predicate{Min: math.Inf(-1), Max: math.Inf(1)}
+}
+
+// Above returns the predicate "value >= min".
+func Above(min float64) Predicate {
+	return Predicate{Min: min, Max: math.Inf(1)}
+}
+
+// Below returns the predicate "value < max".
+func Below(max float64) Predicate {
+	return Predicate{Min: math.Inf(-1), Max: max}
+}
+
+// Range returns the predicate "min <= value < max".
+func Range(min, max float64) Predicate {
+	return Predicate{Min: min, Max: max}
+}
+
+// Matches reports whether v satisfies the predicate.
+func (p Predicate) Matches(v float64) bool {
+	return v >= p.Min && v < p.Max
+}
+
+// IsAll reports whether the predicate matches every value.
+func (p Predicate) IsAll() bool {
+	return math.IsInf(p.Min, -1) && math.IsInf(p.Max, 1)
+}
+
+// Equal reports whether two predicates select exactly the same values.
+func (p Predicate) Equal(o Predicate) bool {
+	return p.Min == o.Min && p.Max == o.Max
+}
+
+// Overlaps reports whether the two predicates can both match some value.
+func (p Predicate) Overlaps(o Predicate) bool {
+	return p.Min < o.Max && o.Min < p.Max
+}
+
+// Validate rejects empty intervals, which would silently drop every event.
+func (p Predicate) Validate() error {
+	if !(p.Min < p.Max) {
+		return fmt.Errorf("query: empty predicate [%g, %g)", p.Min, p.Max)
+	}
+	return nil
+}
+
+// String renders the predicate in query-language form (re-parseable); the
+// all-matching predicate renders as the empty string.
+func (p Predicate) String() string {
+	switch {
+	case p.IsAll():
+		return ""
+	case math.IsInf(p.Min, -1):
+		return fmt.Sprintf("value<%g", p.Max)
+	case math.IsInf(p.Max, 1):
+		return fmt.Sprintf("value>=%g", p.Min)
+	default:
+		return fmt.Sprintf("value>=%g value<%g", p.Min, p.Max)
+	}
+}

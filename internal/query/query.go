@@ -1,0 +1,184 @@
+// Package query defines windowed aggregation queries and the query analyzer
+// (QA component of §3.1) that derives window attributes and forms
+// query-groups — the sets of queries whose windows can share slices and
+// partial results.
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"desis/internal/operator"
+)
+
+// WindowType describes how windows start and end (§2.1).
+type WindowType uint8
+
+// The window types of the Dataflow model plus user-defined windows.
+const (
+	// Tumbling windows have a fixed length and abut each other.
+	Tumbling WindowType = iota
+	// Sliding windows have a fixed length and a step (slide) smaller than
+	// or equal to the length, producing overlaps.
+	Sliding
+	// Session windows close after a gap with no events.
+	Session
+	// UserDefined windows are delimited by marker events in the stream.
+	UserDefined
+)
+
+var windowTypeNames = [...]string{"tumbling", "sliding", "session", "userdefined"}
+
+// String returns the query-language name of the window type.
+func (t WindowType) String() string {
+	if int(t) < len(windowTypeNames) {
+		return windowTypeNames[t]
+	}
+	return fmt.Sprintf("WindowType(%d)", uint8(t))
+}
+
+// Measure is the unit in which window extents are expressed (§2.1).
+type Measure uint8
+
+// Window measures.
+const (
+	// Time measures lengths in event-time milliseconds.
+	Time Measure = iota
+	// Count measures lengths in number of events.
+	Count
+)
+
+// String returns "time" or "count".
+func (m Measure) String() string {
+	if m == Time {
+		return "time"
+	}
+	return "count"
+}
+
+// Query is one continuous windowed aggregation over the stream.
+type Query struct {
+	// ID is unique per running query; results carry it.
+	ID uint64
+	// Key selects the sub-stream the query aggregates.
+	Key uint32
+	// AnyKey makes the query a group-by template ("key=*"): the engine
+	// instantiates one window stream per key observed in the input, and
+	// results carry the concrete key. Supported by the central Engine and
+	// ParallelEngine; decentralized clusters reject templates because key
+	// discovery order differs per node.
+	AnyKey bool
+	// Pred filters events by value (the selection operator, §4.2.3).
+	Pred Predicate
+	// Type is the window type.
+	Type WindowType
+	// Measure is Time for time-based and Count for count-based windows.
+	Measure Measure
+	// Length is the window length: milliseconds (Time) or events (Count).
+	// Unused for session and user-defined windows.
+	Length int64
+	// Slide is the step of sliding windows; ignored otherwise.
+	Slide int64
+	// Gap is the inactivity gap of session windows in milliseconds.
+	Gap int64
+	// Funcs are the aggregation functions to evaluate per window. A query
+	// may request several (Figures 9e–9g evaluate such combinations).
+	Funcs []operator.FuncSpec
+}
+
+// Operators returns the Table-1 operator union for the query's functions.
+func (q Query) Operators() operator.Op { return operator.Union(q.Funcs) }
+
+// Decomposable reports whether every function of the query is decomposable.
+func (q Query) Decomposable() bool {
+	for _, f := range q.Funcs {
+		if !f.Func.Decomposable() {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks internal consistency.
+func (q Query) Validate() error {
+	if len(q.Funcs) == 0 {
+		return fmt.Errorf("query %d: no aggregation functions", q.ID)
+	}
+	for _, f := range q.Funcs {
+		if err := f.Validate(); err != nil {
+			return fmt.Errorf("query %d: %w", q.ID, err)
+		}
+	}
+	switch q.Type {
+	case Tumbling:
+		if q.Length <= 0 {
+			return fmt.Errorf("query %d: tumbling window needs positive length", q.ID)
+		}
+	case Sliding:
+		if q.Length <= 0 || q.Slide <= 0 {
+			return fmt.Errorf("query %d: sliding window needs positive length and slide", q.ID)
+		}
+		if q.Slide > q.Length {
+			return fmt.Errorf("query %d: slide %d exceeds length %d", q.ID, q.Slide, q.Length)
+		}
+	case Session:
+		if q.Gap <= 0 {
+			return fmt.Errorf("query %d: session window needs positive gap", q.ID)
+		}
+		if q.Measure == Count {
+			return fmt.Errorf("query %d: session windows are time-based", q.ID)
+		}
+	case UserDefined:
+		if q.Measure == Count {
+			return fmt.Errorf("query %d: user-defined windows are delimited by markers, not counts", q.ID)
+		}
+	default:
+		return fmt.Errorf("query %d: unknown window type %d", q.ID, q.Type)
+	}
+	if q.Measure == Count && q.Type != Tumbling && q.Type != Sliding {
+		return fmt.Errorf("query %d: count measure only applies to tumbling and sliding windows", q.ID)
+	}
+	if err := q.Pred.Validate(); err != nil {
+		return fmt.Errorf("query %d: %w", q.ID, err)
+	}
+	return nil
+}
+
+// String renders the query in the textual query language accepted by Parse.
+func (q Query) String() string {
+	var sb strings.Builder
+	switch q.Type {
+	case Tumbling:
+		fmt.Fprintf(&sb, "tumbling(%s)", extent(q.Length, q.Measure))
+	case Sliding:
+		fmt.Fprintf(&sb, "sliding(%s,%s)", extent(q.Length, q.Measure), extent(q.Slide, q.Measure))
+	case Session:
+		fmt.Fprintf(&sb, "session(%dms)", q.Gap)
+	case UserDefined:
+		sb.WriteString("userdefined")
+	}
+	sb.WriteByte(' ')
+	for i, f := range q.Funcs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(f.String())
+	}
+	if q.AnyKey {
+		sb.WriteString(" key=*")
+	} else {
+		fmt.Fprintf(&sb, " key=%d", q.Key)
+	}
+	if p := q.Pred.String(); p != "" {
+		sb.WriteByte(' ')
+		sb.WriteString(p)
+	}
+	return sb.String()
+}
+
+func extent(v int64, m Measure) string {
+	if m == Count {
+		return fmt.Sprintf("%dev", v)
+	}
+	return fmt.Sprintf("%dms", v)
+}

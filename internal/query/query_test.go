@@ -1,0 +1,306 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"desis/internal/operator"
+)
+
+func tumbling(id uint64, key uint32, lenMS int64, funcs ...operator.Func) Query {
+	q := Query{ID: id, Key: key, Pred: All(), Type: Tumbling, Length: lenMS}
+	for _, f := range funcs {
+		q.Funcs = append(q.Funcs, operator.FuncSpec{Func: f})
+	}
+	return q
+}
+
+func TestValidate(t *testing.T) {
+	good := []Query{
+		tumbling(1, 0, 1000, operator.Sum),
+		{ID: 2, Pred: All(), Type: Sliding, Length: 10, Slide: 5, Funcs: []operator.FuncSpec{{Func: operator.Average}}},
+		{ID: 3, Pred: All(), Type: Session, Gap: 100, Funcs: []operator.FuncSpec{{Func: operator.Median}}},
+		{ID: 4, Pred: All(), Type: UserDefined, Funcs: []operator.FuncSpec{{Func: operator.Max}}},
+		{ID: 5, Pred: All(), Type: Tumbling, Measure: Count, Length: 100, Funcs: []operator.FuncSpec{{Func: operator.Sum}}},
+	}
+	for _, q := range good {
+		if err := q.Validate(); err != nil {
+			t.Errorf("Validate(%v): %v", q, err)
+		}
+	}
+	bad := []Query{
+		{Pred: All(), Type: Tumbling, Length: 1000},                                                            // no funcs
+		{Pred: All(), Type: Tumbling, Length: 0, Funcs: []operator.FuncSpec{{Func: operator.Sum}}},             // zero length
+		{Pred: All(), Type: Sliding, Length: 5, Slide: 10, Funcs: []operator.FuncSpec{{Func: operator.Sum}}},   // slide > length
+		{Pred: All(), Type: Session, Gap: 0, Funcs: []operator.FuncSpec{{Func: operator.Sum}}},                 // zero gap
+		{Pred: All(), Type: Session, Gap: 5, Measure: Count, Funcs: []operator.FuncSpec{{Func: operator.Sum}}}, // count session
+		{Pred: Predicate{Min: 5, Max: 5}, Type: Tumbling, Length: 10, Funcs: []operator.FuncSpec{{Func: operator.Sum}}},
+		{Pred: All(), Type: Tumbling, Length: 10, Funcs: []operator.FuncSpec{{Func: operator.Quantile, Arg: 2}}},
+	}
+	for i, q := range bad {
+		if err := q.Validate(); err == nil {
+			t.Errorf("bad query %d accepted: %v", i, q)
+		}
+	}
+}
+
+func TestPredicate(t *testing.T) {
+	all := All()
+	if !all.Matches(1e300) || !all.Matches(-1e300) || !all.IsAll() {
+		t.Error("All() predicate broken")
+	}
+	p := Range(10, 20)
+	if !p.Matches(10) || p.Matches(20) || p.Matches(9.999) || !p.Matches(19.999) {
+		t.Error("Range half-open semantics broken")
+	}
+	if !Above(5).Matches(5) || Above(5).Matches(4.9) {
+		t.Error("Above broken")
+	}
+	if Below(5).Matches(5) || !Below(5).Matches(4.9) {
+		t.Error("Below broken")
+	}
+}
+
+func TestPredicateOverlap(t *testing.T) {
+	cases := []struct {
+		a, b Predicate
+		want bool
+	}{
+		{Range(0, 10), Range(10, 20), false},
+		{Range(0, 10), Range(5, 20), true},
+		{Range(0, 10), Range(0, 10), true},
+		{Above(80), Below(25), false},
+		{All(), Range(1, 2), true},
+	}
+	for _, tc := range cases {
+		if got := tc.a.Overlaps(tc.b); got != tc.want {
+			t.Errorf("%v.Overlaps(%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+		if got := tc.b.Overlaps(tc.a); got != tc.want {
+			t.Errorf("%v.Overlaps(%v) = %v, want %v (symmetry)", tc.b, tc.a, got, tc.want)
+		}
+	}
+}
+
+func TestAnalyzeSharesAcrossFunctionsAndTypes(t *testing.T) {
+	// Five queries with different window types and functions but one key:
+	// all land in one query-group (Fig 3 of the paper).
+	queries := []Query{
+		tumbling(1, 0, 1000, operator.Max),
+		{ID: 2, Pred: All(), Type: Sliding, Length: 2000, Slide: 500, Funcs: []operator.FuncSpec{{Func: operator.Median}}},
+		{ID: 3, Pred: All(), Type: Session, Gap: 300, Funcs: []operator.FuncSpec{{Func: operator.Sum}}},
+		{ID: 4, Pred: All(), Type: UserDefined, Funcs: []operator.FuncSpec{{Func: operator.Count}}},
+		{ID: 5, Pred: All(), Type: Tumbling, Measure: Count, Length: 100, Funcs: []operator.FuncSpec{{Func: operator.Average}}},
+	}
+	groups, err := Analyze(queries, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 {
+		t.Fatalf("got %d groups, want 1", len(groups))
+	}
+	g := groups[0]
+	if len(g.Queries) != 5 || len(g.Contexts) != 1 {
+		t.Fatalf("group = %v", g)
+	}
+	// max+median share ndsort; sum, count from avg; forced count.
+	want := operator.OpNDSort | operator.OpSum | operator.OpCount
+	if g.Ops != want {
+		t.Errorf("group ops = %v, want %v", g.Ops, want)
+	}
+}
+
+func TestAnalyzeSplitsKeys(t *testing.T) {
+	queries := []Query{
+		tumbling(1, 0, 1000, operator.Sum),
+		tumbling(2, 1, 1000, operator.Sum),
+	}
+	groups, err := Analyze(queries, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups, want 2 (distinct keys)", len(groups))
+	}
+}
+
+func TestAnalyzePredicates(t *testing.T) {
+	speedFast := tumbling(1, 0, 1000, operator.Sum)
+	speedFast.Pred = Above(80)
+	speedSlow := tumbling(2, 0, 1000, operator.Sum)
+	speedSlow.Pred = Below(25)
+	speedFast2 := tumbling(3, 0, 1000, operator.Average)
+	speedFast2.Pred = Above(80)
+	overlapping := tumbling(4, 0, 1000, operator.Sum)
+	overlapping.Pred = Above(50)
+
+	groups, err := Analyze([]Query{speedFast, speedSlow, speedFast2, overlapping}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Non-overlapping predicates share a group with two contexts (§4.2.3);
+	// equal predicates share a context; the partially overlapping one is
+	// exiled to its own group.
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups, want 2", len(groups))
+	}
+	g := groups[0]
+	if len(g.Contexts) != 2 || len(g.Queries) != 3 {
+		t.Fatalf("first group: %v", g)
+	}
+	if g.Queries[0].Ctx != g.Queries[2].Ctx {
+		t.Error("equal predicates did not share a context")
+	}
+	if g.Queries[0].Ctx == g.Queries[1].Ctx {
+		t.Error("disjoint predicates share a context")
+	}
+	if len(groups[1].Queries) != 1 || groups[1].Queries[0].ID != 4 {
+		t.Fatalf("second group: %v", groups[1])
+	}
+}
+
+func TestAnalyzeDecentralizedCountPlacement(t *testing.T) {
+	timeQ := tumbling(1, 0, 1000, operator.Sum)
+	countQ := Query{ID: 2, Pred: All(), Type: Tumbling, Measure: Count, Length: 100, Funcs: []operator.FuncSpec{{Func: operator.Sum}}}
+	groups, err := Analyze([]Query{timeQ, countQ}, Options{Decentralized: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups, want 2 (count-based separated)", len(groups))
+	}
+	var sawRoot, sawDist bool
+	for _, g := range groups {
+		switch g.Placement {
+		case RootOnly:
+			sawRoot = true
+			if g.Queries[0].ID != 2 {
+				t.Error("wrong query routed to root")
+			}
+		case Distributed:
+			sawDist = true
+		}
+	}
+	if !sawRoot || !sawDist {
+		t.Errorf("placements: root=%v dist=%v", sawRoot, sawDist)
+	}
+	// Centralized mode shares across measures.
+	groups, err = Analyze([]Query{timeQ, countQ}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 1 {
+		t.Errorf("central mode: got %d groups, want 1", len(groups))
+	}
+}
+
+func TestAnalyzeRejectsInvalid(t *testing.T) {
+	if _, err := Analyze([]Query{{Pred: All(), Type: Tumbling}}, Options{}); err == nil {
+		t.Error("invalid query accepted")
+	}
+}
+
+func TestLookupAndNextID(t *testing.T) {
+	groups, err := Analyze([]Query{
+		tumbling(7, 0, 1000, operator.Sum),
+		tumbling(9, 1, 1000, operator.Sum),
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, i, ok := Lookup(groups, 9)
+	if !ok || g.Queries[i].ID != 9 {
+		t.Fatalf("Lookup(9) = %v, %d, %v", g, i, ok)
+	}
+	if _, _, ok := Lookup(groups, 42); ok {
+		t.Error("Lookup(42) found a ghost")
+	}
+	if id := NextID(groups); id != 10 {
+		t.Errorf("NextID = %d, want 10", id)
+	}
+}
+
+func TestParse(t *testing.T) {
+	q, err := Parse("tumbling(1s) average key=3 value>=80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Type != Tumbling || q.Length != 1000 || q.Key != 3 || q.Measure != Time {
+		t.Errorf("parsed %+v", q)
+	}
+	if !q.Pred.Matches(80) || q.Pred.Matches(79.9) {
+		t.Errorf("predicate %v", q.Pred)
+	}
+	if len(q.Funcs) != 1 || q.Funcs[0].Func != operator.Average {
+		t.Errorf("funcs %v", q.Funcs)
+	}
+
+	q = MustParse("sliding(10s,2s) sum,count key=1")
+	if q.Type != Sliding || q.Length != 10000 || q.Slide != 2000 || len(q.Funcs) != 2 {
+		t.Errorf("parsed %+v", q)
+	}
+
+	q = MustParse("session(30s) median key=2 value<25")
+	if q.Type != Session || q.Gap != 30000 || q.Pred.Matches(25) || !q.Pred.Matches(24.9) {
+		t.Errorf("parsed %+v", q)
+	}
+
+	q = MustParse("tumbling(1000ev) quantile(0.95)")
+	if q.Measure != Count || q.Length != 1000 || q.Funcs[0].Arg != 0.95 {
+		t.Errorf("parsed %+v", q)
+	}
+
+	q = MustParse("userdefined max key=0")
+	if q.Type != UserDefined {
+		t.Errorf("parsed %+v", q)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"average key=1",                       // no window
+		"tumbling(1s)",                        // no funcs
+		"tumbling(1s) bogus",                  // unknown func
+		"tumbling(1s,2s) sum",                 // extent count
+		"tumbling(xs) sum",                    // bad extent
+		"session(100ev) median",               // count session
+		"tumbling(1s) sum key=abc",            // bad key
+		"tumbling(1s) sum value>>5",           // bad predicate
+		"tumbling(1s) quantile(2) sum",        // bad quantile
+		"sliding(1s,1000ev) sum",              // mixed measures
+		"tumbling(1s) sum value>=x",           // bad predicate number
+		"tumbling(1s) quantile(x)",            // bad quantile arg
+		"sliding(1s,2s) sum",                  // slide > length
+		"tumbling(1s) sum key=99999999999999", // key overflow
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded", s)
+		}
+	}
+}
+
+func TestQueryStringRoundTrip(t *testing.T) {
+	cases := []string{
+		"tumbling(1000ms) average key=3 value>=80",
+		"sliding(10000ms,2000ms) sum,count key=1",
+		"session(30000ms) median key=2 value<25",
+		"tumbling(1000ev) quantile(0.95) key=0",
+		"userdefined max key=0",
+	}
+	for _, s := range cases {
+		q := MustParse(s)
+		again := MustParse(q.String())
+		if q.String() != again.String() {
+			t.Errorf("round trip changed %q -> %q", q.String(), again.String())
+		}
+	}
+}
+
+func TestGroupString(t *testing.T) {
+	groups, _ := Analyze([]Query{tumbling(1, 0, 1000, operator.Sum)}, Options{})
+	if !strings.Contains(groups[0].String(), "key=0") {
+		t.Errorf("String() = %q", groups[0].String())
+	}
+}

@@ -1,0 +1,325 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"desis/internal/operator"
+)
+
+// ParseSQL reads a query in the SQL-style surface syntax:
+//
+//	SELECT avg(value), max(value) FROM stream
+//	    WHERE key = 3 AND value >= 80
+//	    WINDOW TUMBLING 1s
+//
+//	SELECT quantile(value, 0.95) FROM stream WINDOW SLIDING 10s SLIDE 2s
+//	SELECT median(value) FROM stream WHERE key = * WINDOW SESSION GAP 30s
+//	SELECT sum(value)   FROM stream WINDOW TUMBLING 1000 EVENTS
+//	SELECT max(value)   FROM stream WINDOW USERDEFINED
+//
+// Keywords are case-insensitive; "avg" and "average" are synonyms, as are
+// "geomean"/"geometric_mean". `key = *` declares a group-by template.
+func ParseSQL(s string) (Query, error) {
+	p := &sqlParser{toks: sqlTokenize(s)}
+	q, err := p.parse()
+	if err != nil {
+		return Query{}, fmt.Errorf("query: %w (in %q)", err, s)
+	}
+	if err := validateParsed(q); err != nil {
+		return Query{}, err
+	}
+	return q, nil
+}
+
+// validateParsed validates, treating templates as key-agnostic.
+func validateParsed(q Query) error {
+	probe := q
+	probe.AnyKey = false
+	return probe.Validate()
+}
+
+// MustParseSQL is ParseSQL that panics on error.
+func MustParseSQL(s string) Query {
+	q, err := ParseSQL(s)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// ParseAny auto-detects the syntax: inputs starting with SELECT use the
+// SQL-style grammar, everything else the compact mini-language.
+func ParseAny(s string) (Query, error) {
+	t := strings.TrimSpace(s)
+	if len(t) >= 7 && strings.EqualFold(t[:7], "SELECT ") {
+		return ParseSQL(s)
+	}
+	return Parse(s)
+}
+
+// sqlTokenize splits into words, numbers, punctuation, and operators.
+func sqlTokenize(s string) []string {
+	var toks []string
+	i := 0
+	for i < len(s) {
+		c := rune(s[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '(' || c == ')' || c == ',' || c == '*':
+			toks = append(toks, string(c))
+			i++
+		case c == '<' || c == '>' || c == '=' || c == '!':
+			j := i + 1
+			if j < len(s) && s[j] == '=' {
+				j++
+			}
+			toks = append(toks, s[i:j])
+			i = j
+		default:
+			j := i
+			for j < len(s) {
+				r := rune(s[j])
+				if unicode.IsSpace(r) || strings.ContainsRune("(),*<>=!", r) {
+					break
+				}
+				j++
+			}
+			toks = append(toks, s[i:j])
+			i = j
+		}
+	}
+	return toks
+}
+
+type sqlParser struct {
+	toks []string
+	pos  int
+}
+
+func (p *sqlParser) peek() string {
+	if p.pos >= len(p.toks) {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *sqlParser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+// expectKw consumes a case-insensitive keyword.
+func (p *sqlParser) expectKw(kw string) error {
+	if !strings.EqualFold(p.peek(), kw) {
+		return fmt.Errorf("expected %s, got %q", kw, p.peek())
+	}
+	p.next()
+	return nil
+}
+
+func (p *sqlParser) isKw(kw string) bool { return strings.EqualFold(p.peek(), kw) }
+
+func (p *sqlParser) parse() (Query, error) {
+	q := Query{Pred: All()}
+	if err := p.expectKw("SELECT"); err != nil {
+		return q, err
+	}
+	for {
+		spec, err := p.parseFunc()
+		if err != nil {
+			return q, err
+		}
+		q.Funcs = append(q.Funcs, spec)
+		if p.peek() != "," {
+			break
+		}
+		p.next()
+	}
+	if err := p.expectKw("FROM"); err != nil {
+		return q, err
+	}
+	if p.next() == "" {
+		return q, fmt.Errorf("missing stream name after FROM")
+	}
+	if p.isKw("WHERE") {
+		p.next()
+		if err := p.parseWhere(&q); err != nil {
+			return q, err
+		}
+	}
+	if err := p.expectKw("WINDOW"); err != nil {
+		return q, err
+	}
+	if err := p.parseWindow(&q); err != nil {
+		return q, err
+	}
+	if p.peek() != "" {
+		return q, fmt.Errorf("trailing input starting at %q", p.peek())
+	}
+	return q, nil
+}
+
+var sqlFuncs = map[string]operator.Func{
+	"sum": operator.Sum, "count": operator.Count,
+	"avg": operator.Average, "average": operator.Average,
+	"product": operator.Product,
+	"geomean": operator.GeoMean, "geometric_mean": operator.GeoMean,
+	"min": operator.Min, "max": operator.Max,
+	"median": operator.Median, "quantile": operator.Quantile,
+}
+
+func (p *sqlParser) parseFunc() (operator.FuncSpec, error) {
+	name := strings.ToLower(p.next())
+	f, ok := sqlFuncs[name]
+	if !ok {
+		return operator.FuncSpec{}, fmt.Errorf("unknown aggregation function %q", name)
+	}
+	spec := operator.FuncSpec{Func: f}
+	if p.peek() != "(" {
+		return spec, fmt.Errorf("%s needs (value)", name)
+	}
+	p.next()
+	if err := p.expectKw("value"); err != nil {
+		return spec, err
+	}
+	if f == operator.Quantile {
+		if p.peek() != "," {
+			return spec, fmt.Errorf("quantile needs (value, q)")
+		}
+		p.next()
+		arg, err := strconv.ParseFloat(p.next(), 64)
+		if err != nil {
+			return spec, fmt.Errorf("bad quantile argument: %v", err)
+		}
+		spec.Arg = arg
+	}
+	if p.peek() != ")" {
+		return spec, fmt.Errorf("missing ) after %s", name)
+	}
+	p.next()
+	return spec, nil
+}
+
+func (p *sqlParser) parseWhere(q *Query) error {
+	for {
+		switch {
+		case p.isKw("key"):
+			p.next()
+			if p.next() != "=" {
+				return fmt.Errorf("key supports only =")
+			}
+			if p.peek() == "*" {
+				p.next()
+				q.AnyKey = true
+				break
+			}
+			k, err := strconv.ParseUint(p.next(), 10, 32)
+			if err != nil {
+				return fmt.Errorf("bad key: %v", err)
+			}
+			q.Key = uint32(k)
+		case p.isKw("value"):
+			p.next()
+			op := p.next()
+			v, err := strconv.ParseFloat(p.next(), 64)
+			if err != nil {
+				return fmt.Errorf("bad value literal: %v", err)
+			}
+			switch op {
+			case ">=":
+				q.Pred.Min = v
+			case ">":
+				q.Pred.Min = nextAfter(v)
+			case "<":
+				q.Pred.Max = v
+			case "<=":
+				q.Pred.Max = nextAfter(v)
+			case "=":
+				q.Pred.Min, q.Pred.Max = v, nextAfter(v)
+			default:
+				return fmt.Errorf("unsupported value comparison %q", op)
+			}
+		default:
+			return fmt.Errorf("unexpected WHERE term %q", p.peek())
+		}
+		if !p.isKw("AND") {
+			return nil
+		}
+		p.next()
+	}
+}
+
+func (p *sqlParser) parseWindow(q *Query) error {
+	switch {
+	case p.isKw("TUMBLING"):
+		p.next()
+		ext, m, err := p.parseExtentSQL()
+		if err != nil {
+			return err
+		}
+		q.Type, q.Measure, q.Length = Tumbling, m, ext
+	case p.isKw("SLIDING"):
+		p.next()
+		length, m, err := p.parseExtentSQL()
+		if err != nil {
+			return err
+		}
+		if err := p.expectKw("SLIDE"); err != nil {
+			return err
+		}
+		slide, m2, err := p.parseExtentSQL()
+		if err != nil {
+			return err
+		}
+		if m2 != m {
+			return fmt.Errorf("SLIDE measure differs from window measure")
+		}
+		q.Type, q.Measure, q.Length, q.Slide = Sliding, m, length, slide
+	case p.isKw("SESSION"):
+		p.next()
+		if err := p.expectKw("GAP"); err != nil {
+			return err
+		}
+		gap, m, err := p.parseExtentSQL()
+		if err != nil {
+			return err
+		}
+		if m != Time {
+			return fmt.Errorf("session gaps are time-based")
+		}
+		q.Type, q.Measure, q.Gap = Session, Time, gap
+	case p.isKw("USERDEFINED"):
+		p.next()
+		q.Type, q.Measure = UserDefined, Time
+	default:
+		return fmt.Errorf("unknown window type %q", p.peek())
+	}
+	return nil
+}
+
+// parseExtentSQL reads "1s" / "500ms" / "2m" / "1000 EVENTS".
+func (p *sqlParser) parseExtentSQL() (int64, Measure, error) {
+	tok := p.next()
+	if tok == "" {
+		return 0, Time, fmt.Errorf("missing window extent")
+	}
+	// Bare number followed by EVENTS is a count extent.
+	if n, err := strconv.ParseInt(tok, 10, 64); err == nil {
+		if p.isKw("EVENTS") || p.isKw("EVENT") {
+			p.next()
+			return n, Count, nil
+		}
+		// A bare number is milliseconds.
+		return n, Time, nil
+	}
+	v, m, err := parseExtent(tok)
+	if err != nil {
+		return 0, Time, fmt.Errorf("bad window extent %q: %v", tok, err)
+	}
+	return v, m, nil
+}

@@ -1,0 +1,129 @@
+package query
+
+import (
+	"testing"
+
+	"desis/internal/operator"
+)
+
+func TestParseSQLBasic(t *testing.T) {
+	q, err := ParseSQL("SELECT avg(value), max(value) FROM stream WHERE key = 3 AND value >= 80 WINDOW TUMBLING 1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Type != Tumbling || q.Length != 1000 || q.Measure != Time {
+		t.Errorf("window: %+v", q)
+	}
+	if q.Key != 3 || q.AnyKey {
+		t.Errorf("key: %d anykey=%v", q.Key, q.AnyKey)
+	}
+	if !q.Pred.Matches(80) || q.Pred.Matches(79.999) {
+		t.Errorf("pred: %v", q.Pred)
+	}
+	if len(q.Funcs) != 2 || q.Funcs[0].Func != operator.Average || q.Funcs[1].Func != operator.Max {
+		t.Errorf("funcs: %v", q.Funcs)
+	}
+}
+
+func TestParseSQLVariants(t *testing.T) {
+	cases := []struct {
+		sql   string
+		check func(Query) bool
+	}{
+		{
+			"SELECT quantile(value, 0.95) FROM stream WINDOW SLIDING 10s SLIDE 2s",
+			func(q Query) bool {
+				return q.Type == Sliding && q.Length == 10000 && q.Slide == 2000 &&
+					q.Funcs[0].Func == operator.Quantile && q.Funcs[0].Arg == 0.95
+			},
+		},
+		{
+			"select median(value) from s where key = * window session gap 30s",
+			func(q Query) bool { return q.Type == Session && q.Gap == 30000 && q.AnyKey },
+		},
+		{
+			"SELECT sum(value) FROM stream WINDOW TUMBLING 1000 EVENTS",
+			func(q Query) bool { return q.Measure == Count && q.Length == 1000 },
+		},
+		{
+			"SELECT max(value) FROM trips WINDOW USERDEFINED",
+			func(q Query) bool { return q.Type == UserDefined },
+		},
+		{
+			"SELECT count(value) FROM s WHERE value >= 10 AND value < 20 WINDOW TUMBLING 500ms",
+			func(q Query) bool {
+				return q.Pred.Matches(10) && q.Pred.Matches(19.9) && !q.Pred.Matches(20) && !q.Pred.Matches(9.9)
+			},
+		},
+		{
+			"SELECT geomean(value) FROM s WINDOW SLIDING 100 EVENTS SLIDE 10 EVENTS",
+			func(q Query) bool {
+				return q.Measure == Count && q.Type == Sliding && q.Length == 100 && q.Slide == 10 &&
+					q.Funcs[0].Func == operator.GeoMean
+			},
+		},
+		{
+			"SELECT sum(value) FROM s WINDOW TUMBLING 250", // bare ms
+			func(q Query) bool { return q.Measure == Time && q.Length == 250 },
+		},
+	}
+	for _, tc := range cases {
+		q, err := ParseSQL(tc.sql)
+		if err != nil {
+			t.Errorf("ParseSQL(%q): %v", tc.sql, err)
+			continue
+		}
+		if !tc.check(q) {
+			t.Errorf("ParseSQL(%q) = %+v", tc.sql, q)
+		}
+	}
+}
+
+func TestParseSQLErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT FROM s WINDOW TUMBLING 1s",
+		"SELECT bogus(value) FROM s WINDOW TUMBLING 1s",
+		"SELECT avg(value) WINDOW TUMBLING 1s",                         // no FROM
+		"SELECT avg(value) FROM s",                                     // no WINDOW
+		"SELECT avg(value) FROM s WINDOW SPINNING 1s",                  // bad type
+		"SELECT avg(value) FROM s WINDOW TUMBLING",                     // no extent
+		"SELECT avg(value) FROM s WINDOW SLIDING 10s",                  // no SLIDE
+		"SELECT avg(value) FROM s WINDOW SLIDING 10s SLIDE 100 EVENTS", // mixed measures
+		"SELECT avg(value) FROM s WINDOW SESSION 10s",                  // missing GAP
+		"SELECT avg(value) FROM s WHERE key > 3 WINDOW TUMBLING 1s",    // key only =
+		"SELECT avg(value) FROM s WHERE speed > 3 WINDOW TUMBLING 1s",  // unknown field
+		"SELECT quantile(value) FROM s WINDOW TUMBLING 1s",             // missing arg
+		"SELECT quantile(value, 2) FROM s WINDOW TUMBLING 1s",          // bad arg
+		"SELECT avg(value) FROM s WINDOW TUMBLING 1s EXTRA",            // trailing
+		"SELECT avg(x) FROM s WINDOW TUMBLING 1s",                      // not value
+		"SELECT avg(value FROM s WINDOW TUMBLING 1s",                   // missing )
+		"SELECT avg(value) FROM s WINDOW SESSION GAP 100 EVENTS",       // count session
+	}
+	for _, s := range bad {
+		if _, err := ParseSQL(s); err == nil {
+			t.Errorf("ParseSQL(%q) succeeded", s)
+		}
+	}
+}
+
+// TestSQLAndMiniLanguageAgree: both surface syntaxes produce the same query.
+func TestSQLAndMiniLanguageAgree(t *testing.T) {
+	pairs := [][2]string{
+		{"SELECT avg(value) FROM s WHERE key = 3 AND value >= 80 WINDOW TUMBLING 1s",
+			"tumbling(1s) average key=3 value>=80"},
+		{"SELECT sum(value), count(value) FROM s WINDOW SLIDING 10s SLIDE 2s",
+			"sliding(10s,2s) sum,count key=0"},
+		{"SELECT median(value) FROM s WHERE key = 2 AND value < 25 WINDOW SESSION GAP 30s",
+			"session(30s) median key=2 value<25"},
+		{"SELECT quantile(value, 0.95) FROM s WINDOW TUMBLING 1000 EVENTS",
+			"tumbling(1000ev) quantile(0.95)"},
+	}
+	for _, pr := range pairs {
+		a := MustParseSQL(pr[0])
+		b := MustParse(pr[1])
+		if a.String() != b.String() {
+			t.Errorf("syntaxes disagree:\n sql:  %s -> %s\n mini: %s -> %s", pr[0], a, pr[1], b)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Package window provides the punctuation machinery of the window manager
+// (§3.1, §4.1): for every window type and measure it answers two questions —
+// when is the next start/end punctuation, and which windows end at a given
+// punctuation. Fixed-size windows get a *calendar* that computes boundaries
+// arithmetically, which is how Desis "calculates window ends in advance
+// instead of checking each arriving event" (§6.2.1).
+package window
+
+import "math"
+
+// NoBoundary is returned when no further punctuation is scheduled.
+const NoBoundary = math.MaxInt64
+
+// Calendar tracks the boundary arithmetic of fixed-size (tumbling and
+// sliding) windows on one axis — event-time milliseconds or event counts.
+// Boundaries are aligned to origin zero, matching the paper's setting where
+// slices of concurrent fixed windows align across nodes (§5.1.1).
+type Calendar struct {
+	specs []calendarSpec
+}
+
+type calendarSpec struct {
+	id     int // caller-chosen identifier (query index within the group)
+	length int64
+	slide  int64 // == length for tumbling windows
+}
+
+// Add registers a fixed window of the given length and slide under id.
+// Tumbling windows pass slide == length.
+func (c *Calendar) Add(id int, length, slide int64) {
+	c.specs = append(c.specs, calendarSpec{id: id, length: length, slide: slide})
+}
+
+// Remove drops the window registered under id, if present.
+func (c *Calendar) Remove(id int) {
+	for i, s := range c.specs {
+		if s.id == id {
+			c.specs = append(c.specs[:i], c.specs[i+1:]...)
+			return
+		}
+	}
+}
+
+// Empty reports whether no windows are registered.
+func (c *Calendar) Empty() bool { return len(c.specs) == 0 }
+
+// NextBoundary returns the earliest punctuation (window start or end)
+// strictly greater than after, or NoBoundary when no windows are
+// registered. Positions are assumed non-negative.
+func (c *Calendar) NextBoundary(after int64) int64 {
+	next := int64(NoBoundary)
+	for _, s := range c.specs {
+		// Next window start: the smallest multiple of slide > after.
+		if b := nextMultiple(after, s.slide); b < next {
+			next = b
+		}
+		// Next window end: the smallest k*slide+length > after with k >= 0.
+		if b := nextMultiple(after-s.length, s.slide) + s.length; b < next {
+			next = b
+		}
+	}
+	return next
+}
+
+// nextMultiple returns the smallest non-negative multiple of step strictly
+// greater than v.
+func nextMultiple(v, step int64) int64 {
+	if v < 0 {
+		return 0
+	}
+	return (v/step + 1) * step
+}
+
+// EndsAt calls fn(id, start) for every registered window that ends exactly
+// at boundary t.
+func (c *Calendar) EndsAt(t int64, fn func(id int, start int64)) {
+	for _, s := range c.specs {
+		start := t - s.length
+		if start >= 0 && start%s.slide == 0 {
+			fn(s.id, start)
+		}
+	}
+}
+
+// EarliestOpenStart returns the start of the oldest registered window still
+// open at position t (start <= t < start+length), or NoBoundary when none is
+// registered. The slice store uses it to decide how far back slices must be
+// retained.
+func (c *Calendar) EarliestOpenStart(t int64) int64 {
+	earliest := int64(NoBoundary)
+	for _, s := range c.specs {
+		// Oldest open window: smallest k with k*slide + length > t.
+		var k int64
+		if t >= s.length {
+			k = (t-s.length)/s.slide + 1
+		}
+		if start := k * s.slide; start <= t && start < earliest {
+			earliest = start
+		}
+	}
+	return earliest
+}

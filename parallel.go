@@ -1,0 +1,203 @@
+package desis
+
+import (
+	"fmt"
+	"sync"
+
+	"desis/internal/core"
+	"desis/internal/query"
+)
+
+// ParallelEngine shards queries and events across several independent
+// engine instances by key, each running on its own goroutine. It implements
+// the mitigation the paper proposes for the result-materialisation
+// bottleneck beyond ~10k queries (§6.5.1: "this can be mitigated by
+// separating queries to multiple root nodes") inside a single process.
+//
+// Sharding is by key, so every query-group lives entirely in one shard and
+// all sharing within a group is preserved; queries with different keys that
+// could never share anyway are what gets parallelised.
+type ParallelEngine struct {
+	shards []*engineShard
+	n      uint32
+
+	resMu   sync.Mutex
+	results []Result
+}
+
+type engineShard struct {
+	eng  *core.Engine
+	ch   chan shardMsg
+	wg   *sync.WaitGroup
+	bufs []Event
+}
+
+type shardMsg struct {
+	evs  []Event
+	adv  int64         // advance watermark when evs is nil and done is nil
+	done chan struct{} // barrier acknowledgement when non-nil
+}
+
+// shardBatch is the per-shard buffer size before a batch is handed to the
+// shard goroutine.
+const shardBatch = 512
+
+// NewParallelEngine builds n single-threaded engines and routes queries to
+// them by key. OnResult, when set, may be called concurrently from shard
+// goroutines and must be safe for that.
+func NewParallelEngine(queries []Query, n int, opts Options) (*ParallelEngine, error) {
+	if n <= 0 {
+		n = 1
+	}
+	queries = assignIDs(queries)
+	p := &ParallelEngine{n: uint32(n)}
+	perShard := make([][]Query, n)
+	for _, q := range queries {
+		if q.AnyKey {
+			// Group-by templates go to every shard; each instantiates only
+			// the keys routed to it.
+			for i := range perShard {
+				perShard[i] = append(perShard[i], q)
+			}
+			continue
+		}
+		perShard[q.Key%p.n] = append(perShard[q.Key%p.n], q)
+	}
+	onResult := opts.OnResult
+	if onResult == nil {
+		onResult = func(r Result) {
+			p.resMu.Lock()
+			p.results = append(p.results, r)
+			p.resMu.Unlock()
+		}
+	}
+	for i := 0; i < n; i++ {
+		concrete, templates := query.Split(perShard[i])
+		groups, err := query.Analyze(concrete, query.Options{Dedup: opts.Dedup})
+		if err != nil {
+			return nil, fmt.Errorf("desis: shard %d: %w", i, err)
+		}
+		sh := &engineShard{
+			eng: core.New(groups, core.Config{OnResult: onResult}),
+			ch:  make(chan shardMsg, 64),
+			wg:  &sync.WaitGroup{},
+		}
+		for _, t := range templates {
+			if err := sh.eng.AddTemplate(t); err != nil {
+				return nil, fmt.Errorf("desis: shard %d: %w", i, err)
+			}
+		}
+		sh.wg.Add(1)
+		go sh.run()
+		p.shards = append(p.shards, sh)
+	}
+	return p, nil
+}
+
+func (s *engineShard) run() {
+	defer s.wg.Done()
+	for m := range s.ch {
+		switch {
+		case m.done != nil:
+			close(m.done)
+		case m.evs != nil:
+			s.eng.ProcessBatch(m.evs)
+		default:
+			s.eng.AdvanceTo(m.adv)
+		}
+	}
+}
+
+// Process ingests one event; it is buffered and handed to its key's shard.
+// Like Engine, ParallelEngine is fed from one goroutine.
+func (p *ParallelEngine) Process(ev Event) {
+	sh := p.shards[ev.Key%p.n]
+	sh.bufs = append(sh.bufs, ev)
+	if len(sh.bufs) >= shardBatch {
+		p.flushShard(sh)
+	}
+}
+
+// ProcessBatch ingests a batch of in-order events.
+func (p *ParallelEngine) ProcessBatch(evs []Event) {
+	for _, ev := range evs {
+		p.Process(ev)
+	}
+}
+
+func (p *ParallelEngine) flushShard(sh *engineShard) {
+	if len(sh.bufs) == 0 {
+		return
+	}
+	sh.ch <- shardMsg{evs: sh.bufs}
+	sh.bufs = nil
+}
+
+// Flush pushes all buffered events into the shards without blocking on
+// their completion.
+func (p *ParallelEngine) Flush() {
+	for _, sh := range p.shards {
+		p.flushShard(sh)
+	}
+}
+
+// AdvanceTo flushes and advances every shard's event time to t.
+func (p *ParallelEngine) AdvanceTo(t int64) {
+	for _, sh := range p.shards {
+		p.flushShard(sh)
+		sh.ch <- shardMsg{adv: t}
+	}
+}
+
+// Barrier flushes and blocks until every shard has processed everything
+// submitted so far; afterwards Results and Stats reflect all prior input.
+func (p *ParallelEngine) Barrier() {
+	dones := make([]chan struct{}, len(p.shards))
+	for i, sh := range p.shards {
+		p.flushShard(sh)
+		dones[i] = make(chan struct{})
+		sh.ch <- shardMsg{done: dones[i]}
+	}
+	for _, d := range dones {
+		<-d
+	}
+}
+
+// Close flushes, stops the shard goroutines, and waits for them to drain.
+// The engine must not be used afterwards.
+func (p *ParallelEngine) Close() {
+	for _, sh := range p.shards {
+		p.flushShard(sh)
+		close(sh.ch)
+	}
+	for _, sh := range p.shards {
+		sh.wg.Wait()
+	}
+}
+
+// Results returns and clears accumulated results (only without OnResult).
+// Call after Close, or accept that in-flight batches may still add results.
+func (p *ParallelEngine) Results() []Result {
+	p.resMu.Lock()
+	defer p.resMu.Unlock()
+	r := p.results
+	p.results = nil
+	return r
+}
+
+// Stats sums the shard engines' counters. Call after Barrier or Close for a
+// consistent view.
+func (p *ParallelEngine) Stats() Stats {
+	var total Stats
+	for _, sh := range p.shards {
+		s := sh.eng.Stats()
+		total.Events += s.Events
+		total.Calculations += s.Calculations
+		total.Slices += s.Slices
+		total.Windows += s.Windows
+	}
+	return total
+}
+
+// NumShards reports the shard count.
+func (p *ParallelEngine) NumShards() int { return len(p.shards) }

@@ -1,0 +1,99 @@
+package desis
+
+import "container/heap"
+
+// Reorderer turns a bounded-disorder stream into the in-order stream the
+// engine requires. Events are buffered until the maximum observed event
+// time has moved maxLateness past them, then released in timestamp order
+// (ties keep arrival order). Events arriving later than that are dropped
+// and counted — the usual allowed-lateness contract of stream processors.
+//
+// The paper's generators replay in order (§6.1.2); Reorderer extends the
+// reproduction to the out-of-order setting Scotty is built for, without
+// touching the engine's hot path.
+type Reorderer struct {
+	lateness int64
+	out      func(Event)
+	buf      eventHeap
+	seq      uint64
+	maxSeen  int64
+	started  bool
+	released int64 // highest released timestamp: the drop threshold
+	dropped  uint64
+}
+
+// NewReorderer buffers up to maxLateness milliseconds of disorder and
+// forwards in-order events to out (e.g. Engine.Process).
+func NewReorderer(maxLateness int64, out func(Event)) *Reorderer {
+	if maxLateness < 0 {
+		maxLateness = 0
+	}
+	return &Reorderer{lateness: maxLateness, out: out}
+}
+
+// Process accepts one event in arrival order.
+func (r *Reorderer) Process(ev Event) {
+	if r.started && ev.Time < r.released {
+		r.dropped++
+		return
+	}
+	r.started = true
+	heap.Push(&r.buf, orderedEvent{ev: ev, seq: r.seq})
+	r.seq++
+	if ev.Time > r.maxSeen {
+		r.maxSeen = ev.Time
+	}
+	r.releaseUpTo(r.maxSeen - r.lateness)
+}
+
+// Flush releases everything still buffered, in order. Call at end of stream
+// before Engine.AdvanceTo.
+func (r *Reorderer) Flush() {
+	r.releaseUpTo(r.maxSeen + 1)
+}
+
+func (r *Reorderer) releaseUpTo(t int64) {
+	for r.buf.Len() > 0 && r.buf[0].ev.Time <= t {
+		oe := heap.Pop(&r.buf).(orderedEvent)
+		if oe.ev.Time > r.released {
+			r.released = oe.ev.Time
+		}
+		r.out(oe.ev)
+	}
+}
+
+// Dropped reports how many events arrived beyond the allowed lateness and
+// were discarded.
+func (r *Reorderer) Dropped() uint64 { return r.dropped }
+
+// Pending reports how many events are currently buffered.
+func (r *Reorderer) Pending() int { return r.buf.Len() }
+
+type orderedEvent struct {
+	ev  Event
+	seq uint64
+}
+
+// eventHeap is a min-heap on (time, arrival sequence).
+type eventHeap []orderedEvent
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].ev.Time != h[j].ev.Time {
+		return h[i].ev.Time < h[j].ev.Time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(orderedEvent)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
