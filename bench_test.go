@@ -91,6 +91,79 @@ func BenchmarkAblationSortedBatches(b *testing.B)       { runFigure(b, "ablation
 func BenchmarkAblationCodecs(b *testing.B)              { runFigure(b, "ablation-codecs") }
 func BenchmarkAblationShardedRoot(b *testing.B)         { runFigure(b, "ablation-shardedroot") }
 
+// BenchmarkAssemblySliding measures window-emission throughput with 32
+// overlapping sliding windows in one query-group, with the amortized
+// assembly index (swag) against the per-window slice re-fold (naive). One
+// b.N iteration is one ingested event; every 100ms of event time each mode
+// assembles all 32 windows.
+func BenchmarkAssemblySliding(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		naive bool
+	}{{"swag", false}, {"naive", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var qs []query.Query
+			for i := 0; i < 32; i++ {
+				qs = append(qs, query.Query{
+					ID: uint64(i + 1), Pred: query.All(), Type: query.Sliding,
+					Length: 2000 + int64(i)*500, Slide: 100,
+					Funcs: []operator.FuncSpec{{Func: operator.Average}},
+				})
+			}
+			groups, err := query.Analyze(qs, query.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			e := core.New(groups, core.Config{OnResult: func(core.Result) {}, NaiveAssembly: mode.naive})
+			s := gen.NewStream(gen.StreamConfig{Seed: 21, Keys: 1, IntervalMS: 1})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Process(s.Next())
+			}
+			b.ReportMetric(float64(e.Stats().Windows)/b.Elapsed().Seconds(), "windows/s")
+		})
+	}
+}
+
+// BenchmarkAssemblyManyQueries stresses assembly with a heterogeneous
+// 64-query group: sliding windows of many lengths plus a shared
+// non-decomposable quantile, so both the O(1) index path and the k-way run
+// merge execute per punctuation.
+func BenchmarkAssemblyManyQueries(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		naive bool
+	}{{"swag", false}, {"naive", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var qs []query.Query
+			for i := 0; i < 64; i++ {
+				f := operator.FuncSpec{Func: operator.Sum}
+				if i%8 == 0 {
+					f = operator.FuncSpec{Func: operator.Quantile, Arg: 0.95}
+				}
+				qs = append(qs, query.Query{
+					ID: uint64(i + 1), Pred: query.All(), Type: query.Sliding,
+					Length: 500 + int64(i)*125, Slide: 250,
+					Funcs: []operator.FuncSpec{f},
+				})
+			}
+			groups, err := query.Analyze(qs, query.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			e := core.New(groups, core.Config{OnResult: func(core.Result) {}, NaiveAssembly: mode.naive})
+			s := gen.NewStream(gen.StreamConfig{Seed: 21, Keys: 1, IntervalMS: 1})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Process(s.Next())
+			}
+			b.ReportMetric(float64(e.Stats().Windows)/b.Elapsed().Seconds(), "windows/s")
+		})
+	}
+}
+
 // --- Hot-path microbenchmarks ---
 
 // BenchmarkEngineProcess measures the engine's per-event cost with 100

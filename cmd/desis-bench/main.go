@@ -2,10 +2,12 @@
 //
 //	desis-bench -exp all                    # everything, test scale
 //	desis-bench -exp fig6b -events 2000000  # one figure, paper-ish scale
+//	desis-bench -exp ablation-assembly -out BENCH_assembly.json
 //	desis-bench -list
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +23,7 @@ func main() {
 	windows := flag.String("windows", "1,10,100,1000", "comma-separated concurrent-window sweep")
 	locals := flag.Int("locals", 4, "maximum local nodes in scalability sweeps")
 	keys := flag.Int("keys", 64, "maximum distinct keys in key sweeps")
+	out := flag.String("out", "", "with -exp ablation-assembly: also write the JSON report to this file")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()
 
@@ -39,6 +42,33 @@ func main() {
 			os.Exit(2)
 		}
 		cfg.WindowCounts = append(cfg.WindowCounts, n)
+	}
+
+	if *out != "" {
+		if *exp != "ablation-assembly" {
+			fmt.Fprintln(os.Stderr, "desis-bench: -out only applies to -exp ablation-assembly")
+			os.Exit(2)
+		}
+		rep, err := bench.RunAssemblyReport(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "desis-bench:", err)
+			os.Exit(1)
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "desis-bench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "desis-bench:", err)
+			os.Exit(1)
+		}
+		for _, p := range rep.Points {
+			fmt.Printf("windows=%-3d indexed=%.0f win/s naive=%.0f win/s speedup=%.2fx allocs/ev %.2f -> %.2f\n",
+				p.Windows, p.IndexedWindowsPerSec, p.NaiveWindowsPerSec, p.WindowsSpeedup,
+				p.NaiveAllocsPerEvent, p.IndexedAllocsPerEvent)
+		}
+		return
 	}
 
 	var err error

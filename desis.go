@@ -123,6 +123,23 @@ type Options struct {
 	// the paper): events identical in (time, value) within one slice are
 	// processed once.
 	Dedup bool
+	// NaiveAssembly disables the amortized prefix/suffix window-assembly
+	// index and re-folds every covering slice per emitted window — the
+	// pre-optimization behavior, exposed for ablation benchmarks
+	// (BenchmarkAssemblySliding, desis-bench -exp assembly).
+	NaiveAssembly bool
+	// PruneThreshold is how many closed slices a query-group retains
+	// before pruning ones no open window can need; 0 selects the default
+	// (64). Stats.Pruned counts what retention dropped.
+	PruneThreshold int
+}
+
+func (o Options) coreConfig() core.Config {
+	return core.Config{
+		OnResult:       o.OnResult,
+		NaiveAssembly:  o.NaiveAssembly,
+		PruneThreshold: o.PruneThreshold,
+	}
 }
 
 // Engine is the single-node aggregation engine: all queries share slices and
@@ -144,7 +161,7 @@ func NewEngine(queries []Query, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{e: core.New(groups, core.Config{OnResult: opts.OnResult})}
+	e := &Engine{e: core.New(groups, opts.coreConfig())}
 	for _, t := range templates {
 		if err := e.e.AddTemplate(t); err != nil {
 			return nil, err
@@ -223,7 +240,7 @@ func RestoreEngine(queries []Query, opts Options, snapshot []byte) (*Engine, err
 	if err != nil {
 		return nil, err
 	}
-	e, err := core.Restore(groups, core.Config{OnResult: opts.OnResult}, snapshot)
+	e, err := core.Restore(groups, opts.coreConfig(), snapshot)
 	if err != nil {
 		return nil, err
 	}

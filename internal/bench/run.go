@@ -66,6 +66,7 @@ var Experiments = []Experiment{
 	{"ablation-sortedbatches", "sorted-run merge vs root-side sort", one(AblationSortedBatches)},
 	{"ablation-codecs", "binary vs compact vs text wire codecs", one(AblationCodecs)},
 	{"ablation-shardedroot", "single vs key-sharded root engines", one(AblationShardedRoot)},
+	{"ablation-assembly", "amortized window assembly vs per-window slice re-fold", one(AblationAssembly)},
 }
 
 // Run executes the experiment with the given id and prints its tables.

@@ -14,22 +14,43 @@ import (
 // with OnSlice and emits per-slice partial results instead of assembling
 // windows.
 type Engine struct {
-	cfg       Config
-	groups    []*groupState
-	byKey     map[uint32][]*groupState
-	results   []Result
-	stats     Stats
-	templates []query.Query   // group-by (key=*) queries
-	tmplKeys  map[uint32]bool // keys already instantiated
+	cfg            Config
+	pruneThreshold int
+	groups         []*groupState
+	byKey          map[uint32][]*groupState
+	results        []Result
+	stats          Stats
+	templates      []query.Query   // group-by (key=*) queries
+	tmplKeys       map[uint32]bool // keys already instantiated
 }
 
 // New builds an engine for the analyzed query-groups.
 func New(groups []*groupOf, cfg Config) *Engine {
 	e := &Engine{cfg: cfg, byKey: make(map[uint32][]*groupState)}
+	e.pruneThreshold = cfg.PruneThreshold
+	if e.pruneThreshold <= 0 {
+		e.pruneThreshold = DefaultPruneThreshold
+	}
 	for _, g := range groups {
 		e.install(newGroupState(e, g))
 	}
 	return e
+}
+
+// RecyclePartial returns a partial emitted through Config.OnSlice to the
+// engine's pools once the consumer is done with it (e.g. after the wire
+// codec encoded it). The partial and its aggregates must not be used
+// afterwards. Passing partials the engine did not emit is a no-op.
+func (e *Engine) RecyclePartial(p *SlicePartial) {
+	if p == nil {
+		return
+	}
+	for _, gs := range e.groups {
+		if gs.id == p.Group {
+			gs.recyclePartial(p)
+			return
+		}
+	}
 }
 
 func (e *Engine) install(gs *groupState) {

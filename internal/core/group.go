@@ -65,10 +65,18 @@ type groupState struct {
 	nextSliceID   uint64
 
 	closed  []sliceRec // closed slices, monotone in start and startCount
+	idx     sliceIndex // prefix/suffix pre-aggregates over closed (swag.go)
 	pending *SlicePartial
 	scratch operator.Agg
 	runs    [][]float64        // scratch run list for value merging
 	rm      operator.RunMerger // k-way merger for non-decomposable values
+
+	// aggPool and partialPool recycle the per-slice aggregate rows (their
+	// Values buffers keep their capacity) and staged partials, so the
+	// steady-state ingest path allocates nothing: pruned slices and
+	// recycled partials feed the next closeSlice.
+	aggPool     [][]operator.Agg
+	partialPool []*SlicePartial
 
 	// dedup implements the deduplication non-aggregate operator (§4.2.3):
 	// events identical in (time, value) within the current slice are
@@ -150,11 +158,38 @@ func (g *groupState) start(t int64) {
 }
 
 func (g *groupState) newAggs() []operator.Agg {
+	if n := len(g.aggPool); n > 0 {
+		aggs := g.aggPool[n-1]
+		g.aggPool[n-1] = nil
+		g.aggPool = g.aggPool[:n-1]
+		if cap(aggs) >= len(g.contexts) {
+			aggs = aggs[:len(g.contexts)]
+			for i := range aggs {
+				aggs[i].Reset(g.ops)
+			}
+			return aggs
+		}
+	}
 	aggs := make([]operator.Agg, len(g.contexts))
 	for i := range aggs {
 		aggs[i].Reset(g.ops)
 	}
 	return aggs
+}
+
+// recycleAggs returns an aggregate row to the pool for the next slice. The
+// caller must hold the only reference (pruned slices, recycled partials).
+func (g *groupState) recycleAggs(aggs []operator.Agg) {
+	if aggs == nil || len(g.aggPool) >= 256 {
+		return
+	}
+	g.aggPool = append(g.aggPool, aggs)
+}
+
+// useIndex reports whether the pre-aggregation index is maintained: only in
+// store (window-assembling) mode, and not under the NaiveAssembly ablation.
+func (g *groupState) useIndex() bool {
+	return g.e.cfg.OnSlice == nil && !g.e.cfg.NaiveAssembly
 }
 
 // process routes one event through the group: punctuations first (window
@@ -318,6 +353,10 @@ func (g *groupState) closeSlice(b int64) {
 		g.stagePartial()
 	} else {
 		g.closed = append(g.closed, g.cur)
+		if g.useIndex() {
+			g.idx.configure(len(g.contexts), g.ops&^operator.OpNDSort, len(g.closed)-1)
+			g.idx.appendSlice(g.closed)
+		}
 	}
 	g.cur = sliceRec{start: b, startCount: g.count, lastEvent: g.lastEventTime, aggs: g.newAggs()}
 	g.lastPunct = b
@@ -330,15 +369,14 @@ func (g *groupState) closeSlice(b int64) {
 // stagePartial converts the closed slice into an outgoing SlicePartial; EPs
 // discovered while handling this punctuation attach to it before it ships.
 func (g *groupState) stagePartial() {
-	g.pending = &SlicePartial{
-		Group:     g.id,
-		ID:        g.cur.seq,
-		Start:     g.cur.start,
-		End:       g.cur.end,
-		LastEvent: g.cur.lastEvent,
-		Ingested:  g.cur.endCount - g.cur.startCount,
-		Aggs:      g.cur.aggs,
-	}
+	p := g.getPartial()
+	p.ID = g.cur.seq
+	p.Start = g.cur.start
+	p.End = g.cur.end
+	p.LastEvent = g.cur.lastEvent
+	p.Ingested = g.cur.endCount - g.cur.startCount
+	p.Aggs = g.cur.aggs
+	g.pending = p
 }
 
 // emptyPartial builds a zero-extent partial at time b, used when an EP must
@@ -346,9 +384,37 @@ func (g *groupState) stagePartial() {
 func (g *groupState) emptyPartial(b int64) *SlicePartial {
 	id := g.nextSliceID
 	g.nextSliceID++
-	return &SlicePartial{
-		Group: g.id, ID: id, Start: b, End: b, LastEvent: g.lastEventTime,
-		Aggs: g.newAggs(),
+	p := g.getPartial()
+	p.ID = id
+	p.Start = b
+	p.End = b
+	p.LastEvent = g.lastEventTime
+	p.Aggs = g.newAggs()
+	return p
+}
+
+// getPartial pops a recycled partial (see Engine.RecyclePartial) or
+// allocates a fresh one. All fields the staging sites do not overwrite are
+// zeroed here.
+func (g *groupState) getPartial() *SlicePartial {
+	if n := len(g.partialPool); n > 0 {
+		p := g.partialPool[n-1]
+		g.partialPool[n-1] = nil
+		g.partialPool = g.partialPool[:n-1]
+		p.Ingested = 0
+		p.EPs = p.EPs[:0]
+		return p
+	}
+	return &SlicePartial{Group: g.id}
+}
+
+// recyclePartial returns a shipped partial's aggregate row and struct to
+// the pools.
+func (g *groupState) recyclePartial(p *SlicePartial) {
+	g.recycleAggs(p.Aggs)
+	p.Aggs = nil
+	if len(g.partialPool) < 256 {
+		g.partialPool = append(g.partialPool, p)
 	}
 }
 
@@ -378,21 +444,48 @@ func (g *groupState) assembleTime(idx int, ws, we int64) {
 	if m.Type == query.UserDefined {
 		udSeq = m.udOpenSeq
 	}
-	for i := lo; i < len(g.closed) && g.closed[i].end <= we; i++ {
-		if g.closed[i].seq < udSeq {
-			// Stream-order membership: slices cut before this user-defined
-			// window opened belong to its predecessor, even at equal
-			// timestamps.
-			continue
+	if g.e.cfg.NaiveAssembly {
+		for i := lo; i < len(g.closed) && g.closed[i].end <= we; i++ {
+			if g.closed[i].seq < udSeq {
+				// Stream-order membership: slices cut before this
+				// user-defined window opened belong to its predecessor,
+				// even at equal timestamps.
+				continue
+			}
+			a := &g.closed[i].aggs[m.Ctx]
+			g.scratch.Merge(a)
+			if mops&operator.OpNDSort != 0 {
+				g.runs = append(g.runs, a.Values)
+			}
 		}
-		a := &g.closed[i].aggs[m.Ctx]
-		g.scratch.Merge(a)
-		if mops&operator.OpNDSort != 0 {
-			g.runs = append(g.runs, a.Values)
+		g.finishValues(m, mops)
+		g.emitResult(m, ws, we)
+		return
+	}
+	// Slice ends are monotone, so the covered slices form the contiguous
+	// range [lo, hi); the sequence filter of user-defined members only
+	// raises lo (seq is monotone with position).
+	hi := lo + sort.Search(len(g.closed)-lo, func(i int) bool { return g.closed[lo+i].end > we })
+	if udSeq > 0 {
+		lo += sort.Search(hi-lo, func(i int) bool { return g.closed[lo+i].seq >= udSeq })
+	}
+	g.assembleRange(m, mops, lo, hi)
+	g.emitResult(m, ws, we)
+}
+
+// assembleRange folds closed[lo:hi] into the scratch aggregate through the
+// pre-aggregation index (O(1) amortized merges for the decomposable
+// operators) and gathers the non-decomposable value runs from the same
+// range for the k-way merge.
+func (g *groupState) assembleRange(m *member, mops operator.Op, lo, hi int) {
+	g.idx.configure(len(g.contexts), g.ops&^operator.OpNDSort, len(g.closed))
+	g.idx.query(g.closed, m.Ctx, lo, hi, &g.scratch)
+	if mops&operator.OpNDSort != 0 {
+		for i := lo; i < hi; i++ {
+			g.runs = append(g.runs, g.closed[i].aggs[m.Ctx].Values)
 		}
 	}
 	g.finishValues(m, mops)
-	g.emitResult(m, ws, we)
 }
 
 // finishValues attaches the non-decomposable results when the member reads
@@ -436,14 +529,22 @@ func (g *groupState) assembleCount(idx int, cs, ce int64) {
 	g.scratch.Reset(mops &^ operator.OpNDSort)
 	g.scratch.Sorted = true
 	g.runs = g.runs[:0]
-	for i := lo; i < len(g.closed) && g.closed[i].endCount <= ce; i++ {
-		a := &g.closed[i].aggs[m.Ctx]
-		g.scratch.Merge(a)
-		if mops&operator.OpNDSort != 0 {
-			g.runs = append(g.runs, a.Values)
+	if g.e.cfg.NaiveAssembly {
+		for i := lo; i < len(g.closed) && g.closed[i].endCount <= ce; i++ {
+			a := &g.closed[i].aggs[m.Ctx]
+			g.scratch.Merge(a)
+			if mops&operator.OpNDSort != 0 {
+				g.runs = append(g.runs, a.Values)
+			}
 		}
+		g.finishValues(m, mops)
+		g.emitResult(m, cs, ce)
+		return
 	}
-	g.finishValues(m, mops)
+	// endCount is strictly increasing across closed slices, so the covered
+	// slices form the contiguous range [lo, hi).
+	hi := lo + sort.Search(len(g.closed)-lo, func(i int) bool { return g.closed[lo+i].endCount > ce })
+	g.assembleRange(m, mops, lo, hi)
 	g.emitResult(m, cs, ce)
 }
 
@@ -483,9 +584,11 @@ func (g *groupState) emitResult(m *member, start, end int64) {
 }
 
 // prune drops closed slices no longer covered by any open window on either
-// axis, keeping memory proportional to the longest open window (§2.3).
+// axis, keeping memory proportional to the longest open window (§2.3). The
+// retention threshold is Config.PruneThreshold (default 64); dropped slices
+// are counted in Stats.Pruned and their aggregate rows recycled.
 func (g *groupState) prune() {
-	if len(g.closed) < 64 {
+	if len(g.closed) < g.e.pruneThreshold {
 		return
 	}
 	tNeed := g.cal.EarliestOpenStart(g.lastPunct)
@@ -509,5 +612,13 @@ func (g *groupState) prune() {
 	if n == 0 {
 		return
 	}
+	for i := 0; i < n; i++ {
+		g.recycleAggs(g.closed[i].aggs)
+		g.closed[i].aggs = nil
+	}
 	g.closed = append(g.closed[:0], g.closed[n:]...)
+	g.e.stats.Pruned += uint64(n)
+	if g.useIndex() {
+		g.idx.dropFront(n)
+	}
 }

@@ -21,8 +21,8 @@ type windowDynamicState = window.DynamicState
 // snapshotMagic guards against feeding arbitrary bytes to Restore.
 const snapshotMagic = 0x44455349 // "DESI"
 
-// snapshotVersion bumps when the layout changes.
-const snapshotVersion = 1
+// snapshotVersion bumps when the layout changes (v2: Stats.Pruned).
+const snapshotVersion = 2
 
 // Snapshot appends a serialised checkpoint of the engine's complete mutable
 // state to buf. The engine must be quiescent (no concurrent Process).
@@ -33,6 +33,7 @@ func (e *Engine) Snapshot(buf []byte) []byte {
 	buf = appendU64s(buf, e.stats.Calculations)
 	buf = appendU64s(buf, e.stats.Slices)
 	buf = appendU64s(buf, e.stats.Windows)
+	buf = appendU64s(buf, e.stats.Pruned)
 	buf = appendU32s(buf, uint32(len(e.groups)))
 	for _, gs := range e.groups {
 		buf = gs.snapshot(buf)
@@ -108,6 +109,7 @@ func Restore(groups []*groupOf, cfg Config, snap []byte) (*Engine, error) {
 	e.stats.Calculations = r.u64()
 	e.stats.Slices = r.u64()
 	e.stats.Windows = r.u64()
+	e.stats.Pruned = r.u64()
 	n := int(r.u32())
 	if r.err == nil && n != len(e.groups) {
 		return nil, fmt.Errorf("core: snapshot has %d groups, engine has %d", n, len(e.groups))

@@ -1,0 +1,198 @@
+package core
+
+import "desis/internal/operator"
+
+// sliceIndex maintains shared prefix/suffix partial aggregates over a
+// group's closed slice ring, so window assembly answers any slice range
+// [lo, hi) of the decomposable operators with O(1) amortized Agg.Merge
+// calls instead of folding every covering slice per window.
+//
+// The scheme is the two-stacks sliding-window aggregation of Tangwongsan et
+// al. ("In-Order Sliding-Window Aggregation in Worst-Case Constant Time"),
+// adapted to the many-windows-one-ring setting of Wu et al.'s factor
+// windows: because every concurrent window of a query-group ends at the
+// ring's current tail, one *suffix* sweep frozen at a flip point plus an
+// incrementally grown *prefix* over the slices appended since serves every
+// window of every member:
+//
+//		closed:  [ s0 ........ f1 ........ n )
+//		          |-- suffix --|-- prefix --|
+//
+//	  - suffix[i] = fold(closed[i .. f1)), built right-to-left at flip time —
+//	    one merge per slice, frozen until the next flip;
+//	  - prefix[j] = fold(closed[f1 .. f1+j)), extended by one merge per
+//	    context whenever a slice closes;
+//	  - a window covering [lo, n) with lo <= f1 is suffix[lo] ⊕ prefix[n-f1]:
+//	    two merges, however many slices it spans.
+//
+// Windows that start after the flip point (lo > f1) fold their slices
+// directly — identical to the naive path — and charge the fold length to
+// missCost; once the accumulated misses would pay for rebuilding the
+// suffix over the whole retained ring, the index flips. The rebuild is
+// thereby amortized against the folds it replaces, giving O(1) amortized
+// merges per emitted window and O(1) merges per closed slice.
+//
+// Only decomposable operators live in the index (the mask strips OpNDSort);
+// non-decomposable value runs are gathered per window from the same [lo,
+// hi) range and merged k-way by operator.RunMerger, exactly as before.
+//
+// The index is derived state: it is rebuilt lazily whenever it falls out of
+// step with the ring (snapshot restore, operator-mask widening, context
+// growth), so it needs no serialization and cannot desynchronize.
+type sliceIndex struct {
+	ops  operator.Op // decomposable mask the partials are folded under
+	nctx int         // lanes: one per selection context
+	n    int         // ring length the index currently mirrors
+
+	s0, f1 int // suffix covers [s0, f1), prefix covers [f1, n)
+
+	// suffix holds (f1-s0) rows of nctx aggregates; the row for ring
+	// position i starts at (i-s0)*nctx.
+	suffix []operator.Agg
+	// prefix holds (n-f1+1) rows of nctx aggregates; row j is the fold of
+	// closed[f1 .. f1+j), row 0 the identity.
+	prefix []operator.Agg
+
+	// missCost accumulates direct-fold lengths since the last flip; the
+	// flip policy compares it against the rebuild cost.
+	missCost int
+}
+
+// configure re-targets the index at the given lane count and operator mask,
+// invalidating it when either changed (runtime AddQuery/SyncGroup widening,
+// context growth). The decomposable mask is derived by the caller.
+func (x *sliceIndex) configure(nctx int, ops operator.Op, n int) {
+	if x.nctx == nctx && x.ops == ops {
+		return
+	}
+	x.nctx = nctx
+	x.ops = ops
+	x.resetTo(n)
+}
+
+// resetTo empties the index's coverage at ring length n: everything before
+// n is uncovered (queries fold directly until the miss budget triggers a
+// flip), appends from n on grow the prefix.
+func (x *sliceIndex) resetTo(n int) {
+	x.n = n
+	x.s0, x.f1 = n, n
+	x.suffix = x.suffix[:0]
+	x.prefix = x.identityRow(x.prefix[:0])
+	x.missCost = 0
+}
+
+// identityRow appends one row of identity aggregates to buf.
+func (x *sliceIndex) identityRow(buf []operator.Agg) []operator.Agg {
+	for c := 0; c < x.nctx; c++ {
+		buf = append(buf, operator.Agg{})
+		buf[len(buf)-1].Reset(x.ops)
+	}
+	return buf
+}
+
+// appendSlice extends the prefix with the ring's newest slice (one merge
+// per context). closed must already contain the slice.
+func (x *sliceIndex) appendSlice(closed []sliceRec) {
+	n := len(closed)
+	if x.n != n-1 {
+		// Out of step (restore, or maintenance was off): restart coverage.
+		x.resetTo(n - 1)
+	}
+	base := len(x.prefix) - x.nctx // previous row
+	x.prefix = x.identityRow(x.prefix)
+	rec := &closed[n-1]
+	for c := 0; c < x.nctx; c++ {
+		p := &x.prefix[base+x.nctx+c]
+		p.Merge(&x.prefix[base+c])
+		if c < len(rec.aggs) {
+			p.Merge(&rec.aggs[c])
+		}
+	}
+	x.n = n
+}
+
+// dropFront tells the index that k slices were pruned off the ring's front.
+func (x *sliceIndex) dropFront(k int) {
+	if k <= 0 {
+		return
+	}
+	if k > x.f1 {
+		// The prune cut into the prefix region; its base is gone.
+		x.resetTo(x.n - k)
+		return
+	}
+	trim := k - x.s0
+	if trim > 0 {
+		// Discard suffix rows for the pruned positions, keeping capacity.
+		x.suffix = x.suffix[:copy(x.suffix, x.suffix[trim*x.nctx:])]
+		x.s0 = k
+	}
+	x.s0 -= k
+	x.f1 -= k
+	x.n -= k
+}
+
+// flip freezes a fresh suffix sweep over the whole retained ring and resets
+// the prefix: after a flip every window ending at the ring's tail is a hit.
+func (x *sliceIndex) flip(closed []sliceRec) {
+	n := len(closed)
+	x.n = n
+	x.s0, x.f1 = 0, n
+	x.missCost = 0
+	x.prefix = x.identityRow(x.prefix[:0])
+	need := n * x.nctx
+	if cap(x.suffix) < need {
+		x.suffix = make([]operator.Agg, need)
+	} else {
+		x.suffix = x.suffix[:need]
+	}
+	for i := n - 1; i >= 0; i-- {
+		rec := &closed[i]
+		for c := 0; c < x.nctx; c++ {
+			s := &x.suffix[i*x.nctx+c]
+			s.Reset(x.ops)
+			if c < len(rec.aggs) {
+				s.Merge(&rec.aggs[c])
+			}
+			if i+1 < n {
+				s.Merge(&x.suffix[(i+1)*x.nctx+c])
+			}
+		}
+	}
+}
+
+// query folds the decomposable aggregate of closed[lo:hi], lane ctx, into
+// dst (whose mask selects the fields the member needs). Hits cost at most
+// two merges; misses fold directly and are charged to the flip budget.
+func (x *sliceIndex) query(closed []sliceRec, ctx, lo, hi int, dst *operator.Agg) {
+	if lo >= hi {
+		return
+	}
+	if x.n != len(closed) {
+		x.resetTo(len(closed))
+	}
+	if lo >= x.s0 && lo <= x.f1 && hi >= x.f1 && hi <= x.n {
+		if lo < x.f1 {
+			dst.Merge(&x.suffix[(lo-x.s0)*x.nctx+ctx])
+		}
+		if j := hi - x.f1; j > 0 {
+			dst.Merge(&x.prefix[j*x.nctx+ctx])
+		}
+		return
+	}
+	span := hi - lo
+	if hi == len(closed) && x.missCost+span >= len(closed) {
+		// The misses since the last flip now pay for a rebuild.
+		x.flip(closed)
+		if lo < x.f1 {
+			dst.Merge(&x.suffix[(lo-x.s0)*x.nctx+ctx])
+		}
+		return
+	}
+	x.missCost += span
+	for i := lo; i < hi; i++ {
+		if ctx < len(closed[i].aggs) {
+			dst.Merge(&closed[i].aggs[ctx])
+		}
+	}
+}

@@ -99,7 +99,14 @@ type Stats struct {
 	Slices uint64
 	// Windows is the number of window results emitted.
 	Windows uint64
+	// Pruned is the number of closed slices dropped by retention pruning
+	// (see Config.PruneThreshold).
+	Pruned uint64
 }
+
+// DefaultPruneThreshold is the closed-slice count below which a group skips
+// retention pruning (Config.PruneThreshold = 0 selects it).
+const DefaultPruneThreshold = 64
 
 // Config configures an Engine.
 type Config struct {
@@ -120,6 +127,16 @@ type Config struct {
 	// re-derives the next boundary on every event — the strategy of the
 	// baseline systems, kept for the ablation benchmark.
 	PerEventBoundaryCheck bool
+	// NaiveAssembly disables the prefix/suffix pre-aggregation index
+	// (swag.go) and re-folds every covering slice per emitted window — the
+	// seed behavior, kept as the ablation baseline for the assembly
+	// benchmarks.
+	NaiveAssembly bool
+	// PruneThreshold is the closed-slice count a group retains before
+	// pruning slices no open window can need; 0 selects
+	// DefaultPruneThreshold. Larger values trade memory for fewer
+	// compactions.
+	PruneThreshold int
 	// Decentralized applies the decentralized placement rules when queries
 	// are added at runtime (count-based windows are RootOnly, §5.2).
 	Decentralized bool

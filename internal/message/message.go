@@ -76,7 +76,9 @@ type Codec interface {
 // Conn is a bidirectional, message-oriented connection between two nodes.
 type Conn interface {
 	// Send transmits one message; it may block for backpressure or
-	// bandwidth throttling.
+	// bandwidth throttling. Send must not retain m or anything it
+	// references after returning (implementations encode synchronously),
+	// so callers may recycle the message's payload buffers.
 	Send(m *Message) error
 	// Recv blocks for the next message; it returns io.EOF after the peer
 	// closed the connection.

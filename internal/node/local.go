@@ -60,9 +60,14 @@ func (l *Local) sendPartial(p *core.SlicePartial) {
 		return
 	}
 	if p.Ingested == 0 && len(p.EPs) == 0 {
+		l.engine.RecyclePartial(p)
 		return // nothing to contribute; watermarks carry progress
 	}
-	l.err = l.conn.Send(&message.Message{Kind: message.KindPartial, From: l.id, Partial: p})
+	err := l.conn.Send(&message.Message{Kind: message.KindPartial, From: l.id, Partial: p})
+	// Send encodes synchronously (the Conn contract forbids retaining the
+	// message), so the partial's buffers can feed the next slice.
+	l.engine.RecyclePartial(p)
+	l.err = err
 }
 
 // Process ingests a batch of in-order events from this node's data stream.

@@ -29,6 +29,13 @@ type Agg struct {
 	// Sorted records whether Values is sorted. Merging two sorted runs is
 	// linear; merging unsorted data falls back to append+sort.
 	Sorted bool
+	// scratch is the reusable output buffer of Merge's sorted-run merge: the
+	// merged result is built here and the buffers are swapped, so repeated
+	// merges into one Agg allocate only until the buffers reach steady-state
+	// capacity. Because of this buffer, an Agg that has merged OpNDSort
+	// values must not be struct-copied and then merged from both copies —
+	// the copies would share (and swap) the same two backing arrays.
+	scratch []float64
 }
 
 // NewAgg returns an Agg ready to accumulate for the given operator set.
@@ -120,32 +127,22 @@ func (a *Agg) Merge(b *Agg) {
 		}
 	}
 	if ops&OpNDSort != 0 {
-		a.Values = mergeSorted(a.Values, b.Values)
+		a.mergeValues(b.Values)
 	}
 }
 
-// mergeSorted merges two ascending runs into a new ascending slice.
-func mergeSorted(x, y []float64) []float64 {
-	if len(x) == 0 {
-		return append(x, y...)
-	}
+// mergeValues merges the ascending run y into the ascending a.Values through
+// the reusable scratch buffer; y must not alias either internal buffer.
+func (a *Agg) mergeValues(y []float64) {
 	if len(y) == 0 {
-		return x
+		return
 	}
-	out := make([]float64, 0, len(x)+len(y))
-	i, j := 0, 0
-	for i < len(x) && j < len(y) {
-		if x[i] <= y[j] {
-			out = append(out, x[i])
-			i++
-		} else {
-			out = append(out, y[j])
-			j++
-		}
+	if len(a.Values) == 0 {
+		a.Values = append(a.Values, y...)
+		return
 	}
-	out = append(out, x[i:]...)
-	out = append(out, y[j:]...)
-	return out
+	a.scratch = mergeTwo(a.scratch[:0], a.Values, y)
+	a.Values, a.scratch = a.scratch, a.Values
 }
 
 // Eval computes the final value of one aggregation function from the

@@ -77,8 +77,10 @@ func NewParallelEngine(queries []Query, n int, opts Options) (*ParallelEngine, e
 		if err != nil {
 			return nil, fmt.Errorf("desis: shard %d: %w", i, err)
 		}
+		shardCfg := opts.coreConfig()
+		shardCfg.OnResult = onResult
 		sh := &engineShard{
-			eng: core.New(groups, core.Config{OnResult: onResult}),
+			eng: core.New(groups, shardCfg),
 			ch:  make(chan shardMsg, 64),
 			wg:  &sync.WaitGroup{},
 		}
@@ -195,6 +197,7 @@ func (p *ParallelEngine) Stats() Stats {
 		total.Calculations += s.Calculations
 		total.Slices += s.Slices
 		total.Windows += s.Windows
+		total.Pruned += s.Pruned
 	}
 	return total
 }

@@ -1,0 +1,210 @@
+package desis
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func collectReordered(maxLateness int64, evs []Event) (out []Event, r *Reorderer) {
+	r = NewReorderer(maxLateness, func(ev Event) { out = append(out, ev) })
+	for _, ev := range evs {
+		r.Process(ev)
+	}
+	r.Flush()
+	return out, r
+}
+
+func TestReordererSortsWithinLateness(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var evs []Event
+	base := int64(1000)
+	for i := 0; i < 5000; i++ {
+		base += int64(rng.Intn(4))
+		// Jitter each timestamp backwards by up to the allowed lateness.
+		evs = append(evs, Event{Time: base - int64(rng.Intn(50)), Value: float64(i)})
+	}
+	out, r := collectReordered(50, evs)
+	if r.Dropped() != 0 {
+		t.Fatalf("dropped %d events; disorder was within lateness", r.Dropped())
+	}
+	if len(out) != len(evs) {
+		t.Fatalf("released %d of %d events", len(out), len(evs))
+	}
+	if !sort.SliceIsSorted(out, func(i, j int) bool { return out[i].Time < out[j].Time }) {
+		t.Fatal("released stream is not in timestamp order")
+	}
+	if r.Pending() != 0 {
+		t.Fatalf("%d events still pending after Flush", r.Pending())
+	}
+}
+
+func TestReordererTiesKeepArrivalOrder(t *testing.T) {
+	evs := []Event{
+		{Time: 100, Value: 1},
+		{Time: 100, Value: 2},
+		{Time: 90, Value: 3},
+		{Time: 100, Value: 4},
+		{Time: 300, Value: 5}, // advances maxSeen far enough to release all
+	}
+	out, _ := collectReordered(10, evs)
+	var hundred []float64
+	for _, ev := range out {
+		if ev.Time == 100 {
+			hundred = append(hundred, ev.Value)
+		}
+	}
+	want := []float64{1, 2, 4}
+	if len(hundred) != len(want) {
+		t.Fatalf("got %v events at t=100, want %v", hundred, want)
+	}
+	for i := range want {
+		if hundred[i] != want[i] {
+			t.Fatalf("ties released as %v, want arrival order %v", hundred, want)
+		}
+	}
+}
+
+func TestReordererDropsAndCountsLate(t *testing.T) {
+	var out []Event
+	r := NewReorderer(10, func(ev Event) { out = append(out, ev) })
+	r.Process(Event{Time: 100})
+	r.Process(Event{Time: 200}) // releases t=100 (threshold 190)
+	if len(out) != 1 || out[0].Time != 100 {
+		t.Fatalf("expected t=100 released, got %v", out)
+	}
+	// Later than the highest released timestamp: dropped, not reordered.
+	r.Process(Event{Time: 50})
+	r.Process(Event{Time: 99})
+	if r.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", r.Dropped())
+	}
+	// At or after the released watermark: accepted.
+	r.Process(Event{Time: 150})
+	r.Flush()
+	if r.Dropped() != 2 {
+		t.Fatalf("Dropped moved to %d after accepting in-bounds events", r.Dropped())
+	}
+	times := []int64{}
+	for _, ev := range out {
+		times = append(times, ev.Time)
+	}
+	want := []int64{100, 150, 200}
+	if len(times) != len(want) {
+		t.Fatalf("released %v, want %v", times, want)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("released %v, want %v", times, want)
+		}
+	}
+}
+
+func TestReordererZeroLateness(t *testing.T) {
+	// maxLateness = 0 degenerates to pass-through for in-order input: every
+	// event is released as soon as it arrives.
+	var out []Event
+	r := NewReorderer(0, func(ev Event) { out = append(out, ev) })
+	for _, tm := range []int64{10, 20, 20, 30} {
+		r.Process(Event{Time: tm})
+	}
+	if r.Pending() != 0 {
+		t.Fatalf("%d pending; zero lateness should release immediately", r.Pending())
+	}
+	if len(out) != 4 {
+		t.Fatalf("released %d of 4", len(out))
+	}
+	// Out-of-order input is dropped outright.
+	r.Process(Event{Time: 25})
+	if r.Dropped() != 1 {
+		t.Fatalf("Dropped = %d, want 1", r.Dropped())
+	}
+	// Negative lateness is clamped to zero.
+	r2 := NewReorderer(-5, func(Event) {})
+	r2.Process(Event{Time: 10})
+	if r2.Pending() != 0 {
+		t.Fatal("negative lateness not clamped to zero")
+	}
+}
+
+func TestReordererFlushReleasesPending(t *testing.T) {
+	var out []Event
+	r := NewReorderer(100, func(ev Event) { out = append(out, ev) })
+	r.Process(Event{Time: 50})
+	r.Process(Event{Time: 40})
+	if len(out) != 0 {
+		t.Fatalf("released %v before lateness elapsed", out)
+	}
+	if r.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", r.Pending())
+	}
+	r.Flush()
+	if r.Pending() != 0 || len(out) != 2 {
+		t.Fatalf("Flush left %d pending, released %d", r.Pending(), len(out))
+	}
+	if out[0].Time != 40 || out[1].Time != 50 {
+		t.Fatalf("Flush order %v, want [40 50]", out)
+	}
+}
+
+// TestReordererFeedsEngine runs the documented composition end to end: a
+// jittered stream through the Reorderer into an Engine matches the same
+// stream pre-sorted.
+func TestReordererFeedsEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var evs []Event
+	base := int64(1000)
+	for i := 0; i < 3000; i++ {
+		base += int64(rng.Intn(5))
+		evs = append(evs, Event{Time: base - int64(rng.Intn(80)), Key: 0, Value: rng.Float64() * 100})
+	}
+	mkEngine := func() *Engine {
+		eng, err := NewEngine([]Query{
+			MustParseQuery("tumbling(1s) sum,count key=0"),
+			MustParseQuery("sliding(3s,500ms) max key=0"),
+		}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+
+	reordered := mkEngine()
+	r := NewReorderer(80, reordered.Process)
+	for _, ev := range evs {
+		r.Process(ev)
+	}
+	r.Flush()
+	reordered.AdvanceTo(base + 10_000)
+	if r.Dropped() != 0 {
+		t.Fatalf("dropped %d in-bounds events", r.Dropped())
+	}
+
+	sorted := append([]Event(nil), evs...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Time < sorted[j].Time })
+	oracle := mkEngine()
+	oracle.ProcessBatch(sorted)
+	oracle.AdvanceTo(base + 10_000)
+
+	got, want := reordered.Results(), oracle.Results()
+	if len(got) != len(want) {
+		t.Fatalf("got %d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !equalResult(got[i], want[i]) {
+			t.Fatalf("result %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func equalResult(a, b Result) bool {
+	if a.QueryID != b.QueryID || a.Start != b.Start || a.End != b.End || a.Count != b.Count || len(a.Values) != len(b.Values) {
+		return false
+	}
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] {
+			return false
+		}
+	}
+	return true
+}
