@@ -1,0 +1,89 @@
+// Command desis-lint checks the Desis tree against the engine's ownership,
+// locking, and slicing contracts with three project-specific analyzers:
+//
+//	noretain        pooled values must not be used after release, and
+//	                Conn.Send implementations must not retain the message
+//	lockorder       lock-order cycles, re-entrant locking, and blocking
+//	                operations under a mutex
+//	sliceinvariant  slice/window state is written only at its documented
+//	                mutation points; slice ids stay monotone
+//
+// Standalone use (patterns default to ./...):
+//
+//	go run ./cmd/desis-lint ./...
+//
+// As a vet tool (runs per package under cmd/go, results cached like vet's):
+//
+//	go build -o desis-lint ./cmd/desis-lint
+//	go vet -vettool=./desis-lint ./...
+//
+// Exit status 2 when any diagnostic is reported, 1 on operational errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"strings"
+
+	"desis/internal/lint"
+	"desis/internal/lint/lockorder"
+	"desis/internal/lint/noretain"
+	"desis/internal/lint/sliceinvariant"
+)
+
+func analyzers() []*lint.Analyzer {
+	return []*lint.Analyzer{
+		noretain.Analyzer,
+		lockorder.Analyzer,
+		sliceinvariant.Analyzer,
+	}
+}
+
+func main() {
+	// cmd/go's vet-tool protocol: -V=full, -flags, or a single .cfg file.
+	if len(os.Args) == 2 {
+		if a := os.Args[1]; a == "-V=full" || a == "-flags" || strings.HasSuffix(a, ".cfg") {
+			lint.UnitcheckerMain(a, analyzers())
+		}
+	}
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: desis-lint [packages]\n\n")
+		for _, a := range analyzers() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-15s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	os.Exit(run(patterns))
+}
+
+func run(patterns []string) int {
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "desis-lint: %v\n", err)
+		return 1
+	}
+	fset := token.NewFileSet()
+	pkgs, err := lint.Load(fset, cwd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "desis-lint: %v\n", err)
+		return 1
+	}
+	diags, err := lint.RunAnalyzers(fset, pkgs, analyzers())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "desis-lint: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"desis/internal/event"
+	"desis/internal/invariant"
 	"desis/internal/operator"
 	"desis/internal/query"
 	"desis/internal/window"
@@ -353,6 +354,17 @@ func (g *groupState) closeSlice(b int64) {
 		g.stagePartial()
 	} else {
 		g.closed = append(g.closed, g.cur)
+		if invariant.Enabled {
+			if n := len(g.closed); n >= 2 {
+				a, rec := &g.closed[n-2], &g.closed[n-1]
+				invariant.Assertf(a.end <= rec.start,
+					"slice ring overlap: seq %d ends at %d, seq %d starts at %d", a.seq, a.end, rec.seq, rec.start)
+				invariant.Assertf(a.seq < rec.seq,
+					"slice ring seq not monotone: %d then %d", a.seq, rec.seq)
+				invariant.Assertf(a.endCount <= rec.startCount,
+					"slice ring count overlap: seq %d ends at count %d, seq %d starts at count %d", a.seq, a.endCount, rec.seq, rec.startCount)
+			}
+		}
 		if g.useIndex() {
 			g.idx.configure(len(g.contexts), g.ops&^operator.OpNDSort, len(g.closed)-1)
 			g.idx.appendSlice(g.closed)
@@ -401,6 +413,9 @@ func (g *groupState) getPartial() *SlicePartial {
 		p := g.partialPool[n-1]
 		g.partialPool[n-1] = nil
 		g.partialPool = g.partialPool[:n-1]
+		if invariant.Enabled {
+			invariant.UnpoisonPartial(p)
+		}
 		p.Ingested = 0
 		p.EPs = p.EPs[:0]
 		return p
@@ -411,6 +426,11 @@ func (g *groupState) getPartial() *SlicePartial {
 // recyclePartial returns a shipped partial's aggregate row and struct to
 // the pools.
 func (g *groupState) recyclePartial(p *SlicePartial) {
+	if invariant.Enabled {
+		// Poison before the pools touch it: a second recycle or any read
+		// through a stale reference must panic with this partial's identity.
+		invariant.PoisonPartial(p, p.ID)
+	}
 	g.recycleAggs(p.Aggs)
 	p.Aggs = nil
 	if len(g.partialPool) < 256 {

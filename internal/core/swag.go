@@ -1,6 +1,9 @@
 package core
 
-import "desis/internal/operator"
+import (
+	"desis/internal/invariant"
+	"desis/internal/operator"
+)
 
 // sliceIndex maintains shared prefix/suffix partial aggregates over a
 // group's closed slice ring, so window assembly answers any slice range
@@ -79,6 +82,7 @@ func (x *sliceIndex) resetTo(n int) {
 	x.suffix = x.suffix[:0]
 	x.prefix = x.identityRow(x.prefix[:0])
 	x.missCost = 0
+	x.check(nil)
 }
 
 // identityRow appends one row of identity aggregates to buf.
@@ -109,6 +113,7 @@ func (x *sliceIndex) appendSlice(closed []sliceRec) {
 		}
 	}
 	x.n = n
+	x.check(closed)
 }
 
 // dropFront tells the index that k slices were pruned off the ring's front.
@@ -130,6 +135,7 @@ func (x *sliceIndex) dropFront(k int) {
 	x.s0 -= k
 	x.f1 -= k
 	x.n -= k
+	x.check(nil)
 }
 
 // flip freezes a fresh suffix sweep over the whole retained ring and resets
@@ -157,6 +163,56 @@ func (x *sliceIndex) flip(closed []sliceRec) {
 			if i+1 < n {
 				s.Merge(&x.suffix[(i+1)*x.nctx+c])
 			}
+		}
+	}
+	x.check(closed)
+}
+
+// check validates the index's structural invariants after a mutation and —
+// for small rings, when the caller has the ring at hand — the deep
+// consistency of the frozen suffix and grown prefix against the slices they
+// claim to cover. Event counts are part of every index mask (groups always
+// carry OpCount), so row CountV totals fingerprint the coverage without
+// re-running operator semantics. Debug builds only (desis_invariants);
+// release builds compile the whole body away.
+func (x *sliceIndex) check(closed []sliceRec) {
+	if !invariant.Enabled {
+		return
+	}
+	invariant.Assertf(0 <= x.s0 && x.s0 <= x.f1 && x.f1 <= x.n,
+		"slice index flip points out of order: s0=%d f1=%d n=%d", x.s0, x.f1, x.n)
+	invariant.Assertf(len(x.suffix) == (x.f1-x.s0)*x.nctx,
+		"slice index suffix holds %d aggregates, want %d rows of %d lanes", len(x.suffix), x.f1-x.s0, x.nctx)
+	invariant.Assertf(len(x.prefix) == (x.n-x.f1+1)*x.nctx,
+		"slice index prefix holds %d aggregates, want %d rows of %d lanes", len(x.prefix), x.n-x.f1+1, x.nctx)
+	invariant.Assertf(x.missCost >= 0, "slice index missCost negative: %d", x.missCost)
+	if closed == nil || x.n != len(closed) || x.n > 64 || x.ops&operator.OpCount == 0 {
+		return
+	}
+	lane := func(rec *sliceRec, c int) int64 {
+		if c < len(rec.aggs) {
+			return rec.aggs[c].CountV
+		}
+		return 0
+	}
+	for c := 0; c < x.nctx; c++ {
+		// prefix[j] covers closed[f1 .. f1+j): row counts are running sums.
+		sum := int64(0)
+		for j := 0; j <= x.n-x.f1; j++ {
+			invariant.Assertf(x.prefix[j*x.nctx+c].CountV == sum,
+				"slice index prefix row %d lane %d counts %d events, ring says %d",
+				j, c, x.prefix[j*x.nctx+c].CountV, sum)
+			if x.f1+j < x.n {
+				sum += lane(&closed[x.f1+j], c)
+			}
+		}
+		// suffix[i] covers closed[i .. f1): counts accumulate right-to-left.
+		sum = 0
+		for i := x.f1 - 1; i >= x.s0; i-- {
+			sum += lane(&closed[i], c)
+			invariant.Assertf(x.suffix[(i-x.s0)*x.nctx+c].CountV == sum,
+				"slice index suffix row %d lane %d counts %d events, ring says %d",
+				i-x.s0, c, x.suffix[(i-x.s0)*x.nctx+c].CountV, sum)
 		}
 	}
 }

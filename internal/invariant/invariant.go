@@ -1,0 +1,24 @@
+// Package invariant provides runtime assertions over the engine's internal
+// contracts — slice-ring monotonicity, flip-point/prefix consistency of the
+// assembly index, and pool lifecycle (poisoning recycled partials so double
+// recycles and use-after-recycle panic with the offending slice id).
+//
+// The checks compile in only under the `desis_invariants` build tag:
+//
+//	go test -race -tags desis_invariants ./...
+//	go build -tags desis_invariants ./...
+//
+// In the default build every function in this package is an empty stub and
+// Enabled is a false constant, so call sites guarded with
+//
+//	if invariant.Enabled {
+//		invariant.Assertf(...)
+//	}
+//
+// are dead code the compiler removes entirely: the release hot path pays
+// nothing.
+//
+// The poison registry is a debug aid, not a production facility: it holds a
+// reference to every recycled object it tracks (unbounded over a process
+// lifetime), which is acceptable in tests and diagnosis runs only.
+package invariant

@@ -1,0 +1,19 @@
+//go:build !desis_invariants
+
+package invariant
+
+// Enabled reports whether invariant checking is compiled in.
+const Enabled = false
+
+// Assertf is a no-op in release builds; guard argument evaluation with
+// `if invariant.Enabled` at the call site.
+func Assertf(bool, string, ...any) {}
+
+// PoisonPartial is a no-op in release builds.
+func PoisonPartial(any, uint64) {}
+
+// UnpoisonPartial is a no-op in release builds.
+func UnpoisonPartial(any) {}
+
+// AssertPartialLive is a no-op in release builds.
+func AssertPartialLive(any) {}

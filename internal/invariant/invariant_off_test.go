@@ -1,0 +1,19 @@
+//go:build !desis_invariants
+
+package invariant
+
+import "testing"
+
+// Without the desis_invariants tag every entry point is a free no-op: the
+// guards compile to nothing and the poison registry does not exist.
+func TestDisabledStubs(t *testing.T) {
+	if Enabled {
+		t.Fatal("Enabled must be false without the desis_invariants build tag")
+	}
+	Assertf(false, "must not panic when disabled")
+	p := new(int)
+	PoisonPartial(p, 1)
+	PoisonPartial(p, 2) // double recycle: ignored when disabled
+	AssertPartialLive(p)
+	UnpoisonPartial(p)
+}

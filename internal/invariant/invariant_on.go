@@ -1,0 +1,59 @@
+//go:build desis_invariants
+
+package invariant
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Enabled reports whether invariant checking is compiled in.
+const Enabled = true
+
+// Assertf panics when cond is false, with a formatted description of the
+// violated contract.
+func Assertf(cond bool, format string, args ...any) {
+	if !cond {
+		panic("desis invariant violated: " + fmt.Sprintf(format, args...))
+	}
+}
+
+// The poison registry tracks recycled pooled objects by identity. A poisoned
+// object is recycled storage: recycling it again or using it before the pool
+// re-issues it is an ownership bug.
+var (
+	mu       sync.Mutex
+	poisoned = map[any]uint64{}
+)
+
+// PoisonPartial marks p as recycled under slice id, panicking on a double
+// recycle.
+func PoisonPartial(p any, id uint64) {
+	mu.Lock()
+	prev, dup := poisoned[p]
+	if !dup {
+		poisoned[p] = id
+	}
+	mu.Unlock()
+	if dup {
+		panic(fmt.Sprintf("desis invariant violated: double recycle of SlicePartial (slice id %d; first recycled as slice id %d)", id, prev))
+	}
+}
+
+// UnpoisonPartial clears the recycled mark when the pool re-issues p.
+func UnpoisonPartial(p any) {
+	mu.Lock()
+	delete(poisoned, p)
+	mu.Unlock()
+}
+
+// AssertPartialLive panics when p was recycled and not re-issued since —
+// the caller is reading pool-owned storage.
+func AssertPartialLive(p any) {
+	mu.Lock()
+	id, dead := poisoned[p]
+	mu.Unlock()
+	if dead {
+		panic(fmt.Sprintf("desis invariant violated: use of recycled SlicePartial (slice id %d)", id))
+	}
+}

@@ -1,0 +1,45 @@
+//go:build desis_invariants
+
+package invariant
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func mustPanic(t *testing.T, substr string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic (want one containing %q)", substr)
+		}
+		if msg := fmt.Sprint(r); !strings.Contains(msg, substr) {
+			t.Fatalf("panic %q does not contain %q", msg, substr)
+		}
+	}()
+	f()
+}
+
+func TestAssertf(t *testing.T) {
+	Assertf(true, "should not fire")
+	mustPanic(t, "desis invariant violated: ring broken at 7", func() {
+		Assertf(false, "ring broken at %d", 7)
+	})
+}
+
+func TestPoisonLifecycle(t *testing.T) {
+	p := new(int)
+	PoisonPartial(p, 41)
+	mustPanic(t, "use of recycled SlicePartial (slice id 41)", func() {
+		AssertPartialLive(p)
+	})
+	mustPanic(t, "double recycle of SlicePartial (slice id 42; first recycled as slice id 41)", func() {
+		PoisonPartial(p, 42)
+	})
+	UnpoisonPartial(p)
+	AssertPartialLive(p) // re-issued: live again
+	PoisonPartial(p, 43) // and recyclable again
+	UnpoisonPartial(p)
+}

@@ -1,0 +1,187 @@
+// Package lint is a self-contained static-analysis framework for the Desis
+// tree, shaped after golang.org/x/tools/go/analysis so the project-specific
+// analyzers (noretain, lockorder, sliceinvariant) could migrate to the real
+// framework unchanged if the dependency ever becomes available. It is built
+// entirely on the standard library: packages are loaded through `go list
+// -export` and type-checked against the build cache's export data, which
+// works offline and needs nothing outside the Go toolchain.
+//
+// Two drivers share the framework: the standalone multichecker
+// (cmd/desis-lint, over `./...`-style patterns) and a `go vet -vettool`
+// unit checker speaking cmd/go's vet protocol (unitchecker.go).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one analysis pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer checks.
+	Doc string
+	// Run applies the analyzer to one package. It may report diagnostics
+	// through the pass and may return a package-level result for Finish.
+	Run func(*Pass) (any, error)
+	// Finish, when non-nil, runs after every package was analyzed, with the
+	// non-nil results of all Run calls (in load order). Whole-program
+	// analyses (the lock-order graph) report their cross-package
+	// diagnostics here. Under `go vet -vettool` each package is a separate
+	// process, so Finish sees a single package's result there; the
+	// standalone driver gives it the whole pattern set.
+	Finish func(fset *token.FileSet, results []any, report func(Diagnostic))
+}
+
+// Pass holds the inputs and outputs of one analyzer applied to one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// report receives diagnostics; drivers install it.
+	report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Report emits a diagnostic.
+func (p *Pass) Report(d Diagnostic) {
+	d.Analyzer = p.Analyzer.Name
+	p.report(d)
+}
+
+// Reportf emits a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// RunAnalyzers applies every analyzer to every package (then the Finish
+// hooks) and returns the diagnostics sorted by position. Analyzer errors
+// abort the run.
+func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		var results []any
+		for _, pkg := range pkgs {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				report:    func(d Diagnostic) { diags = append(diags, d) },
+			}
+			res, err := a.Run(pass)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+			if res != nil {
+				results = append(results, res)
+			}
+		}
+		if a.Finish != nil {
+			a.Finish(fset, results, func(d Diagnostic) {
+				d.Analyzer = a.Name
+				diags = append(diags, d)
+			})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos != diags[j].Pos {
+			return diags[i].Pos < diags[j].Pos
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags, nil
+}
+
+// CalleeFullName resolves the called function of a call expression to its
+// types.Func full name — e.g. "(*sync.Pool).Put",
+// "(desis/internal/message.Conn).Send", "time.Sleep" — or "" when the callee
+// is not a statically known function or method (indirect calls, builtins,
+// conversions).
+func CalleeFullName(info *types.Info, call *ast.CallExpr) string {
+	fn := Callee(info, call)
+	if fn == nil {
+		return ""
+	}
+	return fn.FullName()
+}
+
+// Callee returns the *types.Func a call statically resolves to, or nil.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// NamedOf unwraps pointers and aliases to the defined (named) type of t, or
+// nil when t has none (basic types, unnamed composites).
+func NamedOf(t types.Type) *types.Named {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// TypeFullName renders the defined type of t as "pkgpath.Name" ("" when t
+// has no defined type).
+func TypeFullName(t types.Type) string {
+	n := NamedOf(t)
+	if n == nil {
+		return ""
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// EnclosingFuncName names the function declaration enclosing pos within
+// file, as "Func" or "Type.Method" (receiver pointer stripped); "" at file
+// scope.
+func EnclosingFuncName(file *ast.File, pos token.Pos) string {
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || pos < fd.Pos() || pos > fd.End() {
+			continue
+		}
+		if fd.Recv == nil || len(fd.Recv.List) == 0 {
+			return fd.Name.Name
+		}
+		t := fd.Recv.List[0].Type
+		if st, ok := t.(*ast.StarExpr); ok {
+			t = st.X
+		}
+		if ix, ok := t.(*ast.IndexExpr); ok { // generic receiver
+			t = ix.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			return id.Name + "." + fd.Name.Name
+		}
+		return fd.Name.Name
+	}
+	return ""
+}

@@ -1,0 +1,542 @@
+// Package lockorder builds the mutex-acquisition graph of the analyzed
+// packages and reports:
+//
+//   - lock-order cycles: two mutexes acquired in opposite orders on
+//     different code paths (the classic AB/BA deadlock), including orders
+//     established through static call chains (f locks A then calls g, which
+//     locks B);
+//   - re-acquisition of a mutex already held, directly or via a call chain
+//     (self-deadlock with sync.Mutex);
+//   - blocking operations while a mutex is held: channel sends/receives,
+//     selects without a default, time.Sleep, sync.WaitGroup.Wait, and
+//     message.Conn.Recv.
+//
+// Mutexes are identified structurally — "pkgpath.Type.field" for a mutex
+// field reached from a receiver or variable, "pkgpath.var" for a
+// package-level mutex — so the same lock is recognized across functions and
+// packages. Function literals and goroutine bodies are analyzed with an
+// empty held-set (they run on their own stacks); indirect calls through
+// function values are invisible to the graph, which keeps the analysis
+// under-approximate: every reported cycle is a real ordering in the code.
+//
+// Per-package findings (blocking-under-lock, direct self-deadlock) are
+// reported from Run; the cross-package graph is assembled in Finish, which
+// under the standalone driver sees every package of the pattern set.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"desis/internal/lint"
+)
+
+// Analyzer is the lockorder pass.
+var Analyzer = &lint.Analyzer{
+	Name:   "lockorder",
+	Doc:    "detect lock-order cycles, re-entrant locking, and blocking calls under a mutex",
+	Run:    run,
+	Finish: finish,
+}
+
+// acquire/release method sets on sync primitives.
+var (
+	lockFuncs = map[string]bool{
+		"(*sync.Mutex).Lock":    true,
+		"(*sync.RWMutex).Lock":  true,
+		"(*sync.RWMutex).RLock": true,
+	}
+	unlockFuncs = map[string]bool{
+		"(*sync.Mutex).Unlock":    true,
+		"(*sync.RWMutex).Unlock":  true,
+		"(*sync.RWMutex).RUnlock": true,
+	}
+	rlockFuncs = map[string]bool{"(*sync.RWMutex).RLock": true}
+
+	// blockingFuncs may block indefinitely; calling them with a mutex held
+	// stalls every other critical section on that mutex.
+	blockingFuncs = map[string]string{
+		"time.Sleep":                             "time.Sleep",
+		"(*sync.WaitGroup).Wait":                 "sync.WaitGroup.Wait",
+		"(sync.WaitGroup).Wait":                  "sync.WaitGroup.Wait",
+		"(*sync.Cond).Wait":                      "sync.Cond.Wait",
+		"(desis/internal/message.Conn).Recv":     "message.Conn.Recv",
+		"(*desis/internal/message.TCPConn).Recv": "message.TCPConn.Recv",
+		"(*desis/internal/message.Pipe).Recv":    "message.Pipe.Recv",
+	}
+)
+
+// facts is the per-package summary handed to Finish.
+type facts struct {
+	funcs map[string]*funcFact
+}
+
+type funcFact struct {
+	acquires []lockSite // direct acquisitions anywhere in the body
+	calls    []callSite // static calls with the held-set at the call
+}
+
+type lockSite struct {
+	lock string
+	pos  token.Pos
+}
+
+type callSite struct {
+	callee string
+	held   []string
+	pos    token.Pos
+}
+
+type heldLock struct {
+	id     string
+	reader bool // RLock
+}
+
+func run(pass *lint.Pass) (any, error) {
+	fs := &facts{funcs: map[string]*funcFact{}}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fnObj := pass.TypesInfo.Defs[fd.Name]
+			if fnObj == nil {
+				continue
+			}
+			name := fnObj.(interface{ FullName() string }).FullName()
+			ff := &funcFact{}
+			fs.funcs[name] = ff
+			w := &walker{pass: pass, fn: name, fact: ff}
+			w.stmts(fd.Body.List, nil)
+		}
+	}
+	return fs, nil
+}
+
+// walker tracks the held-lock stack through one function body.
+type walker struct {
+	pass *lint.Pass
+	fn   string
+	fact *funcFact
+}
+
+// stmts walks a statement list sequentially, threading the held set through
+// it, and returns the set as left at the end of the list.
+func (w *walker) stmts(list []ast.Stmt, held []heldLock) []heldLock {
+	for _, s := range list {
+		held = w.stmt(s, held)
+	}
+	return held
+}
+
+func (w *walker) stmt(s ast.Stmt, held []heldLock) []heldLock {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		return w.expr(s.X, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			held = w.expr(e, held)
+		}
+		for _, e := range s.Lhs {
+			held = w.expr(e, held)
+		}
+		return held
+	case *ast.DeclStmt, *ast.EmptyStmt, *ast.ReturnStmt, *ast.BranchStmt, *ast.IncDecStmt, *ast.LabeledStmt:
+		if r, ok := s.(*ast.ReturnStmt); ok {
+			for _, e := range r.Results {
+				held = w.expr(e, held)
+			}
+		}
+		if l, ok := s.(*ast.LabeledStmt); ok {
+			return w.stmt(l.Stmt, held)
+		}
+		return held
+	case *ast.DeferStmt:
+		// `defer mu.Unlock()` keeps the lock held to the end of the
+		// function, which is exactly how the held set already models it.
+		// Other deferred calls run at return; treat their bodies as
+		// lock-free.
+		if !unlockFuncs[lint.CalleeFullName(w.pass.TypesInfo, s.Call)] {
+			w.expr(s.Call.Fun, nil)
+		}
+		return held
+	case *ast.GoStmt:
+		// The goroutine runs on its own stack with nothing held.
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.stmts(lit.Body.List, nil)
+		}
+		return held
+	case *ast.SendStmt:
+		held = w.expr(s.Chan, held)
+		held = w.expr(s.Value, held)
+		if len(held) > 0 {
+			w.pass.Reportf(s.Pos(), "channel send while holding %s; a full channel blocks every critical section on that mutex", heldNames(held))
+		}
+		return held
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		held = w.expr(s.Cond, held)
+		w.stmts(s.Body.List, cloneHeld(held))
+		if s.Else != nil {
+			w.stmt(s.Else, cloneHeld(held))
+		}
+		return held
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			held = w.expr(s.Cond, held)
+		}
+		w.stmts(s.Body.List, cloneHeld(held))
+		return held
+	case *ast.RangeStmt:
+		held = w.expr(s.X, held)
+		w.stmts(s.Body.List, cloneHeld(held))
+		return held
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			held = w.expr(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, cloneHeld(held))
+			}
+		}
+		return held
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, cloneHeld(held))
+			}
+		}
+		return held
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				if cc.Comm == nil {
+					hasDefault = true
+				}
+				w.stmts(cc.Body, cloneHeld(held))
+			}
+		}
+		if !hasDefault && len(held) > 0 {
+			w.pass.Reportf(s.Pos(), "blocking select while holding %s", heldNames(held))
+		}
+		return held
+	case *ast.BlockStmt:
+		return w.stmts(s.List, cloneHeld(held))
+	default:
+		return held
+	}
+}
+
+// expr walks an expression, processing calls and channel receives.
+func (w *walker) expr(e ast.Expr, held []heldLock) []heldLock {
+	switch e := e.(type) {
+	case nil:
+		return held
+	case *ast.CallExpr:
+		for _, arg := range e.Args {
+			held = w.expr(arg, held)
+		}
+		held = w.expr(e.Fun, held)
+		return w.call(e, held)
+	case *ast.UnaryExpr:
+		held = w.expr(e.X, held)
+		if e.Op == token.ARROW && len(held) > 0 {
+			w.pass.Reportf(e.Pos(), "channel receive while holding %s", heldNames(held))
+		}
+		return held
+	case *ast.BinaryExpr:
+		held = w.expr(e.X, held)
+		return w.expr(e.Y, held)
+	case *ast.ParenExpr:
+		return w.expr(e.X, held)
+	case *ast.SelectorExpr:
+		return w.expr(e.X, held)
+	case *ast.IndexExpr:
+		held = w.expr(e.X, held)
+		return w.expr(e.Index, held)
+	case *ast.SliceExpr:
+		held = w.expr(e.X, held)
+		held = w.expr(e.Low, held)
+		held = w.expr(e.High, held)
+		return w.expr(e.Max, held)
+	case *ast.StarExpr:
+		return w.expr(e.X, held)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			held = w.expr(el, held)
+		}
+		return held
+	case *ast.KeyValueExpr:
+		held = w.expr(e.Key, held)
+		return w.expr(e.Value, held)
+	case *ast.FuncLit:
+		// Analyzed as an independent body: closures generally run outside
+		// the caller's critical section (callbacks, goroutines).
+		w.stmts(e.Body.List, nil)
+		return held
+	case *ast.TypeAssertExpr:
+		return w.expr(e.X, held)
+	default:
+		return held
+	}
+}
+
+// call classifies one call: lock, unlock, blocking, or ordinary (recorded
+// for the cross-function graph).
+func (w *walker) call(call *ast.CallExpr, held []heldLock) []heldLock {
+	name := lint.CalleeFullName(w.pass.TypesInfo, call)
+	if name == "" {
+		return held
+	}
+	switch {
+	case lockFuncs[name]:
+		id := w.lockID(call)
+		reader := rlockFuncs[name]
+		for _, h := range held {
+			if h.id != id {
+				continue
+			}
+			if !reader || !h.reader {
+				w.pass.Reportf(call.Pos(), "%s acquired while already held (self-deadlock)", id)
+			}
+		}
+		w.fact.acquires = append(w.fact.acquires, lockSite{lock: id, pos: call.Pos()})
+		w.fact.calls = append(w.fact.calls, callSite{callee: "lock:" + id, held: lockIDs(held), pos: call.Pos()})
+		return append(held, heldLock{id: id, reader: reader})
+	case unlockFuncs[name]:
+		id := w.lockID(call)
+		for i := len(held) - 1; i >= 0; i-- {
+			if held[i].id == id {
+				return append(held[:i:i], held[i+1:]...)
+			}
+		}
+		return held
+	default:
+		if len(held) > 0 {
+			if label, ok := blockingFuncs[name]; ok {
+				w.pass.Reportf(call.Pos(), "call to %s while holding %s", label, heldNames(held))
+			}
+		}
+		w.fact.calls = append(w.fact.calls, callSite{callee: name, held: lockIDs(held), pos: call.Pos()})
+		return held
+	}
+}
+
+// lockID canonicalizes the mutex a Lock/Unlock call operates on:
+// "pkg.Type.field[.field…]" for mutexes reached from a typed value,
+// "pkg.var" for package-level mutexes, "fn$name" for locals.
+func (w *walker) lockID(call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return w.fn + "$anonymous"
+	}
+	return w.exprLockID(sel.X)
+}
+
+func (w *walker) exprLockID(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := w.pass.TypesInfo.Uses[e]
+		if obj == nil {
+			return w.fn + "$" + e.Name
+		}
+		if obj.Parent() == w.pass.Pkg.Scope() { // package-level mutex
+			return w.pass.Pkg.Path() + "." + e.Name
+		}
+		// Local or parameter: name it after its type when it has one, so
+		// `m := &s.mu`-style handles still unify by declared type.
+		if tn := lint.TypeFullName(obj.Type()); tn != "" && !strings.HasPrefix(tn, "sync.") {
+			return tn
+		}
+		return w.fn + "$" + e.Name
+	case *ast.SelectorExpr:
+		base := w.exprLockID(e.X)
+		// Prefer the defined type owning the field over the full chain base.
+		if tn := lint.TypeFullName(w.pass.TypesInfo.Types[e.X].Type); tn != "" {
+			base = tn
+		}
+		return base + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return w.exprLockID(e.X)
+	case *ast.IndexExpr:
+		return w.exprLockID(e.X) + "[]"
+	default:
+		return w.fn + "$expr"
+	}
+}
+
+func cloneHeld(h []heldLock) []heldLock { return append([]heldLock(nil), h...) }
+
+func lockIDs(h []heldLock) []string {
+	ids := make([]string, len(h))
+	for i, l := range h {
+		ids[i] = l.id
+	}
+	return ids
+}
+
+func heldNames(h []heldLock) string { return strings.Join(lockIDs(h), ", ") }
+
+// --- whole-program graph ---------------------------------------------------
+
+type edge struct {
+	from, to string
+	pos      token.Pos
+	via      string
+}
+
+func finish(fset *token.FileSet, results []any, report func(lint.Diagnostic)) {
+	all := map[string]*funcFact{}
+	for _, r := range results {
+		for name, ff := range r.(*facts).funcs {
+			all[name] = ff
+		}
+	}
+	// Effective acquisitions: fixpoint of direct locks plus callees' locks.
+	eff := map[string]map[string]token.Pos{}
+	for name, ff := range all {
+		m := map[string]token.Pos{}
+		for _, a := range ff.acquires {
+			m[a.lock] = a.pos
+		}
+		eff[name] = m
+	}
+	for changed := true; changed; {
+		changed = false
+		for name, ff := range all {
+			for _, c := range ff.calls {
+				for l, p := range eff[c.callee] {
+					if _, ok := eff[name][l]; !ok {
+						eff[name][l] = p
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	// Edges: held → acquired, directly and through static call chains.
+	edges := map[string][]edge{}
+	addEdge := func(from, to string, pos token.Pos, via string) {
+		if from == to {
+			return
+		}
+		edges[from] = append(edges[from], edge{from: from, to: to, pos: pos, via: via})
+	}
+	var reentrant []edge
+	for name, ff := range all {
+		for _, c := range ff.calls {
+			if len(c.held) == 0 {
+				continue
+			}
+			if lock, ok := strings.CutPrefix(c.callee, "lock:"); ok {
+				for _, h := range c.held {
+					addEdge(h, lock, c.pos, "")
+				}
+				continue
+			}
+			for l := range eff[c.callee] {
+				for _, h := range c.held {
+					if h == l {
+						reentrant = append(reentrant, edge{from: h, to: l, pos: c.pos, via: c.callee})
+						continue
+					}
+					addEdge(h, l, c.pos, c.callee)
+				}
+			}
+			_ = name
+		}
+	}
+	for _, e := range reentrant {
+		report(lint.Diagnostic{Pos: e.pos, Message: fmt.Sprintf("%s may be acquired again through call to %s while already held (self-deadlock)", e.from, shortFunc(e.via))})
+	}
+	reportCycles(edges, report)
+}
+
+// reportCycles finds and reports each lock-order cycle once.
+func reportCycles(edges map[string][]edge, report func(lint.Diagnostic)) {
+	nodes := make([]string, 0, len(edges))
+	for n := range edges {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	seen := map[string]bool{}
+	for _, start := range nodes {
+		// DFS bounded to simple cycles through start.
+		var path []edge
+		var dfs func(cur string, visited map[string]bool) bool
+		dfs = func(cur string, visited map[string]bool) bool {
+			for _, e := range edges[cur] {
+				if e.to == start {
+					path = append(path, e)
+					return true
+				}
+				if visited[e.to] {
+					continue
+				}
+				visited[e.to] = true
+				path = append(path, e)
+				if dfs(e.to, visited) {
+					return true
+				}
+				path = path[:len(path)-1]
+			}
+			return false
+		}
+		if dfs(start, map[string]bool{start: true}) {
+			var names []string
+			for _, e := range path {
+				names = append(names, e.from)
+			}
+			names = append(names, start)
+			key := canonicalCycle(names)
+			if !seen[key] {
+				seen[key] = true
+				var via string
+				if path[0].via != "" {
+					via = fmt.Sprintf(" (via %s)", shortFunc(path[0].via))
+				}
+				report(lint.Diagnostic{
+					Pos:     path[0].pos,
+					Message: fmt.Sprintf("lock order cycle: %s%s; acquiring these mutexes in inconsistent order can deadlock", strings.Join(names, " -> "), via),
+				})
+			}
+		}
+	}
+}
+
+// canonicalCycle keys a cycle independent of its starting node.
+func canonicalCycle(names []string) string {
+	ring := names[:len(names)-1]
+	best := ""
+	for i := range ring {
+		var rot []string
+		rot = append(rot, ring[i:]...)
+		rot = append(rot, ring[:i]...)
+		k := strings.Join(rot, "->")
+		if best == "" || k < best {
+			best = k
+		}
+	}
+	return best
+}
+
+func shortFunc(full string) string {
+	if i := strings.LastIndex(full, "/"); i >= 0 {
+		return full[i+1:]
+	}
+	return full
+}

@@ -1,0 +1,95 @@
+// Package a seeds lockorder violations: an AB/BA lock-order cycle,
+// re-entrant locking (direct and through a call chain), and blocking
+// operations under a mutex.
+package a
+
+import (
+	"sync"
+	"time"
+)
+
+type S struct {
+	mu sync.Mutex
+	nu sync.Mutex
+}
+
+func (s *S) lockAB() {
+	s.mu.Lock()
+	s.nu.Lock() // want `lock order cycle: a\.S\.mu -> a\.S\.nu -> a\.S\.mu`
+	s.nu.Unlock()
+	s.mu.Unlock()
+}
+
+func (s *S) lockBA() {
+	s.nu.Lock()
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.nu.Unlock()
+}
+
+func (s *S) relock() {
+	s.mu.Lock()
+	s.mu.Lock() // want `a\.S\.mu acquired while already held \(self-deadlock\)`
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+func (s *S) lockAndCall() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.helper() // want `a\.S\.mu may be acquired again through call to \(\*a\.S\)\.helper while already held \(self-deadlock\)`
+}
+
+func (s *S) helper() {
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+
+func (s *S) sleepUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `call to time.Sleep while holding a\.S\.mu`
+	s.mu.Unlock()
+}
+
+func (s *S) sendUnderLock(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch <- 1 // want `channel send while holding a\.S\.mu`
+}
+
+func (s *S) recvUnderLock(ch chan int) {
+	s.mu.Lock()
+	<-ch // want `channel receive while holding a\.S\.mu`
+	s.mu.Unlock()
+}
+
+func (s *S) selectUnderLock(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `blocking select while holding a\.S\.mu`
+	case <-ch:
+	}
+}
+
+func (s *S) okAfterUnlock(ch chan int) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	ch <- 1 // ok: nothing held any more
+}
+
+func (s *S) okNonBlockingSelect(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-ch:
+	default: // ok: select with default cannot block
+	}
+}
+
+func (s *S) okGoroutine(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		ch <- 1 // ok: runs on its own stack, lock not held there
+	}()
+}

@@ -1,0 +1,12 @@
+package noretain_test
+
+import (
+	"testing"
+
+	"desis/internal/lint/linttest"
+	"desis/internal/lint/noretain"
+)
+
+func TestNoRetain(t *testing.T) {
+	linttest.Run(t, noretain.Analyzer, "a")
+}

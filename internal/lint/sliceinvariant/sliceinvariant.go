@@ -1,0 +1,251 @@
+// Package sliceinvariant enforces the engine's slicing contracts: the
+// structural invariants the two-stacks assembly index (internal/core/swag.go)
+// and the closed-slice ring rest on are only maintained if mutation stays
+// confined to the documented mutation points. The analyzer guards the state
+// fields of core.groupState, core.sliceRec, core.sliceIndex, the identity
+// fields of core.SlicePartial, and the shared query.Group descriptor:
+// every assignment, compound assignment, increment/decrement, or
+// address-taking of a guarded field outside its allow-listed writer
+// functions is reported.
+//
+// Slice ids must be monotone: counters marked as such may be incremented
+// anywhere in the owning package, but may never be decremented and may only
+// be assigned wholesale by their allow-listed writers (snapshot restore).
+//
+// The guard table is data (Rules); tests install a table targeting their
+// own fixture types to exercise the machinery, and the default table runs
+// clean on the tree — any new mutation point must either be added here
+// deliberately (a reviewed API change) or refactored through the existing
+// ones.
+package sliceinvariant
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"desis/internal/lint"
+)
+
+// Rule guards the fields of one type.
+type Rule struct {
+	// Type is the guarded defined type, "pkgpath.Name".
+	Type string
+	// Fields lists the guarded field names; empty guards every field.
+	Fields []string
+	// AllowPkgs are package paths whose functions may write freely.
+	AllowPkgs []string
+	// AllowFuncs are "pkgpath:Func" or "pkgpath:Type.Method" writer names.
+	AllowFuncs []string
+	// AllowRecvType permits every method whose receiver is this defined
+	// type ("pkgpath.Name") — e.g. sliceIndex state is writable only by
+	// sliceIndex methods.
+	AllowRecvType string
+	// MonotoneCounter permits `field++` anywhere in the type's own package
+	// (ids grow monotonically); all other writes still need an allowance.
+	MonotoneCounter bool
+	// Message explains the contract in diagnostics.
+	Message string
+}
+
+const corePkg = "desis/internal/core"
+
+// DefaultRules is the guard table for the Desis tree.
+var DefaultRules = []Rule{
+	{
+		Type:          corePkg + ".sliceIndex",
+		AllowRecvType: corePkg + ".sliceIndex",
+		Message:       "the prefix/suffix assembly index is derived state owned by its own methods (swag.go); mutate the ring and let the index rebuild",
+	},
+	{
+		Type:   corePkg + ".groupState",
+		Fields: []string{"closed"},
+		AllowFuncs: []string{
+			corePkg + ":groupState.closeSlice",
+			corePkg + ":groupState.prune",
+			corePkg + ":groupState.restore",
+		},
+		Message: "the closed-slice ring is appended by closeSlice, truncated by prune, and rebuilt by restore; writes elsewhere desynchronize the assembly index",
+	},
+	{
+		Type:   corePkg + ".groupState",
+		Fields: []string{"cur"},
+		AllowFuncs: []string{
+			corePkg + ":groupState.start",
+			corePkg + ":groupState.closeSlice",
+			corePkg + ":groupState.snapshot",
+			corePkg + ":groupState.restore",
+		},
+		Message: "the open slice is owned by the slicing path (start/closeSlice) and the snapshot code",
+	},
+	{
+		Type:            corePkg + ".groupState",
+		Fields:          []string{"nextSliceID"},
+		MonotoneCounter: true,
+		AllowFuncs:      []string{corePkg + ":groupState.restore"},
+		Message:         "slice ids are monotone: nextSliceID only grows (it may be incremented, or restored from a snapshot)",
+	},
+	{
+		Type: corePkg + ".sliceRec",
+		AllowFuncs: []string{
+			corePkg + ":groupState.process",
+			corePkg + ":groupState.closeSlice",
+			corePkg + ":groupState.prune",
+			corePkg + ":readSlice",
+			// Runtime query admission re-provisions the *open* slice's
+			// aggregate row after widening the operator mask (administrative
+			// punctuation closes the old slice first).
+			corePkg + ":Engine.AddQuery",
+			corePkg + ":Engine.placeQuery",
+			corePkg + ":Engine.SyncGroup",
+		},
+		Message: "closed-slice records are immutable outside the slicing path; the assembly index and window gathering assume their extents and aggregates never change",
+	},
+	{
+		Type:   corePkg + ".SlicePartial",
+		Fields: []string{"ID", "Group"},
+		// The wire decoders materialize received partials, so the message
+		// package writes identities by construction.
+		AllowPkgs: []string{"desis/internal/message"},
+		AllowFuncs: []string{
+			corePkg + ":groupState.stagePartial",
+			corePkg + ":groupState.emptyPartial",
+			corePkg + ":groupState.getPartial",
+		},
+		Message: "a partial's identity (group, slice id) is assigned once when it is staged or decoded; ids are monotone per (node, group)",
+	},
+	{
+		Type:      "desis/internal/query.Group",
+		AllowPkgs: []string{"desis/internal/query"},
+		AllowFuncs: []string{
+			corePkg + ":Engine.AddQuery",
+		},
+		Message: "shared query-group descriptors are mutated only by query.Analyze/Place (so every node derives the same groups) and by Engine.AddQuery on a freshly founded group",
+	},
+}
+
+// Analyzer is the sliceinvariant pass over the default guard table.
+var Analyzer = NewAnalyzer(DefaultRules)
+
+// NewAnalyzer builds a sliceinvariant pass over a custom guard table
+// (used by the analyzer's own tests).
+func NewAnalyzer(rules []Rule) *lint.Analyzer {
+	return &lint.Analyzer{
+		Name: "sliceinvariant",
+		Doc:  "flag writes to slice/window state outside the documented mutation points and non-monotone slice-id updates",
+		Run: func(pass *lint.Pass) (any, error) {
+			run(pass, rules)
+			return nil, nil
+		},
+	}
+}
+
+func run(pass *lint.Pass, rules []Rule) {
+	for _, file := range pass.Files {
+		filename := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(filename, "_test.go") {
+			continue // tests may poke internals to build fixtures
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					checkWrite(pass, rules, file, lhs, n.Pos(), "assigned")
+				}
+			case *ast.IncDecStmt:
+				verb := "incremented"
+				if n.Tok == token.DEC {
+					verb = "decremented"
+				}
+				checkWrite(pass, rules, file, n.X, n.Pos(), verb)
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					// Taking the address of a guarded field hands out a
+					// mutable alias; only allow-listed writers may do it.
+					checkWrite(pass, rules, file, n.X, n.Pos(), "aliased (&)")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkWrite resolves lhs as a guarded-field access and reports it when the
+// enclosing function is not an allowed writer.
+func checkWrite(pass *lint.Pass, rules []Rule, file *ast.File, lhs ast.Expr, pos token.Pos, verb string) {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selection := pass.TypesInfo.Selections[sel]
+	if selection == nil || selection.Kind() != types.FieldVal {
+		return
+	}
+	ownerType := lint.TypeFullName(selection.Recv())
+	field := sel.Sel.Name
+	for i := range rules {
+		r := &rules[i]
+		if r.Type != ownerType || !r.guards(field) {
+			continue
+		}
+		if allowed(pass, r, file, pos, verb) {
+			continue
+		}
+		pass.Reportf(pos, "%s.%s %s outside its documented mutation points: %s", shortType(ownerType), field, verb, r.Message)
+	}
+}
+
+func (r *Rule) guards(field string) bool {
+	if len(r.Fields) == 0 {
+		return true
+	}
+	for _, f := range r.Fields {
+		if f == field {
+			return true
+		}
+	}
+	return false
+}
+
+func allowed(pass *lint.Pass, r *Rule, file *ast.File, pos token.Pos, verb string) bool {
+	pkgPath := pass.Pkg.Path()
+	for _, p := range r.AllowPkgs {
+		if p == pkgPath {
+			return true
+		}
+	}
+	if r.MonotoneCounter && verb == "incremented" && pkgPath == ownerPkg(r.Type) {
+		return true
+	}
+	fn := lint.EnclosingFuncName(file, pos)
+	if fn == "" {
+		return false
+	}
+	qualified := pkgPath + ":" + fn
+	for _, f := range r.AllowFuncs {
+		if f == qualified {
+			return true
+		}
+	}
+	if r.AllowRecvType != "" {
+		if i := strings.Index(fn, "."); i > 0 && pkgPath+"."+fn[:i] == r.AllowRecvType {
+			return true
+		}
+	}
+	return false
+}
+
+func ownerPkg(typeName string) string {
+	if i := strings.LastIndex(typeName, "."); i > 0 {
+		return typeName[:i]
+	}
+	return typeName
+}
+
+func shortType(full string) string {
+	if i := strings.LastIndex(full, "/"); i >= 0 {
+		return full[i+1:]
+	}
+	return full
+}

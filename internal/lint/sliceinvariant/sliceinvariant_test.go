@@ -1,0 +1,58 @@
+package sliceinvariant_test
+
+import (
+	"testing"
+
+	"desis/internal/lint/linttest"
+	"desis/internal/lint/sliceinvariant"
+)
+
+// The real guard table targets unexported types in internal/core, so the
+// fixture installs an equivalent table over its own types to exercise every
+// rule mechanism: field allow-lists, writer allow-lists, receiver-type
+// allowances, and monotone counters.
+func TestSliceInvariant(t *testing.T) {
+	rules := []sliceinvariant.Rule{
+		{
+			Type:       "a.ring",
+			Fields:     []string{"closed"},
+			AllowFuncs: []string{"a:ring.closeSlice", "a:ring.restore"},
+			Message:    "ring is append-only outside restore",
+		},
+		{
+			Type:       "a.ring",
+			Fields:     []string{"cur"},
+			AllowFuncs: []string{"a:ring.closeSlice"},
+			Message:    "cur belongs to the slicing path",
+		},
+		{
+			Type:            "a.ring",
+			Fields:          []string{"nextID"},
+			MonotoneCounter: true,
+			AllowFuncs:      []string{"a:ring.restore"},
+			Message:         "ids are monotone",
+		},
+		{
+			Type:          "a.index",
+			AllowRecvType: "a.index",
+			Message:       "index state is owned by index methods",
+		},
+	}
+	linttest.Run(t, sliceinvariant.NewAnalyzer(rules), "a")
+}
+
+// TestDefaultRulesShape guards against the guard table silently rotting:
+// every rule must name a desis type and carry a rationale.
+func TestDefaultRulesShape(t *testing.T) {
+	if len(sliceinvariant.DefaultRules) == 0 {
+		t.Fatal("DefaultRules is empty")
+	}
+	for _, r := range sliceinvariant.DefaultRules {
+		if r.Message == "" {
+			t.Errorf("rule for %s has no message", r.Type)
+		}
+		if r.Type == "" {
+			t.Error("rule with empty type")
+		}
+	}
+}

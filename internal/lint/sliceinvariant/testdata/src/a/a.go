@@ -1,0 +1,43 @@
+// Package a seeds sliceinvariant violations against fixture types guarded
+// by the rules table the test installs (the real guarded types live
+// unexported in internal/core).
+package a
+
+type ring struct {
+	closed []int
+	cur    int
+	nextID uint64
+}
+
+func (r *ring) closeSlice() {
+	r.closed = append(r.closed, r.cur) // ok: allow-listed writer
+	r.cur = 0                          // ok: allow-listed writer
+	r.nextID++                         // ok: monotone counter in its own package
+}
+
+func (r *ring) restore(ids []int, next uint64) {
+	r.closed = ids   // ok: allow-listed writer
+	r.nextID = next  // ok: allow-listed writer
+	r.cur = len(ids) // want `a\.ring\.cur assigned outside its documented mutation points`
+}
+
+func rogue(r *ring) *[]int {
+	r.closed = nil   // want `a\.ring\.closed assigned outside its documented mutation points`
+	r.cur = 5        // want `a\.ring\.cur assigned outside its documented mutation points`
+	r.nextID--       // want `a\.ring\.nextID decremented outside its documented mutation points`
+	r.nextID = 0     // want `a\.ring\.nextID assigned outside its documented mutation points`
+	return &r.closed // want `a\.ring\.closed aliased \(&\) outside its documented mutation points`
+}
+
+type index struct {
+	s0 int
+	f1 int
+}
+
+func (ix *index) flip() { // ok: methods of the guarded type may write
+	ix.s0, ix.f1 = ix.f1, ix.s0
+}
+
+func poke(ix *index) {
+	ix.s0 = 2 // want `a\.index\.s0 assigned outside its documented mutation points`
+}

@@ -7,6 +7,7 @@ import (
 
 	"desis/internal/core"
 	"desis/internal/event"
+	"desis/internal/invariant"
 	"desis/internal/operator"
 	"desis/internal/query"
 )
@@ -101,6 +102,9 @@ func appendF64(buf []byte, v float64) []byte {
 }
 
 func appendPartial(buf []byte, p *core.SlicePartial) []byte {
+	// A partial reaching the encoder after being recycled is reading
+	// pool-owned storage (debug builds panic here with its slice id).
+	invariant.AssertPartialLive(p)
 	buf = appendU32(buf, p.Group)
 	buf = appendU64(buf, p.ID)
 	buf = appendU64(buf, uint64(p.Start))

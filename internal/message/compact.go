@@ -7,6 +7,7 @@ import (
 
 	"desis/internal/core"
 	"desis/internal/event"
+	"desis/internal/invariant"
 	"desis/internal/operator"
 )
 
@@ -55,6 +56,7 @@ func (Compact) Append(buf []byte, m *Message) ([]byte, error) {
 		}
 	case KindPartial:
 		p := m.Partial
+		invariant.AssertPartialLive(p)
 		buf = binary.AppendUvarint(buf, uint64(p.Group))
 		buf = binary.AppendUvarint(buf, p.ID)
 		buf = binary.AppendVarint(buf, p.Start)

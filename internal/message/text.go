@@ -7,6 +7,7 @@ import (
 
 	"desis/internal/core"
 	"desis/internal/event"
+	"desis/internal/invariant"
 	"desis/internal/operator"
 )
 
@@ -37,6 +38,7 @@ func (Text) Append(buf []byte, m *Message) ([]byte, error) {
 		fmt.Fprintf(&sb, "%d", m.Watermark)
 	case KindPartial:
 		p := m.Partial
+		invariant.AssertPartialLive(p)
 		fmt.Fprintf(&sb, "%d,%d,%d,%d,%d,%d|", p.Group, p.ID, p.Start, p.End, p.LastEvent, p.Ingested)
 		for i := range p.Aggs {
 			a := &p.Aggs[i]

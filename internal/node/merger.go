@@ -5,6 +5,7 @@ import (
 
 	"desis/internal/core"
 	"desis/internal/event"
+	"desis/internal/invariant"
 	"desis/internal/operator"
 )
 
@@ -88,6 +89,10 @@ func (m *Merger) NumChildren() int { return len(m.children) }
 
 // HandlePartial merges one child partial.
 func (m *Merger) HandlePartial(from uint32, p *core.SlicePartial) {
+	// The merger retains p (as a pending merge base); receiving a partial
+	// its producer already recycled is an ownership bug (debug builds panic
+	// here with the slice id).
+	invariant.AssertPartialLive(p)
 	if p.End > m.maxEnd {
 		m.maxEnd = p.End
 	}
