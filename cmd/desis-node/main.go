@@ -51,6 +51,9 @@ func main() {
 	keys := flag.Int("keys", 10, "distinct keys in the stream (local)")
 	interval := flag.Int64("interval", 1, "mean event spacing in ms (local)")
 	quiet := flag.Bool("quiet", false, "suppress per-window output (root)")
+	heartbeat := flag.Duration("heartbeat", node.HeartbeatInterval, "idle-uplink heartbeat period (intermediate, local); negative disables")
+	retries := flag.Int("reconnect-retries", 8, "uplink reconnect attempts before giving up (intermediate, local)")
+	replay := flag.Int("replay-depth", 0, "partial/watermark frames replayed after a reconnect; 0 selects the default, negative disables (intermediate, local)")
 	var queries queryList
 	flag.Var(&queries, "query", "query in the textual language (repeatable, root only)")
 	flag.Parse()
@@ -65,9 +68,9 @@ func main() {
 	case "root":
 		err = runRoot(*listen, queries, *children, *timeout, codec, *quiet)
 	case "intermediate":
-		err = runIntermediate(*listen, *parent, uint32(*id), *children, *timeout, codec)
+		err = runIntermediate(*listen, *parent, uint32(*id), *children, *timeout, dialOpts(codec, *heartbeat, *retries, *replay))
 	case "local":
-		err = runLocal(*parent, uint32(*id), *events, *seed, *keys, *interval, codec)
+		err = runLocal(*parent, uint32(*id), *events, *seed, *keys, *interval, dialOpts(codec, *heartbeat, *retries, *replay))
 	default:
 		err = fmt.Errorf("unknown -role %q (want root, intermediate, or local)", *role)
 	}
@@ -107,11 +110,22 @@ func runRoot(listen string, queries []query.Query, children int, timeout time.Du
 	return nil
 }
 
-func runIntermediate(listen, parent string, id uint32, children int, timeout time.Duration, codec message.Codec) error {
+// dialOpts assembles the supervised-uplink configuration shared by
+// intermediate and local roles.
+func dialOpts(codec message.Codec, heartbeat time.Duration, retries, replay int) node.DialOptions {
+	return node.DialOptions{
+		Codec:       codec,
+		Heartbeat:   heartbeat,
+		Retry:       node.RetryPolicy{MaxRetries: retries},
+		ReplayDepth: replay,
+	}
+}
+
+func runIntermediate(listen, parent string, id uint32, children int, timeout time.Duration, opts node.DialOptions) error {
 	if parent == "" {
 		return fmt.Errorf("intermediate needs -parent")
 	}
-	srv, err := node.ServeIntermediate(listen, parent, id, children, timeout, codec)
+	srv, err := node.ServeIntermediateOptions(listen, parent, id, children, timeout, opts)
 	if err != nil {
 		return err
 	}
@@ -120,11 +134,11 @@ func runIntermediate(listen, parent string, id uint32, children int, timeout tim
 	return srv.Wait()
 }
 
-func runLocal(parent string, id uint32, events int, seed int64, keys int, interval int64, codec message.Codec) error {
+func runLocal(parent string, id uint32, events int, seed int64, keys int, interval int64, opts node.DialOptions) error {
 	if parent == "" {
 		return fmt.Errorf("local needs -parent")
 	}
-	return node.RunLocalTCP(parent, id, 256, codec, func(l *node.LocalSession) error {
+	return node.RunLocalTCPOptions(parent, id, 256, opts, func(l *node.LocalSession) error {
 		s := gen.NewStream(gen.StreamConfig{Seed: seed, Keys: keys, IntervalMS: interval})
 		start := time.Now()
 		var batch []event.Event

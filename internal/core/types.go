@@ -76,6 +76,19 @@ type SlicePartial struct {
 	EPs []EP
 }
 
+// Clone returns a deep copy sharing no memory with p, safe to retain after p
+// is recycled. Used by the supervised uplink's replay buffer, which must not
+// hold references into the engine's partial pool.
+func (p *SlicePartial) Clone() *SlicePartial {
+	c := *p
+	c.Aggs = make([]operator.Agg, len(p.Aggs))
+	for i := range p.Aggs {
+		c.Aggs[i] = p.Aggs[i].CloneState()
+	}
+	c.EPs = append([]EP(nil), p.EPs...)
+	return &c
+}
+
 // Events reports the total number of events across all contexts of the
 // partial.
 func (p *SlicePartial) Events() int64 {

@@ -15,9 +15,17 @@
 // field reached from a receiver or variable, "pkgpath.var" for a
 // package-level mutex — so the same lock is recognized across functions and
 // packages. Function literals and goroutine bodies are analyzed with an
-// empty held-set (they run on their own stacks); indirect calls through
-// function values are invisible to the graph, which keeps the analysis
+// empty held-set and as synthetic functions of their own: a closure handed
+// to `go`, time.AfterFunc, or a callback registry runs on its own stack, so
+// the locks it takes are neither held at the creation site nor attributed
+// to the function that merely creates it. Indirect calls through function
+// values are invisible to the graph, which keeps the analysis
 // under-approximate: every reported cycle is a real ordering in the code.
+//
+// sync.Cond.Wait is special-cased: Wait requires its locker held and
+// atomically releases it while parked, so waiting with exactly one mutex
+// held is the required usage. Waiting with two or more held is reported —
+// every mutex other than the Cond's locker stays locked for the whole wait.
 //
 // Per-package findings (blocking-under-lock, direct self-deadlock) are
 // reported from Run; the cross-package graph is assembled in Finish, which
@@ -57,16 +65,21 @@ var (
 	rlockFuncs = map[string]bool{"(*sync.RWMutex).RLock": true}
 
 	// blockingFuncs may block indefinitely; calling them with a mutex held
-	// stalls every other critical section on that mutex.
+	// stalls every other critical section on that mutex. sync.Cond.Wait is
+	// handled separately (see condWait): it releases its own locker while
+	// parked, so it only blocks critical sections on *additional* mutexes.
 	blockingFuncs = map[string]string{
 		"time.Sleep":                             "time.Sleep",
 		"(*sync.WaitGroup).Wait":                 "sync.WaitGroup.Wait",
 		"(sync.WaitGroup).Wait":                  "sync.WaitGroup.Wait",
-		"(*sync.Cond).Wait":                      "sync.Cond.Wait",
 		"(desis/internal/message.Conn).Recv":     "message.Conn.Recv",
 		"(*desis/internal/message.TCPConn).Recv": "message.TCPConn.Recv",
 		"(*desis/internal/message.Pipe).Recv":    "message.Pipe.Recv",
 	}
+
+	// condWait is sync.Cond's wait method, which must be called with the
+	// Cond's locker held and releases it for the duration of the park.
+	condWait = "(*sync.Cond).Wait"
 )
 
 // facts is the per-package summary handed to Finish.
@@ -110,7 +123,8 @@ func run(pass *lint.Pass) (any, error) {
 			name := fnObj.(interface{ FullName() string }).FullName()
 			ff := &funcFact{}
 			fs.funcs[name] = ff
-			w := &walker{pass: pass, fn: name, fact: ff}
+			var lits int
+			w := &walker{pass: pass, fn: name, fact: ff, fs: fs, lits: &lits}
 			w.stmts(fd.Body.List, nil)
 		}
 	}
@@ -122,6 +136,23 @@ type walker struct {
 	pass *lint.Pass
 	fn   string
 	fact *funcFact
+	fs   *facts
+	lits *int // counter naming the function literals under fn
+}
+
+// litBody analyzes a function literal's body as a synthetic function of its
+// own. The literal typically escapes the creation site (goroutine bodies,
+// time.AfterFunc, callback registries) and runs on a fresh stack, so its
+// acquisitions must not leak into the enclosing function's effective lock
+// set — otherwise a helper that *schedules* a lock-taking closure looks like
+// it takes the lock itself, a false self-deadlock at every locked call site.
+func (w *walker) litBody(body *ast.BlockStmt) {
+	*w.lits++
+	name := fmt.Sprintf("%s$lit%d", w.fn, *w.lits)
+	ff := &funcFact{}
+	w.fs.funcs[name] = ff
+	lw := &walker{pass: w.pass, fn: name, fact: ff, fs: w.fs, lits: w.lits}
+	lw.stmts(body.List, nil)
 }
 
 // stmts walks a statement list sequentially, threading the held set through
@@ -167,7 +198,7 @@ func (w *walker) stmt(s ast.Stmt, held []heldLock) []heldLock {
 	case *ast.GoStmt:
 		// The goroutine runs on its own stack with nothing held.
 		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
-			w.stmts(lit.Body.List, nil)
+			w.litBody(lit.Body)
 		}
 		return held
 	case *ast.SendStmt:
@@ -284,9 +315,9 @@ func (w *walker) expr(e ast.Expr, held []heldLock) []heldLock {
 		held = w.expr(e.Key, held)
 		return w.expr(e.Value, held)
 	case *ast.FuncLit:
-		// Analyzed as an independent body: closures generally run outside
-		// the caller's critical section (callbacks, goroutines).
-		w.stmts(e.Body.List, nil)
+		// Analyzed as an independent synthetic function: closures generally
+		// run outside the caller's critical section (callbacks, goroutines).
+		w.litBody(e.Body)
 		return held
 	case *ast.TypeAssertExpr:
 		return w.expr(e.X, held)
@@ -326,6 +357,17 @@ func (w *walker) call(call *ast.CallExpr, held []heldLock) []heldLock {
 		}
 		return held
 	default:
+		if name == condWait {
+			// Wait atomically releases the Cond's locker while parked, so
+			// calling it with exactly one mutex held is the required usage,
+			// not a hazard. Any additional mutex stays locked for the whole
+			// wait and stalls its critical sections.
+			if len(held) > 1 {
+				w.pass.Reportf(call.Pos(), "call to sync.Cond.Wait while holding %d mutexes (%s); Wait releases only the Cond's own locker, the rest stay held while parked", len(held), heldNames(held))
+			}
+			w.fact.calls = append(w.fact.calls, callSite{callee: name, held: lockIDs(held), pos: call.Pos()})
+			return held
+		}
 		if len(held) > 0 {
 			if label, ok := blockingFuncs[name]; ok {
 				w.pass.Reportf(call.Pos(), "call to %s while holding %s", label, heldNames(held))

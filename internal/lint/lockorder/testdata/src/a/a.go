@@ -93,3 +93,53 @@ func (s *S) okGoroutine(ch chan int) {
 		ch <- 1 // ok: runs on its own stack, lock not held there
 	}()
 }
+
+// W exercises the condition-variable and scheduled-closure refinements on
+// its own mutex pair (so it adds no edges to S's seeded AB/BA cycle).
+type W struct {
+	wu    sync.Mutex
+	xu    sync.Mutex
+	cond  *sync.Cond
+	ready bool
+}
+
+func (w *W) okCondWait() {
+	w.wu.Lock()
+	defer w.wu.Unlock()
+	for !w.ready {
+		w.cond.Wait() // ok: Wait releases its locker while parked
+	}
+}
+
+func (w *W) condWaitExtraLock() {
+	w.wu.Lock()
+	w.xu.Lock()
+	w.cond.Wait() // want `call to sync.Cond.Wait while holding 2 mutexes \(a\.W\.wu, a\.W\.xu\); Wait releases only the Cond's own locker`
+	w.xu.Unlock()
+	w.wu.Unlock()
+}
+
+func (w *W) okScheduledClosure() {
+	w.wu.Lock()
+	defer w.wu.Unlock()
+	w.scheduleRecheck() // ok: the closure runs on its own stack later
+}
+
+// scheduleRecheck locks w.wu only inside a deferred-execution closure; its
+// callers may hold w.wu without deadlocking.
+func (w *W) scheduleRecheck() {
+	time.AfterFunc(time.Millisecond, func() {
+		w.wu.Lock()
+		w.ready = true
+		w.wu.Unlock()
+	})
+}
+
+func (w *W) okGoroutineRelock() {
+	w.wu.Lock()
+	defer w.wu.Unlock()
+	go func() {
+		w.wu.Lock() // ok: its own stack; the creator's hold is not visible here
+		w.wu.Unlock()
+	}()
+}

@@ -24,7 +24,7 @@ func (Binary) Append(buf []byte, m *Message) ([]byte, error) {
 	buf = append(buf, byte(m.Kind))
 	buf = appendU32(buf, m.From)
 	switch m.Kind {
-	case KindHello, KindHeartbeat:
+	case KindHello, KindHeartbeat, KindGoodbye:
 	case KindEventBatch:
 		buf = event.AppendBatch(buf, m.Events)
 	case KindPartial:
@@ -54,7 +54,7 @@ func (Binary) Decode(buf []byte) (*Message, error) {
 	m.Kind = Kind(r.u8())
 	m.From = r.u32()
 	switch m.Kind {
-	case KindHello, KindHeartbeat:
+	case KindHello, KindHeartbeat, KindGoodbye:
 	case KindEventBatch:
 		var err error
 		m.Events, _, err = event.DecodeBatch(r.buf, nil)

@@ -32,7 +32,7 @@ const compactFallback = 0xff
 // Append implements Codec.
 func (Compact) Append(buf []byte, m *Message) ([]byte, error) {
 	switch m.Kind {
-	case KindEventBatch, KindPartial, KindWatermark, KindHello, KindHeartbeat:
+	case KindEventBatch, KindPartial, KindWatermark, KindHello, KindHeartbeat, KindGoodbye:
 	default:
 		// Control plane: envelope the Binary encoding.
 		buf = append(buf, compactFallback)
@@ -41,7 +41,7 @@ func (Compact) Append(buf []byte, m *Message) ([]byte, error) {
 	buf = append(buf, byte(m.Kind))
 	buf = binary.AppendUvarint(buf, uint64(m.From))
 	switch m.Kind {
-	case KindHello, KindHeartbeat:
+	case KindHello, KindHeartbeat, KindGoodbye:
 	case KindWatermark:
 		buf = binary.AppendVarint(buf, m.Watermark)
 	case KindEventBatch:
@@ -115,7 +115,7 @@ func (Compact) Decode(buf []byte) (*Message, error) {
 	m.Kind = Kind(r.u8())
 	m.From = uint32(r.uvarint())
 	switch m.Kind {
-	case KindHello, KindHeartbeat:
+	case KindHello, KindHeartbeat, KindGoodbye:
 	case KindWatermark:
 		m.Watermark = r.varint()
 	case KindEventBatch:

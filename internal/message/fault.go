@@ -1,0 +1,303 @@
+package message
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Fault injection for the decentralized transport (§3.2 fault tolerance):
+// FaultConn wraps a net.Conn so a test can sever, stall, or delay a link on
+// command; FaultListener hands out fault-controllable accepted connections;
+// FaultProxy splices a client to a fixed target through a FaultConn, which
+// lets tests inject faults between nodes that own their listeners (the TCP
+// servers in internal/node). None of this is used outside tests, but it
+// lives here so any package deploying Conns can reuse it.
+
+// ErrSevered is returned by FaultConn operations after Sever.
+var ErrSevered = errors.New("message: link severed")
+
+// FaultConn is a net.Conn whose delivery can be manipulated at runtime:
+//
+//   - SetDelay(d) sleeps d before every Read and Write (link latency);
+//   - Stall() blocks all Reads and Writes until Resume (a live but frozen
+//     link: bytes already accepted by the kernel still drain, nothing new
+//     moves — heartbeats stop arriving without the socket closing);
+//   - Sever() closes the underlying socket and fails every later operation
+//     (abrupt node/link death).
+type FaultConn struct {
+	net.Conn
+	mu      sync.Mutex
+	delay   time.Duration
+	stall   chan struct{} // non-nil while stalled; closed to release waiters
+	severed bool
+}
+
+// NewFaultConn wraps an established connection.
+func NewFaultConn(c net.Conn) *FaultConn { return &FaultConn{Conn: c} }
+
+// SetDelay imposes a per-operation latency; zero removes it.
+func (f *FaultConn) SetDelay(d time.Duration) {
+	f.mu.Lock()
+	f.delay = d
+	f.mu.Unlock()
+}
+
+// Stall freezes the link: Reads and Writes block until Resume or Sever.
+func (f *FaultConn) Stall() {
+	f.mu.Lock()
+	if f.stall == nil && !f.severed {
+		f.stall = make(chan struct{})
+	}
+	f.mu.Unlock()
+}
+
+// Resume releases a stalled link.
+func (f *FaultConn) Resume() {
+	f.mu.Lock()
+	if f.stall != nil {
+		close(f.stall)
+		f.stall = nil
+	}
+	f.mu.Unlock()
+}
+
+// Sever closes the underlying connection and releases any stalled waiters;
+// every subsequent operation fails.
+func (f *FaultConn) Sever() {
+	f.mu.Lock()
+	f.severed = true
+	if f.stall != nil {
+		close(f.stall)
+		f.stall = nil
+	}
+	f.mu.Unlock()
+	f.Conn.Close()
+}
+
+// gate applies the current fault mode before an operation. Stall is a loop:
+// a Resume immediately followed by another Stall re-blocks the waiter.
+func (f *FaultConn) gate() error {
+	for {
+		f.mu.Lock()
+		if f.severed {
+			f.mu.Unlock()
+			return ErrSevered
+		}
+		d, ch := f.delay, f.stall
+		f.mu.Unlock()
+		if d > 0 {
+			time.Sleep(d)
+		}
+		if ch == nil {
+			return nil
+		}
+		<-ch
+	}
+}
+
+// Read implements net.Conn.
+func (f *FaultConn) Read(p []byte) (int, error) {
+	if err := f.gate(); err != nil {
+		return 0, err
+	}
+	return f.Conn.Read(p)
+}
+
+// Write implements net.Conn.
+func (f *FaultConn) Write(p []byte) (int, error) {
+	if err := f.gate(); err != nil {
+		return 0, err
+	}
+	return f.Conn.Write(p)
+}
+
+// FaultListener wraps a net.Listener: every accepted connection comes back
+// as a FaultConn registered with the listener, and new connections can be
+// rejected wholesale (a node that is up but refusing service).
+type FaultListener struct {
+	net.Listener
+	mu     sync.Mutex
+	conns  []*FaultConn
+	reject bool
+}
+
+// NewFaultListener wraps an existing listener.
+func NewFaultListener(l net.Listener) *FaultListener { return &FaultListener{Listener: l} }
+
+// Accept implements net.Listener. While rejection is on, inbound
+// connections are closed immediately and Accept keeps waiting.
+func (l *FaultListener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		l.mu.Lock()
+		if l.reject {
+			l.mu.Unlock()
+			c.Close()
+			continue
+		}
+		fc := NewFaultConn(c)
+		l.conns = append(l.conns, fc)
+		l.mu.Unlock()
+		return fc, nil
+	}
+}
+
+// RejectNew toggles whether inbound connections are refused.
+func (l *FaultListener) RejectNew(on bool) {
+	l.mu.Lock()
+	l.reject = on
+	l.mu.Unlock()
+}
+
+// Conns returns every connection accepted so far, oldest first.
+func (l *FaultListener) Conns() []*FaultConn {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]*FaultConn(nil), l.conns...)
+}
+
+// FaultProxy is a byte-level TCP proxy to a fixed target. Each inbound
+// connection becomes a FaultLink whose faults apply to both directions, so
+// tests can place it between a child and its parent without touching either
+// node's listener. Codec-agnostic: it splices raw bytes.
+type FaultProxy struct {
+	l      net.Listener
+	target string
+	mu     sync.Mutex
+	links  []*FaultLink
+	reject bool
+	closed bool
+}
+
+// FaultLink is one proxied connection pair. Faults are applied on the
+// client-facing side, gating both the upstream and downstream byte flow.
+type FaultLink struct {
+	*FaultConn          // client side; Sever/Stall/Resume/SetDelay act here
+	server     net.Conn // target side
+	once       sync.Once
+}
+
+// close tears down both halves of the link.
+func (ln *FaultLink) close() {
+	ln.once.Do(func() {
+		ln.FaultConn.Conn.Close()
+		ln.server.Close()
+	})
+}
+
+// Sever cuts the link abruptly: both sides observe a closed connection.
+func (ln *FaultLink) Sever() {
+	ln.FaultConn.Sever()
+	ln.close()
+}
+
+// NewFaultProxy listens on 127.0.0.1:0 and forwards every connection to
+// target, returning the proxy once it is accepting.
+func NewFaultProxy(target string) (*FaultProxy, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &FaultProxy{l: l, target: target}
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the proxy's listen address; point children here instead of at the
+// real parent.
+func (p *FaultProxy) Addr() string { return p.l.Addr().String() }
+
+// RejectNew toggles whether new inbound connections are refused — combined
+// with Sever or Stall on existing links this makes reconnection attempts
+// fail, simulating a dead parent or a partitioned child.
+func (p *FaultProxy) RejectNew(on bool) {
+	p.mu.Lock()
+	p.reject = on
+	p.mu.Unlock()
+}
+
+// Links returns every proxied connection so far, oldest first.
+func (p *FaultProxy) Links() []*FaultLink {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]*FaultLink(nil), p.links...)
+}
+
+// StallAll freezes every live link (see FaultConn.Stall).
+func (p *FaultProxy) StallAll() {
+	for _, ln := range p.Links() {
+		ln.Stall()
+	}
+}
+
+// ResumeAll releases every stalled link.
+func (p *FaultProxy) ResumeAll() {
+	for _, ln := range p.Links() {
+		ln.Resume()
+	}
+}
+
+// SeverAll abruptly cuts every live link; new connections still proxy unless
+// RejectNew is on.
+func (p *FaultProxy) SeverAll() {
+	for _, ln := range p.Links() {
+		ln.Sever()
+	}
+}
+
+// Close stops accepting and tears down every link.
+func (p *FaultProxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	links := append([]*FaultLink(nil), p.links...)
+	p.mu.Unlock()
+	err := p.l.Close()
+	for _, ln := range links {
+		ln.close()
+	}
+	return err
+}
+
+func (p *FaultProxy) acceptLoop() {
+	for {
+		c, err := p.l.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		reject := p.reject || p.closed
+		p.mu.Unlock()
+		if reject {
+			c.Close()
+			continue
+		}
+		server, err := net.Dial("tcp", p.target)
+		if err != nil {
+			c.Close()
+			continue
+		}
+		ln := &FaultLink{FaultConn: NewFaultConn(c), server: server}
+		p.mu.Lock()
+		p.links = append(p.links, ln)
+		p.mu.Unlock()
+		go splice(server, ln.FaultConn, ln)
+		go splice(ln.FaultConn, server, ln)
+	}
+}
+
+// splice copies one direction until it fails, then tears the link down (the
+// protocol treats a half-dead link as dead, matching §3.2 node loss).
+func splice(dst io.Writer, src io.Reader, ln *FaultLink) {
+	_, _ = io.Copy(dst, src)
+	ln.close()
+}

@@ -1,0 +1,205 @@
+package message
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// echoServer accepts TCPConns on l and echoes every message back until the
+// connection dies.
+func echoServer(t *testing.T, l *Listener) {
+	t.Helper()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				for {
+					m, err := c.Recv()
+					if err != nil {
+						return
+					}
+					if err := c.Send(m); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+}
+
+// proxiedEcho starts an echo server behind a FaultProxy and dials through it.
+func proxiedEcho(t *testing.T) (*FaultProxy, *TCPConn) {
+	t.Helper()
+	l, err := Listen("127.0.0.1:0", Binary{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	echoServer(t, l)
+	p, err := NewFaultProxy(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	c, err := Dial(p.Addr(), Binary{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return p, c
+}
+
+func roundTrip(t *testing.T, c *TCPConn, wm int64, timeout time.Duration) error {
+	t.Helper()
+	if err := c.Send(&Message{Kind: KindWatermark, Watermark: wm}); err != nil {
+		return err
+	}
+	m, err := c.RecvTimeout(timeout)
+	if err != nil {
+		return err
+	}
+	if m.Watermark != wm {
+		t.Fatalf("echoed watermark %d, want %d", m.Watermark, wm)
+	}
+	return nil
+}
+
+// TestFaultProxyStallResumeSever walks one link through the full fault
+// repertoire: healthy round trip, stall (live socket, nothing moves, receives
+// time out), resume (buffered frame finally delivered), sever (both ends see
+// the link die), and rejection of new connections.
+func TestFaultProxyStallResumeSever(t *testing.T) {
+	p, c := proxiedEcho(t)
+	if err := roundTrip(t, c, 1, time.Second); err != nil {
+		t.Fatalf("healthy round trip: %v", err)
+	}
+	if len(p.Links()) != 1 {
+		t.Fatalf("links: %d, want 1", len(p.Links()))
+	}
+
+	// Stall: the socket stays open but no bytes are proxied, so the echo
+	// never comes back — exactly the failure the liveness timeout exists for.
+	p.StallAll()
+	if err := roundTrip(t, c, 2, 150*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("stalled round trip: %v, want ErrTimeout", err)
+	}
+
+	// Resume: the frame buffered during the stall is delivered.
+	p.ResumeAll()
+	if m, err := c.RecvTimeout(2 * time.Second); err != nil || m.Watermark != 2 {
+		t.Fatalf("recv after resume: %v, %v", m, err)
+	}
+
+	// Sever: every later operation on the link fails.
+	p.SeverAll()
+	failed := false
+	for i := 0; i < 10 && !failed; i++ {
+		failed = roundTrip(t, c, 3, 200*time.Millisecond) != nil
+	}
+	if !failed {
+		t.Fatal("round trip survived a severed link")
+	}
+
+	// RejectNew: a fresh dial may connect (the proxy accepts and drops it)
+	// but never reaches the echo server.
+	p.RejectNew(true)
+	c2, err := Dial(p.Addr(), Binary{})
+	if err != nil {
+		return // refused outright is also a pass
+	}
+	defer c2.Close()
+	if err := roundTrip(t, c2, 4, 300*time.Millisecond); err == nil {
+		t.Fatal("round trip through a rejecting proxy succeeded")
+	}
+}
+
+// TestFaultConnDelay checks SetDelay imposes per-operation latency.
+func TestFaultConnDelay(t *testing.T) {
+	p, c := proxiedEcho(t)
+	if err := roundTrip(t, c, 1, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for _, ln := range p.Links() {
+		ln.SetDelay(60 * time.Millisecond)
+	}
+	start := time.Now()
+	if err := roundTrip(t, c, 2, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 60*time.Millisecond {
+		t.Fatalf("delayed round trip took %v, want >= 60ms", el)
+	}
+}
+
+// TestFaultListener exercises the listener-side wrapper: accepted conns are
+// registered FaultConns, rejection drops new connections, and Sever fails
+// both the wrapped conn and its peer.
+func TestFaultListener(t *testing.T) {
+	inner, err := Listen("127.0.0.1:0", Binary{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inner.Close()
+	fl := NewFaultListener(inner.l)
+	acc := make(chan *TCPConn, 4)
+	go func() {
+		for {
+			c, err := fl.Accept()
+			if err != nil {
+				return
+			}
+			acc <- NewTCPConn(c, Binary{})
+		}
+	}()
+
+	client, err := Dial(inner.Addr(), Binary{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	server := <-acc
+	defer server.Close()
+	if n := len(fl.Conns()); n != 1 {
+		t.Fatalf("registered conns: %d, want 1", n)
+	}
+	if err := client.Send(&Message{Kind: KindWatermark, Watermark: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := server.RecvTimeout(time.Second); err != nil || m.Watermark != 9 {
+		t.Fatalf("recv through fault listener: %v, %v", m, err)
+	}
+
+	// Sever the accepted conn: raw reads fail with ErrSevered, framed
+	// receives fail with a closed-link error, the client observes the close.
+	fl.Conns()[0].Sever()
+	if _, err := fl.Conns()[0].Read(make([]byte, 1)); !errors.Is(err, ErrSevered) {
+		t.Fatalf("read on severed conn: %v, want ErrSevered", err)
+	}
+	if _, err := server.RecvTimeout(time.Second); err == nil || errors.Is(err, ErrTimeout) {
+		t.Fatalf("recv on severed conn: %v, want a closed-link error", err)
+	}
+	if _, err := client.RecvTimeout(time.Second); err == nil || errors.Is(err, ErrTimeout) {
+		t.Fatalf("peer of severed conn: %v, want a closed-link error", err)
+	}
+
+	// Rejection: the dial may succeed at the TCP level, but the connection
+	// is closed immediately and never surfaced.
+	fl.RejectNew(true)
+	c2, err := Dial(inner.Addr(), Binary{})
+	if err == nil {
+		defer c2.Close()
+		if _, err := c2.RecvTimeout(500 * time.Millisecond); err == nil || errors.Is(err, ErrTimeout) {
+			t.Fatalf("rejected conn recv: %v, want EOF/closed", err)
+		}
+	}
+	select {
+	case <-acc:
+		t.Fatal("rejected connection was surfaced by Accept")
+	case <-time.After(100 * time.Millisecond):
+	}
+}

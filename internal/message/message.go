@@ -39,6 +39,11 @@ const (
 	KindRemoveQuery
 	// KindHeartbeat keeps the node-liveness timeout of §3.2 from firing.
 	KindHeartbeat
+	// KindGoodbye announces a deliberate departure: the child is done and
+	// will not reconnect, so the parent can finish without waiting out a
+	// reconnect grace period. A disconnect without a goodbye is treated as
+	// a failure the child may recover from (§3.2 fault tolerance).
+	KindGoodbye
 )
 
 // Message is the unit of communication between nodes. Exactly the fields

@@ -3,18 +3,32 @@ package message
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // maxFrame bounds a single message frame (64 MiB), protecting against
 // corrupt length prefixes.
 const maxFrame = 64 << 20
 
-// TCPConn is a Conn over a TCP socket with 4-byte length framing.
+// ErrTimeout is returned (wrapped) by RecvTimeout when no complete frame
+// arrived within the configured deadline — the §3.2 liveness condition.
+// Callers distinguish it from io.EOF (peer closed cleanly) and from decode
+// or framing errors (corrupt stream) with errors.Is.
+var ErrTimeout = errors.New("message: receive timed out")
+
+// ErrFrameTooLarge is returned (wrapped) when a length prefix exceeds the
+// frame limit; the stream is unrecoverable past this point.
+var ErrFrameTooLarge = errors.New("message: frame exceeds limit")
+
+// TCPConn is a Conn over a TCP socket with 4-byte length framing. Send is
+// safe for concurrent use; Recv/RecvTimeout must be called from a single
+// reader goroutine.
 type TCPConn struct {
 	c     net.Conn
 	codec Codec
@@ -22,6 +36,14 @@ type TCPConn struct {
 	w     *bufio.Writer
 	wmu   sync.Mutex
 	sent  atomic.Uint64
+
+	// rdArmed tracks whether a read deadline is currently set on the
+	// socket, so an untimed Recv after a RecvTimeout clears it. Only the
+	// reader goroutine touches it.
+	rdArmed bool
+	// writeTimeout bounds each Send (and the final flush in Close); zero
+	// means no write deadline.
+	writeTimeout atomic.Int64
 }
 
 // NewTCPConn wraps an established connection. The same codec must be used on
@@ -44,6 +66,11 @@ func Dial(addr string, codec Codec) (*TCPConn, error) {
 	return NewTCPConn(c, codec), nil
 }
 
+// SetWriteTimeout bounds every subsequent Send (and the final flush in
+// Close) with a write deadline, so a stalled peer cannot block a sender
+// forever. Zero disables the deadline. Safe for concurrent use.
+func (t *TCPConn) SetWriteTimeout(d time.Duration) { t.writeTimeout.Store(int64(d)) }
+
 // Send implements Conn. It is safe for concurrent use.
 func (t *TCPConn) Send(m *Message) error {
 	payload, err := t.codec.Append(nil, m)
@@ -54,6 +81,9 @@ func (t *TCPConn) Send(m *Message) error {
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
 	t.wmu.Lock()
 	defer t.wmu.Unlock()
+	if d := time.Duration(t.writeTimeout.Load()); d > 0 {
+		_ = t.c.SetWriteDeadline(time.Now().Add(d))
+	}
 	if _, err := t.w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -67,26 +97,62 @@ func (t *TCPConn) Send(m *Message) error {
 	return nil
 }
 
-// Recv implements Conn.
-func (t *TCPConn) Recv() (*Message, error) {
+// Recv implements Conn. It blocks until a full frame arrives or the peer
+// closes (io.EOF).
+func (t *TCPConn) Recv() (*Message, error) { return t.RecvTimeout(0) }
+
+// RecvTimeout is Recv bounded by a read deadline on the socket: if no
+// complete frame arrives within d the error wraps ErrTimeout. A
+// non-positive d blocks forever, like Recv. The deadline covers the whole
+// frame, so a peer trickling a partial frame slower than d also times out.
+// No goroutines or timers are allocated — the deadline is enforced by the
+// kernel via SetReadDeadline, O(1) state per connection regardless of how
+// many messages are received.
+func (t *TCPConn) RecvTimeout(d time.Duration) (*Message, error) {
+	if d > 0 {
+		if err := t.c.SetReadDeadline(time.Now().Add(d)); err != nil {
+			return nil, err
+		}
+		t.rdArmed = true
+	} else if t.rdArmed {
+		if err := t.c.SetReadDeadline(time.Time{}); err != nil {
+			return nil, err
+		}
+		t.rdArmed = false
+	}
 	var hdr [4]byte
 	if _, err := io.ReadFull(t.r, hdr[:]); err != nil {
-		return nil, err
+		return nil, t.classify(err, d)
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
 	if n > maxFrame {
-		return nil, fmt.Errorf("message: frame of %d bytes exceeds limit", n)
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(t.r, payload); err != nil {
-		return nil, err
+		return nil, t.classify(err, d)
 	}
 	return t.codec.Decode(payload)
+}
+
+// classify maps a transport read error to the protocol taxonomy: deadline
+// expiries become ErrTimeout, a clean close before any frame byte stays
+// io.EOF, and everything else (including a peer dying mid-frame, reported
+// as io.ErrUnexpectedEOF) passes through.
+func (t *TCPConn) classify(err error, d time.Duration) error {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return fmt.Errorf("%w after %v", ErrTimeout, d)
+	}
+	return err
 }
 
 // Close implements Conn.
 func (t *TCPConn) Close() error {
 	t.wmu.Lock()
+	if d := time.Duration(t.writeTimeout.Load()); d > 0 {
+		_ = t.c.SetWriteDeadline(time.Now().Add(d))
+	}
 	t.w.Flush()
 	t.wmu.Unlock()
 	return t.c.Close()

@@ -29,7 +29,7 @@ func (Text) Append(buf []byte, m *Message) ([]byte, error) {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%d|%d|", m.Kind, m.From)
 	switch m.Kind {
-	case KindHello, KindHeartbeat:
+	case KindHello, KindHeartbeat, KindGoodbye:
 	case KindEventBatch:
 		for _, e := range m.Events {
 			fmt.Fprintf(&sb, "%d,%d,%d,%v;", e.Time, e.Key, e.Marker, e.Value)
@@ -79,7 +79,7 @@ func (Text) Decode(buf []byte) (*Message, error) {
 		rest = head[2]
 	}
 	switch m.Kind {
-	case KindHello, KindHeartbeat:
+	case KindHello, KindHeartbeat, KindGoodbye:
 	case KindWatermark:
 		w, err := strconv.ParseInt(rest, 10, 64)
 		if err != nil {

@@ -2,7 +2,6 @@ package node
 
 import (
 	"io"
-	"runtime"
 	"sync"
 
 	"desis/internal/core"
@@ -53,8 +52,15 @@ type Cluster struct {
 
 	wg         sync.WaitGroup
 	interPumps []*sync.WaitGroup // child pumps per intermediate
-	closed     bool
-	advanced   int64 // highest AdvanceAll target, for WaitRoot
+
+	// wmCond (on rootMu) is broadcast whenever the root watermark advances
+	// or a root pump exits, so WaitRoot can sleep instead of busy-spinning.
+	wmCond    *sync.Cond
+	rootPumps int // live goroutines feeding the root, guarded by rootMu
+
+	stateMu  sync.Mutex
+	closed   bool
+	advanced int64 // highest AdvanceAll target, for WaitRoot
 }
 
 // NewCluster analyzes nothing — pass groups from query.Analyze with
@@ -70,6 +76,7 @@ func NewCluster(groups []*query.Group, cfg ClusterConfig) *Cluster {
 		cfg.Buffer = 256
 	}
 	c := &Cluster{cfg: cfg}
+	c.wmCond = sync.NewCond(&c.rootMu)
 	collect := cfg.OnResult
 	if collect == nil {
 		collect = func(r core.Result) {
@@ -134,11 +141,21 @@ func NewCluster(groups []*query.Group, cfg ClusterConfig) *Cluster {
 	return c
 }
 
-// pumpToRoot drains a connection into the root until EOF.
+// pumpToRoot drains a connection into the root until EOF, broadcasting
+// watermark progress to WaitRoot sleepers.
 func (c *Cluster) pumpToRoot(conn message.Conn) {
 	c.wg.Add(1)
+	c.rootMu.Lock()
+	c.rootPumps++
+	c.rootMu.Unlock()
 	go func() {
 		defer c.wg.Done()
+		defer func() {
+			c.rootMu.Lock()
+			c.rootPumps--
+			c.wmCond.Broadcast()
+			c.rootMu.Unlock()
+		}()
 		for {
 			m, err := conn.Recv()
 			if err == io.EOF {
@@ -148,7 +165,11 @@ func (c *Cluster) pumpToRoot(conn message.Conn) {
 				return
 			}
 			c.rootMu.Lock()
+			before := c.root.Watermark()
 			_ = c.root.Handle(m)
+			if c.root.Watermark() > before {
+				c.wmCond.Broadcast()
+			}
 			c.rootMu.Unlock()
 		}
 	}()
@@ -198,17 +219,30 @@ func (c *Cluster) AdvanceAll(t int64) error {
 			return err
 		}
 	}
+	c.stateMu.Lock()
 	if t > c.advanced {
 		c.advanced = t
 	}
+	c.stateMu.Unlock()
 	return nil
 }
 
+// lastAdvanced reads the highest AdvanceAll target under the state lock.
+func (c *Cluster) lastAdvanced() int64 {
+	c.stateMu.Lock()
+	defer c.stateMu.Unlock()
+	return c.advanced
+}
+
 // WaitRoot blocks until the root's watermark reaches t — i.e. everything up
-// to t has been merged and assembled.
+// to t has been merged and assembled — or until no pump can advance it
+// further. It sleeps on a condition variable signalled by the root pumps
+// instead of busy-spinning.
 func (c *Cluster) WaitRoot(t int64) {
-	for c.RootWatermark() < t {
-		runtime.Gosched()
+	c.rootMu.Lock()
+	defer c.rootMu.Unlock()
+	for c.root.Watermark() < t && c.rootPumps > 0 {
+		c.wmCond.Wait()
 	}
 }
 
@@ -216,7 +250,7 @@ func (c *Cluster) WaitRoot(t int64) {
 // waits for the root to catch up with the latest AdvanceAll, so the new
 // query's registration time is well defined across nodes.
 func (c *Cluster) AddQuery(q query.Query) error {
-	c.WaitRoot(c.advanced)
+	c.WaitRoot(c.lastAdvanced())
 	c.rootMu.Lock()
 	err := c.root.AddQuery(q)
 	c.rootMu.Unlock()
@@ -233,7 +267,7 @@ func (c *Cluster) AddQuery(q query.Query) error {
 
 // RemoveQuery removes a running query everywhere.
 func (c *Cluster) RemoveQuery(id uint64) error {
-	c.WaitRoot(c.advanced)
+	c.WaitRoot(c.lastAdvanced())
 	c.rootMu.Lock()
 	err := c.root.RemoveQuery(id)
 	c.rootMu.Unlock()
@@ -251,10 +285,13 @@ func (c *Cluster) RemoveQuery(id uint64) error {
 // Close shuts the topology down bottom-up and waits for in-flight messages
 // to drain.
 func (c *Cluster) Close() error {
+	c.stateMu.Lock()
 	if c.closed {
+		c.stateMu.Unlock()
 		return nil
 	}
 	c.closed = true
+	c.stateMu.Unlock()
 	var firstErr error
 	for _, l := range c.locals {
 		if err := l.Close(); err != nil && firstErr == nil {

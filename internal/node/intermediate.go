@@ -56,7 +56,7 @@ func (n *Intermediate) Handle(m *message.Message) error {
 		n.merger.HandleWatermark(m.From, m.Watermark)
 	case message.KindEventBatch:
 		n.merger.HandleEvents(m.From, m.Events)
-	case message.KindHello, message.KindHeartbeat:
+	case message.KindHello, message.KindHeartbeat, message.KindGoodbye:
 	default:
 		return fmt.Errorf("node: intermediate cannot handle message kind %d", m.Kind)
 	}
@@ -90,8 +90,9 @@ func (n *Intermediate) RemoveChildLocked(id uint32) {
 	n.merger.RemoveChild(id)
 }
 
-// Close closes the parent connection.
+// Close announces a clean departure and closes the parent connection.
 func (n *Intermediate) Close() error {
+	_ = n.parent.Send(&message.Message{Kind: message.KindGoodbye, From: n.id})
 	if err := n.parent.Close(); err != nil {
 		return err
 	}

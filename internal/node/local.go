@@ -146,6 +146,9 @@ func (l *Local) Stats() core.Stats { return l.engine.Stats() }
 // Close flushes and closes the parent connection.
 func (l *Local) Close() error {
 	l.flushForward()
+	// Announce a deliberate departure so the parent finishes immediately
+	// instead of holding a reconnect grace period (best effort).
+	_ = l.conn.Send(&message.Message{Kind: message.KindGoodbye, From: l.id})
 	if err := l.conn.Close(); err != nil {
 		return err
 	}

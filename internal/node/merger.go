@@ -31,6 +31,11 @@ type Merger struct {
 	watermark int64
 	maxEnd    int64 // newest slice end seen, for final flushes
 	sent      int64
+	// emitted remembers extents forwarded before the watermark passed them
+	// (all children contributed early), so replayed duplicates of a
+	// completed slice are dropped instead of re-merged. Entries are
+	// garbage-collected as the watermark advances.
+	emitted map[mergeKey]bool
 }
 
 type childState struct {
@@ -43,8 +48,10 @@ type mergeKey struct {
 }
 
 type mergeEntry struct {
-	p    *core.SlicePartial
-	seen int
+	p *core.SlicePartial
+	// from records which children contributed, so a duplicate delivery (a
+	// reconnecting child replaying recent frames, §3.2) merges exactly once.
+	from map[uint32]bool
 }
 
 // NewMerger builds a merger expecting the given child node ids.
@@ -52,6 +59,7 @@ func NewMerger(children []uint32) *Merger {
 	m := &Merger{
 		children: make(map[uint32]*childState),
 		pending:  make(map[mergeKey]*mergeEntry),
+		emitted:  make(map[mergeKey]bool),
 	}
 	for _, id := range children {
 		m.children[id] = &childState{watermark: -1}
@@ -74,6 +82,7 @@ func (m *Merger) RemoveChild(id uint32) {
 		if m.maxEnd > m.watermark {
 			m.watermark = m.maxEnd
 		}
+		m.gcEmitted()
 		m.flushUpTo(m.watermark)
 		if m.OutWatermark != nil {
 			m.OutWatermark(m.watermark)
@@ -93,20 +102,32 @@ func (m *Merger) HandlePartial(from uint32, p *core.SlicePartial) {
 	// its producer already recycled is an ownership bug (debug builds panic
 	// here with the slice id).
 	invariant.AssertPartialLive(p)
+	k := mergeKey{p.Group, p.Start, p.End}
+	// A reconnecting child replays its recent frames (at-least-once
+	// delivery); anything the watermark already passed was flushed, and
+	// anything in emitted was forwarded early — drop both instead of
+	// double-merging. On an ordered, fault-free link neither case occurs: a
+	// child's partial always precedes the child watermark that covers it.
+	if p.End <= m.watermark || m.emitted[k] {
+		return
+	}
 	if p.End > m.maxEnd {
 		m.maxEnd = p.End
 	}
-	k := mergeKey{p.Group, p.Start, p.End}
 	e, ok := m.pending[k]
 	if !ok {
-		e = &mergeEntry{p: p}
+		e = &mergeEntry{p: p, from: map[uint32]bool{from: true}}
 		m.pending[k] = e
 	} else {
+		if e.from[from] {
+			return // duplicate contribution from a replayed frame
+		}
+		e.from[from] = true
 		mergePartial(e.p, p)
 	}
-	e.seen++
-	if e.seen >= len(m.children) {
+	if len(e.from) >= len(m.children) {
 		delete(m.pending, k)
+		m.emitted[k] = true
 		m.emit(e.p)
 	}
 }
@@ -145,9 +166,20 @@ func (m *Merger) advance() {
 		return
 	}
 	m.watermark = min
+	m.gcEmitted()
 	m.flushUpTo(min)
 	if m.OutWatermark != nil {
 		m.OutWatermark(min)
+	}
+}
+
+// gcEmitted drops early-emit records the watermark has passed; duplicates of
+// those extents are rejected by the watermark check alone.
+func (m *Merger) gcEmitted() {
+	for k := range m.emitted {
+		if k.end <= m.watermark {
+			delete(m.emitted, k)
+		}
 	}
 }
 

@@ -60,7 +60,7 @@ func (r *Root) Handle(m *message.Message) error {
 		r.merger.HandleWatermark(m.From, m.Watermark)
 	case message.KindEventBatch:
 		r.evBuf[m.From] = append(r.evBuf[m.From], m.Events...)
-	case message.KindHello, message.KindHeartbeat:
+	case message.KindHello, message.KindHeartbeat, message.KindGoodbye:
 	case message.KindAddQuery:
 		for _, q := range m.Queries {
 			if err := r.AddQuery(q); err != nil {

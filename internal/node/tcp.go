@@ -1,8 +1,13 @@
 package node
 
 import (
+	"errors"
 	"fmt"
+	"io"
+	"net"
+	"sort"
 	"sync"
+	"syscall"
 	"time"
 
 	"desis/internal/core"
@@ -17,17 +22,43 @@ import (
 //  1. a child connects to its parent and sends KindHello with its node id;
 //  2. the parent replies with KindQuerySet (intermediates cache and relay
 //     the set they received from above);
-//  3. the child streams partials/events/watermarks upward; heartbeats keep
-//     the §3.2 liveness timeout from firing;
-//  4. when a child disconnects (or times out) it is removed from the merge
-//     expectations, as the paper's fault tolerance prescribes;
+//  3. the child streams partials/events/watermarks upward; an idle child
+//     emits KindHeartbeat every HeartbeatInterval so the §3.2 liveness
+//     timeout only fires for genuinely dead peers;
+//  4. when a child disconnects it is removed from the merge expectations; a
+//     silent child is *evicted* after the liveness timeout (enforced with a
+//     socket read deadline — no per-message goroutines or timers). Children
+//     reconnect with backoff, re-handshake, and resume their stream: a
+//     returning id supersedes the stale connection without disturbing the
+//     expectation counters (§3.2 fault tolerance);
 //  5. control clients (cmd/desis-ctl) connect to the root and send
 //     KindAddQuery / KindRemoveQuery as their first message; the root
 //     applies the change and broadcasts it down the tree (§3.2 runtime
-//     query management).
+//     query management). A child whose link fails during the broadcast is
+//     dropped (it resyncs from the fresh query set on reconnect) rather
+//     than failing the command.
+//
+// The full lifecycle state machine is documented in DESIGN.md §5c.
 
 // HeartbeatInterval is how often idle children emit heartbeats.
 const HeartbeatInterval = 2 * time.Second
+
+// EvictionError reports children that were evicted by the liveness timeout
+// and had not reconnected by the time the topology finished.
+type EvictionError struct{ IDs []uint32 }
+
+func (e *EvictionError) Error() string {
+	return fmt.Sprintf("node: %d child(ren) evicted by liveness timeout: %v", len(e.IDs), e.IDs)
+}
+
+// isDisconnect reports whether a recv error is an ordinary link teardown
+// (clean EOF, peer death mid-frame, local close, reset) as opposed to a
+// protocol error worth surfacing.
+func isDisconnect(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) || errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE)
+}
 
 // RootServer is a root node listening for children and control clients.
 type RootServer struct {
@@ -38,10 +69,19 @@ type RootServer struct {
 	queries  []query.Query
 	expected int
 	active   int
-	seen     int
-	timeout  time.Duration
-	done     chan struct{}
-	err      error
+	seenIDs  map[uint32]bool
+	evicted  map[uint32]bool
+	// goodbye marks children that announced a deliberate departure
+	// (KindGoodbye); unclean marks seen children that left without one and
+	// may therefore still reconnect. Both reset when the id returns.
+	goodbye map[uint32]bool
+	unclean map[uint32]bool
+	timeout time.Duration
+	done    chan struct{}
+	// doneTimer defers the done signal while an unclean departure might
+	// still turn into a reconnect (one timer per server, not per message).
+	doneTimer *time.Timer
+	err       error
 }
 
 // ServeRoot starts a root node on addr. It expects nChildren direct
@@ -62,6 +102,10 @@ func ServeRoot(addr string, queries []query.Query, nChildren int, timeout time.D
 	s := &RootServer{
 		l:        l,
 		children: make(map[uint32]*message.TCPConn),
+		seenIDs:  make(map[uint32]bool),
+		evicted:  make(map[uint32]bool),
+		goodbye:  make(map[uint32]bool),
+		unclean:  make(map[uint32]bool),
 		queries:  queries,
 		expected: nChildren,
 		timeout:  timeout,
@@ -75,6 +119,30 @@ func ServeRoot(addr string, queries []query.Query, nChildren int, timeout time.D
 // Addr returns the bound address.
 func (s *RootServer) Addr() string { return s.l.Addr() }
 
+// Watermark reports how far the root's event time has advanced.
+func (s *RootServer) Watermark() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.root.Watermark()
+}
+
+// Evicted returns the ids of children currently evicted by the liveness
+// timeout (a child that reconnects leaves the set).
+func (s *RootServer) Evicted() []uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return evictedIDs(s.evicted)
+}
+
+func evictedIDs(m map[uint32]bool) []uint32 {
+	ids := make([]uint32, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
 func (s *RootServer) acceptLoop() {
 	for {
 		conn, err := s.l.Accept()
@@ -86,11 +154,12 @@ func (s *RootServer) acceptLoop() {
 }
 
 // serveConn dispatches on the first message: children say hello, control
-// clients issue a command directly.
+// clients issue a command directly. The first message is subject to the
+// liveness timeout, so a connected-but-mute socket cannot pin a goroutine.
 func (s *RootServer) serveConn(conn *message.TCPConn) {
-	defer conn.Close()
-	first, err := conn.Recv()
+	first, err := conn.RecvTimeout(s.timeout)
 	if err != nil {
+		conn.Close()
 		return
 	}
 	switch first.Kind {
@@ -98,40 +167,126 @@ func (s *RootServer) serveConn(conn *message.TCPConn) {
 		s.serveChild(conn, first.From)
 	case message.KindAddQuery, message.KindRemoveQuery:
 		s.serveControl(conn, first)
+		conn.Close()
+	default:
+		conn.Close()
 	}
 }
 
 func (s *RootServer) serveChild(conn *message.TCPConn, childID uint32) {
+	if s.timeout > 0 {
+		conn.SetWriteTimeout(s.timeout)
+	}
 	s.mu.Lock()
-	s.root.AddChild(childID)
+	if prev, live := s.children[childID]; live {
+		// A returning id supersedes the stale connection: swap conns
+		// without touching counters or merge expectations; the old handler
+		// notices it no longer owns the child and exits silently.
+		prev.Close()
+	} else {
+		s.active++
+		s.root.AddChild(childID) // (re-)join the merge expectations (§3.2)
+	}
+	s.seenIDs[childID] = true
+	delete(s.evicted, childID)
+	delete(s.unclean, childID)
+	delete(s.goodbye, childID)
 	s.children[childID] = conn
-	s.seen++
-	s.active++
 	err := conn.Send(&message.Message{Kind: message.KindQuerySet, Queries: s.queries})
 	s.mu.Unlock()
+
+	evicted := false
+	var protoErr error
 	if err == nil {
 		for {
-			m, err := recvWithTimeout(conn, s.timeout)
-			if err != nil {
+			m, rerr := conn.RecvTimeout(s.timeout)
+			if rerr != nil {
+				if errors.Is(rerr, message.ErrTimeout) {
+					evicted = true
+				} else if !isDisconnect(rerr) {
+					protoErr = rerr
+				}
 				break
 			}
 			s.mu.Lock()
-			s.err = s.root.Handle(m)
+			if m.Kind == message.KindGoodbye {
+				if s.children[childID] == conn {
+					s.goodbye[childID] = true
+				}
+				s.mu.Unlock()
+				continue
+			}
+			if herr := s.root.Handle(m); herr != nil && s.err == nil {
+				s.err = herr // keep the first real error; don't clobber it
+			}
 			s.mu.Unlock()
 		}
 	}
+	conn.Close()
+
 	s.mu.Lock()
-	s.root.RemoveChild(childID)
-	delete(s.children, childID)
-	s.active--
-	if s.expected > 0 && s.seen >= s.expected && s.active == 0 {
-		select {
-		case <-s.done:
-		default:
-			close(s.done)
-		}
+	defer s.mu.Unlock()
+	if s.children[childID] != conn {
+		return // superseded by a reconnect; the new handler owns the child
 	}
-	s.mu.Unlock()
+	delete(s.children, childID)
+	s.root.RemoveChild(childID)
+	s.active--
+	if evicted {
+		s.evicted[childID] = true
+	}
+	if !s.goodbye[childID] {
+		s.unclean[childID] = true // may yet reconnect; hold the finish line
+	}
+	if protoErr != nil && s.err == nil {
+		s.err = fmt.Errorf("node: child %d stream: %w", childID, protoErr)
+	}
+	s.maybeDoneLocked()
+}
+
+// maybeDoneLocked closes done once every expected child has been seen and
+// none is active. If any seen child departed without a goodbye it may still
+// reconnect, so the signal is deferred by a grace period (the liveness
+// timeout); a reconnect in the meantime invalidates the re-check.
+func (s *RootServer) maybeDoneLocked() {
+	if !(s.expected > 0 && len(s.seenIDs) >= s.expected && s.active == 0) {
+		if s.doneTimer != nil {
+			s.doneTimer.Stop()
+			s.doneTimer = nil
+		}
+		return
+	}
+	if len(s.unclean) == 0 {
+		s.closeDoneLocked()
+		return
+	}
+	if s.doneTimer != nil {
+		return // grace period already running
+	}
+	grace := s.timeout
+	if grace <= 0 {
+		grace = HeartbeatInterval
+	}
+	s.doneTimer = time.AfterFunc(grace, func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.doneTimer = nil
+		if s.expected > 0 && len(s.seenIDs) >= s.expected && s.active == 0 {
+			s.closeDoneLocked()
+		}
+	})
+}
+
+func (s *RootServer) closeDoneLocked() {
+	if s.doneTimer != nil {
+		s.doneTimer.Stop()
+		s.doneTimer = nil
+	}
+	select {
+	case <-s.done:
+	default:
+		close(s.done)
+	}
 }
 
 // serveControl applies one control command and broadcasts it downward; the
@@ -154,6 +309,23 @@ func (s *RootServer) serveControl(conn *message.TCPConn, m *message.Message) {
 	_ = conn.Send(&message.Message{Kind: message.KindHello})
 }
 
+// broadcastLocked sends m to every child, visiting all of them even when
+// some fail. A child whose link fails is dropped — its connection is closed
+// so the handler runs the removal bookkeeping, and the child resyncs from
+// the fresh query set when it reconnects — instead of failing the control
+// command and leaving the tree inconsistent. The aggregated send errors are
+// returned for observability only.
+func (s *RootServer) broadcastLocked(m *message.Message) error {
+	var errs []error
+	for id, c := range s.children {
+		if err := c.Send(m); err != nil {
+			errs = append(errs, fmt.Errorf("node: broadcast to child %d: %w", id, err))
+			c.Close()
+		}
+	}
+	return errors.Join(errs...)
+}
+
 // AddQuery registers a query at runtime on the root and every node below it.
 func (s *RootServer) AddQuery(q query.Query) error {
 	s.mu.Lock()
@@ -162,12 +334,9 @@ func (s *RootServer) AddQuery(q query.Query) error {
 		return err
 	}
 	s.queries = append(s.queries, q)
-	down := &message.Message{Kind: message.KindAddQuery, Queries: []query.Query{q}}
-	for id, c := range s.children {
-		if err := c.Send(down); err != nil {
-			return fmt.Errorf("node: broadcast to child %d: %w", id, err)
-		}
-	}
+	// Failed children are dropped, not command failures: the command has
+	// been applied at the root and remains the source of truth.
+	_ = s.broadcastLocked(&message.Message{Kind: message.KindAddQuery, Queries: []query.Query{q}})
 	return nil
 }
 
@@ -178,103 +347,96 @@ func (s *RootServer) RemoveQuery(id uint64) error {
 	if err := s.root.RemoveQuery(id); err != nil {
 		return err
 	}
-	down := &message.Message{Kind: message.KindRemoveQuery, QueryID: id}
-	for cid, c := range s.children {
-		if err := c.Send(down); err != nil {
-			return fmt.Errorf("node: broadcast to child %d: %w", cid, err)
-		}
-	}
+	s.queries = removeQueryID(s.queries, id)
+	_ = s.broadcastLocked(&message.Message{Kind: message.KindRemoveQuery, QueryID: id})
 	return nil
 }
 
-// recvWithTimeout wraps Recv; a zero timeout blocks forever. (TCPConn has no
-// deadline plumbing, so the timeout is enforced by a watchdog per call only
-// when configured.)
-func recvWithTimeout(conn *message.TCPConn, timeout time.Duration) (*message.Message, error) {
-	if timeout <= 0 {
-		return conn.Recv()
+// removeQueryID drops the query with the given id from a query-set slice.
+func removeQueryID(qs []query.Query, id uint64) []query.Query {
+	out := qs[:0]
+	for _, q := range qs {
+		if q.ID != id {
+			out = append(out, q)
+		}
 	}
-	type res struct {
-		m   *message.Message
-		err error
-	}
-	ch := make(chan res, 1)
-	go func() {
-		m, err := conn.Recv()
-		ch <- res{m, err}
-	}()
-	select {
-	case r := <-ch:
-		return r.m, r.err
-	case <-time.After(timeout):
-		conn.Close()
-		return nil, fmt.Errorf("node: child timed out after %v", timeout)
-	}
+	return out
 }
 
-// Wait blocks until every expected child connected and disconnected.
+// Wait blocks until every expected child connected and disconnected. It
+// returns the first stream-handling error, joined with an EvictionError
+// when children were timed out and never returned.
 func (s *RootServer) Wait() error {
 	<-s.done
 	s.l.Close()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.err
+	err := s.err
+	if len(s.evicted) > 0 {
+		err = errors.Join(err, &EvictionError{IDs: evictedIDs(s.evicted)})
+	}
+	return err
 }
 
 // Close stops the listener.
 func (s *RootServer) Close() error { return s.l.Close() }
 
 // IntermediateServer is an intermediate node over TCP: it merges its
-// children's partial streams, forwards to its parent, and relays control
-// messages downward.
+// children's partial streams, forwards to its parent over a supervised
+// uplink (heartbeats, reconnect with backoff), and relays control messages
+// downward.
 type IntermediateServer struct {
-	l        *message.Listener
-	inter    *Intermediate
-	parent   *message.TCPConn
-	qmu      sync.Mutex
-	children map[uint32]*message.TCPConn
-	queries  []query.Query
-	expected int
-	active   int
-	seen     int
-	timeout  time.Duration
-	done     chan struct{}
+	l         *message.Listener
+	inter     *Intermediate
+	parent    *uplink
+	qmu       sync.Mutex
+	children  map[uint32]*message.TCPConn
+	queries   []query.Query
+	expected  int
+	active    int
+	seenIDs   map[uint32]bool
+	evicted   map[uint32]bool
+	goodbye   map[uint32]bool
+	unclean   map[uint32]bool
+	timeout   time.Duration
+	done      chan struct{}
+	doneTimer *time.Timer
 }
 
 // ServeIntermediate starts an intermediate node on addr, connected to
-// parentAddr, expecting nChildren children.
+// parentAddr, expecting nChildren children, with default dial options.
 func ServeIntermediate(addr, parentAddr string, id uint32, nChildren int, timeout time.Duration, codec message.Codec) (*IntermediateServer, error) {
-	if codec == nil {
-		codec = message.Binary{}
-	}
-	parent, err := message.Dial(parentAddr, codec)
+	return ServeIntermediateOptions(addr, parentAddr, id, nChildren, timeout, DialOptions{Codec: codec})
+}
+
+// ServeIntermediateOptions is ServeIntermediate with explicit uplink
+// options (heartbeat period, reconnect policy, write deadlines).
+func ServeIntermediateOptions(addr, parentAddr string, id uint32, nChildren int, timeout time.Duration, opts DialOptions) (*IntermediateServer, error) {
+	opts = opts.withDefaults()
+	up, queries, err := dialUplink(parentAddr, id, opts)
 	if err != nil {
 		return nil, err
 	}
-	if err := parent.Send(&message.Message{Kind: message.KindHello, From: id}); err != nil {
-		return nil, err
-	}
-	qs, err := parent.Recv()
+	l, err := message.Listen(addr, opts.Codec)
 	if err != nil {
-		return nil, fmt.Errorf("node: intermediate handshake: %w", err)
-	}
-	if qs.Kind != message.KindQuerySet {
-		return nil, fmt.Errorf("node: intermediate expected query set, got kind %d", qs.Kind)
-	}
-	l, err := message.Listen(addr, codec)
-	if err != nil {
+		up.Close()
 		return nil, err
 	}
 	s := &IntermediateServer{
 		l:        l,
-		parent:   parent,
+		parent:   up,
 		children: make(map[uint32]*message.TCPConn),
-		queries:  qs.Queries,
+		seenIDs:  make(map[uint32]bool),
+		evicted:  make(map[uint32]bool),
+		goodbye:  make(map[uint32]bool),
+		unclean:  make(map[uint32]bool),
+		queries:  queries,
 		expected: nChildren,
 		timeout:  timeout,
 		done:     make(chan struct{}),
 	}
-	s.inter = NewIntermediate(id, nil, parent)
+	s.inter = NewIntermediate(id, nil, up)
+	up.startHeartbeats()
 	go s.acceptLoop()
 	go s.downstreamLoop()
 	return s, nil
@@ -282,6 +444,14 @@ func ServeIntermediate(addr, parentAddr string, id uint32, nChildren int, timeou
 
 // Addr returns the bound address.
 func (s *IntermediateServer) Addr() string { return s.l.Addr() }
+
+// Evicted returns the ids of children currently evicted by the liveness
+// timeout.
+func (s *IntermediateServer) Evicted() []uint32 {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	return evictedIDs(s.evicted)
+}
 
 func (s *IntermediateServer) acceptLoop() {
 	for {
@@ -295,8 +465,10 @@ func (s *IntermediateServer) acceptLoop() {
 
 // downstreamLoop relays control messages arriving from the parent to every
 // child (the "root sends the new topology/queries to all other nodes" flow
-// of §3.2). The merger never reads from the parent, so this goroutine owns
-// the downward direction.
+// of §3.2), keeping the cached query set in sync in both directions so
+// late-connecting children never receive removed queries. The merger never
+// reads from the parent, so this goroutine owns the downward direction; the
+// supervised uplink reconnects underneath it.
 func (s *IntermediateServer) downstreamLoop() {
 	for {
 		m, err := s.parent.Recv()
@@ -304,10 +476,15 @@ func (s *IntermediateServer) downstreamLoop() {
 			return
 		}
 		switch m.Kind {
+		case message.KindQuerySet:
+			// Fresh set from an uplink re-handshake: reconcile and relay.
+			s.resyncQueries(m.Queries)
 		case message.KindAddQuery, message.KindRemoveQuery:
 			s.qmu.Lock()
 			if m.Kind == message.KindAddQuery {
 				s.queries = append(s.queries, m.Queries...)
+			} else {
+				s.queries = removeQueryID(s.queries, m.QueryID)
 			}
 			for _, c := range s.children {
 				_ = c.Send(m)
@@ -317,41 +494,143 @@ func (s *IntermediateServer) downstreamLoop() {
 	}
 }
 
+// resyncQueries reconciles the cached query set after an uplink
+// re-handshake: queries added or removed while the link was down are
+// relayed to the children as synthetic control messages.
+func (s *IntermediateServer) resyncQueries(qs []query.Query) {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	old := make(map[uint64]bool, len(s.queries))
+	for _, q := range s.queries {
+		old[q.ID] = true
+	}
+	next := make(map[uint64]bool, len(qs))
+	for _, q := range qs {
+		next[q.ID] = true
+	}
+	var down []*message.Message
+	for _, q := range qs {
+		if !old[q.ID] {
+			down = append(down, &message.Message{Kind: message.KindAddQuery, Queries: []query.Query{q}})
+		}
+	}
+	for _, q := range s.queries {
+		if !next[q.ID] {
+			down = append(down, &message.Message{Kind: message.KindRemoveQuery, QueryID: q.ID})
+		}
+	}
+	s.queries = append(s.queries[:0:0], qs...)
+	for _, m := range down {
+		for _, c := range s.children {
+			_ = c.Send(m)
+		}
+	}
+}
+
 func (s *IntermediateServer) serveChild(conn *message.TCPConn) {
-	defer conn.Close()
-	first, err := recvWithTimeout(conn, s.timeout)
+	first, err := conn.RecvTimeout(s.timeout)
 	if err != nil || first.Kind != message.KindHello {
+		conn.Close()
 		return
 	}
 	childID := first.From
-	s.inter.AddChildLocked(childID)
+	if s.timeout > 0 {
+		conn.SetWriteTimeout(s.timeout)
+	}
 	s.qmu.Lock()
+	if prev, live := s.children[childID]; live {
+		prev.Close() // superseded by the returning id (reconnect)
+	} else {
+		s.active++
+		s.inter.AddChildLocked(childID)
+	}
+	s.seenIDs[childID] = true
+	delete(s.evicted, childID)
+	delete(s.unclean, childID)
+	delete(s.goodbye, childID)
 	s.children[childID] = conn
-	s.seen++
-	s.active++
 	err = conn.Send(&message.Message{Kind: message.KindQuerySet, Queries: s.queries})
 	s.qmu.Unlock()
+
+	evicted := false
 	if err == nil {
 		for {
-			m, err := recvWithTimeout(conn, s.timeout)
-			if err != nil {
+			m, rerr := conn.RecvTimeout(s.timeout)
+			if rerr != nil {
+				evicted = errors.Is(rerr, message.ErrTimeout)
 				break
+			}
+			if m.Kind == message.KindGoodbye {
+				s.qmu.Lock()
+				if s.children[childID] == conn {
+					s.goodbye[childID] = true
+				}
+				s.qmu.Unlock()
+				continue
 			}
 			_ = s.inter.HandleLocked(m)
 		}
 	}
-	s.inter.RemoveChildLocked(childID)
+	conn.Close()
+
 	s.qmu.Lock()
-	delete(s.children, childID)
-	s.active--
-	if s.expected > 0 && s.seen >= s.expected && s.active == 0 {
-		select {
-		case <-s.done:
-		default:
-			close(s.done)
-		}
+	defer s.qmu.Unlock()
+	if s.children[childID] != conn {
+		return // superseded by a reconnect
 	}
-	s.qmu.Unlock()
+	delete(s.children, childID)
+	s.inter.RemoveChildLocked(childID)
+	s.active--
+	if evicted {
+		s.evicted[childID] = true
+	}
+	if !s.goodbye[childID] {
+		s.unclean[childID] = true
+	}
+	s.maybeDoneLocked()
+}
+
+// maybeDoneLocked mirrors the root's deferred finish: unclean departures
+// hold the done signal for a grace period in case the child reconnects.
+func (s *IntermediateServer) maybeDoneLocked() {
+	if !(s.expected > 0 && len(s.seenIDs) >= s.expected && s.active == 0) {
+		if s.doneTimer != nil {
+			s.doneTimer.Stop()
+			s.doneTimer = nil
+		}
+		return
+	}
+	if len(s.unclean) == 0 {
+		s.closeDoneLocked()
+		return
+	}
+	if s.doneTimer != nil {
+		return
+	}
+	grace := s.timeout
+	if grace <= 0 {
+		grace = HeartbeatInterval
+	}
+	s.doneTimer = time.AfterFunc(grace, func() {
+		s.qmu.Lock()
+		defer s.qmu.Unlock()
+		s.doneTimer = nil
+		if s.expected > 0 && len(s.seenIDs) >= s.expected && s.active == 0 {
+			s.closeDoneLocked()
+		}
+	})
+}
+
+func (s *IntermediateServer) closeDoneLocked() {
+	if s.doneTimer != nil {
+		s.doneTimer.Stop()
+		s.doneTimer = nil
+	}
+	select {
+	case <-s.done:
+	default:
+		close(s.done)
+	}
 }
 
 // Wait blocks until all expected children have come and gone, then closes
@@ -364,10 +643,12 @@ func (s *IntermediateServer) Wait() error {
 
 // LocalSession is the handle RunLocalTCP gives the feed callback: it
 // serialises the caller's stream against control messages (AddQuery /
-// RemoveQuery) arriving from the parent.
+// RemoveQuery) arriving from the parent, and tracks the known query set so
+// a post-reconnect resync applies only the delta.
 type LocalSession struct {
-	mu sync.Mutex
-	l  *Local
+	mu    sync.Mutex
+	l     *Local
+	known map[uint64]bool
 }
 
 // Process ingests a batch of in-order events.
@@ -391,48 +672,98 @@ func (s *LocalSession) Stats() core.Stats {
 	return s.l.Stats()
 }
 
-// RunLocalTCP connects a local node to parentAddr, performs the handshake,
-// and invokes feed with the ready session. Control messages from the parent
-// are applied concurrently. The connection closes when feed returns.
+// applyAdd registers queries arriving from the parent, skipping ids already
+// known (a rebroadcast after reconnect must not double-register).
+func (s *LocalSession) applyAdd(qs []query.Query) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, q := range qs {
+		if s.known[q.ID] {
+			continue
+		}
+		if err := s.l.AddQuery(q); err == nil {
+			s.known[q.ID] = true
+		}
+	}
+}
+
+// applyRemove unregisters a query by id.
+func (s *LocalSession) applyRemove(id uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.known[id] {
+		return
+	}
+	delete(s.known, id)
+	_ = s.l.RemoveQuery(id)
+}
+
+// applyQuerySet reconciles against the parent's full set after an uplink
+// re-handshake: new queries are added, missing ones removed.
+func (s *LocalSession) applyQuerySet(qs []query.Query) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	next := make(map[uint64]bool, len(qs))
+	for _, q := range qs {
+		next[q.ID] = true
+		if !s.known[q.ID] {
+			if err := s.l.AddQuery(q); err != nil {
+				delete(next, q.ID)
+			}
+		}
+	}
+	for id := range s.known {
+		if !next[id] {
+			_ = s.l.RemoveQuery(id)
+		}
+	}
+	s.known = next
+}
+
+// RunLocalTCP connects a local node to parentAddr with default dial
+// options, performs the handshake, and invokes feed with the ready session.
+// Control messages from the parent are applied concurrently. The connection
+// closes when feed returns.
 func RunLocalTCP(parentAddr string, id uint32, batchSize int, codec message.Codec, feed func(*LocalSession) error) error {
-	if codec == nil {
-		codec = message.Binary{}
-	}
-	conn, err := message.Dial(parentAddr, codec)
+	return RunLocalTCPOptions(parentAddr, id, batchSize, DialOptions{Codec: codec}, feed)
+}
+
+// RunLocalTCPOptions is RunLocalTCP with explicit uplink options. The
+// uplink is supervised: on link failure it reconnects with exponential
+// backoff and jitter, re-handshakes, resyncs the query set, and resumes the
+// partial stream; once the retry budget is exhausted the session errors out
+// with ErrUplinkDown. While idle it emits heartbeats so the parent's
+// liveness timeout never evicts an alive child.
+func RunLocalTCPOptions(parentAddr string, id uint32, batchSize int, opts DialOptions, feed func(*LocalSession) error) error {
+	opts = opts.withDefaults()
+	up, queries, err := dialUplink(parentAddr, id, opts)
 	if err != nil {
 		return err
 	}
-	if err := conn.Send(&message.Message{Kind: message.KindHello, From: id}); err != nil {
+	groups, err := query.Analyze(queries, query.Options{Decentralized: true})
+	if err != nil {
+		up.Close()
 		return err
 	}
-	qs, err := conn.Recv()
-	if err != nil {
-		return fmt.Errorf("node: local handshake: %w", err)
+	session := &LocalSession{l: NewLocal(id, groups, up, batchSize), known: make(map[uint64]bool, len(queries))}
+	for _, q := range queries {
+		session.known[q.ID] = true
 	}
-	if qs.Kind != message.KindQuerySet {
-		return fmt.Errorf("node: local expected query set, got kind %d", qs.Kind)
-	}
-	groups, err := query.Analyze(qs.Queries, query.Options{Decentralized: true})
-	if err != nil {
-		return err
-	}
-	session := &LocalSession{l: NewLocal(id, groups, conn, batchSize)}
+	up.startHeartbeats()
 	go func() {
 		for {
-			m, err := conn.Recv()
+			m, err := up.Recv()
 			if err != nil {
 				return
 			}
-			session.mu.Lock()
 			switch m.Kind {
+			case message.KindQuerySet:
+				session.applyQuerySet(m.Queries)
 			case message.KindAddQuery:
-				for _, q := range m.Queries {
-					_ = session.l.AddQuery(q)
-				}
+				session.applyAdd(m.Queries)
 			case message.KindRemoveQuery:
-				_ = session.l.RemoveQuery(m.QueryID)
+				session.applyRemove(m.QueryID)
 			}
-			session.mu.Unlock()
 		}
 	}()
 	if err := feed(session); err != nil {

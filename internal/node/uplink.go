@@ -1,0 +1,451 @@
+package node
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"desis/internal/message"
+	"desis/internal/query"
+)
+
+// ErrUplinkDown is returned (wrapped) once a supervised uplink exhausted its
+// reconnect budget or was closed; every later Send/Recv fails with it.
+var ErrUplinkDown = errors.New("node: uplink down")
+
+// RetryPolicy shapes the reconnect loop of a supervised uplink: exponential
+// backoff with jitter between dial attempts, capped at MaxDelay, giving up
+// after MaxRetries consecutive failures.
+type RetryPolicy struct {
+	// MaxRetries is the number of consecutive failed dial attempts before
+	// the uplink is declared down. Zero means the default (8).
+	MaxRetries int
+	// BaseDelay is the first backoff (default 50ms); each attempt doubles
+	// it up to MaxDelay (default 2s). Every delay is jittered to [d/2, d]
+	// so a fleet of children does not reconnect in lockstep.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxRetries <= 0 {
+		p.MaxRetries = 8
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	return p
+}
+
+// DialOptions configures a child's connection to its parent (locals and
+// intermediates).
+type DialOptions struct {
+	// Codec is the wire codec; nil means message.Binary{}.
+	Codec message.Codec
+	// Retry shapes the reconnect loop; the zero value uses defaults.
+	Retry RetryPolicy
+	// Heartbeat is the idle-uplink heartbeat period (§3.2 liveness). Zero
+	// means HeartbeatInterval; negative disables heartbeats.
+	Heartbeat time.Duration
+	// WriteTimeout bounds each Send so a stalled parent cannot block the
+	// child forever. Zero derives 4× the effective heartbeat period (or no
+	// deadline when heartbeats are disabled); negative disables it.
+	WriteTimeout time.Duration
+	// ReplayDepth is how many recent partial/watermark frames the uplink
+	// retains (as deep copies) and replays after a reconnect. A link that
+	// dies can silently swallow frames the kernel had already accepted;
+	// replaying the tail restores them, and the parent's merger dedups the
+	// overlap, so partials are effectively exactly-once across reconnects.
+	// Zero means the default (64); negative disables replay. Raw event
+	// batches are never replayed (the parent cannot dedup them).
+	ReplayDepth int
+	// HandshakeTimeout bounds the hello/query-set exchange (default 5s).
+	HandshakeTimeout time.Duration
+}
+
+func (o DialOptions) withDefaults() DialOptions {
+	if o.Codec == nil {
+		o.Codec = message.Binary{}
+	}
+	o.Retry = o.Retry.withDefaults()
+	if o.Heartbeat == 0 {
+		o.Heartbeat = HeartbeatInterval
+	}
+	if o.WriteTimeout == 0 && o.Heartbeat > 0 {
+		o.WriteTimeout = 4 * o.Heartbeat
+	}
+	if o.HandshakeTimeout <= 0 {
+		o.HandshakeTimeout = 5 * time.Second
+	}
+	if o.ReplayDepth == 0 {
+		o.ReplayDepth = 64
+	}
+	return o
+}
+
+// uplink is a supervised message.Conn from a child (local or intermediate)
+// to its parent. On Send/Recv failure it re-dials with backoff, re-performs
+// the hello/query-set handshake, and resumes the stream; the parent treats
+// the returning id as a reconnect. Heartbeats are emitted when the uplink
+// has been idle for a full period, so the parent's liveness timeout only
+// fires for genuinely dead children.
+//
+// Failure semantics across a reconnect are at-least-once per frame: the
+// frame being sent when the link died is retransmitted, and the recorded
+// tail of recent partial/watermark frames is replayed first (a dying socket
+// can accept frames into kernel buffers and lose them without any error
+// surfacing). The parent dedups the replayed overlap — merger contributor
+// sets for partials, monotonicity for watermarks — so the stream is
+// effectively exactly-once for the decentralized hot path. Raw event batches
+// (RootOnly groups) are not replayed and stay at-most-once across a
+// reconnect.
+type uplink struct {
+	addr string
+	id   uint32
+	opts DialOptions
+
+	mu           sync.Mutex
+	cond         *sync.Cond
+	conn         *message.TCPConn
+	gen          uint64 // bumped per successful reconnect
+	reconnecting bool
+	down         error  // terminal state; sticky
+	prevBytes    uint64 // BytesSent of retired connections
+	closed       bool
+	// pendingQS holds the query sets received by re-handshakes, delivered
+	// in-band by Recv as KindQuerySet messages so the single downstream
+	// consumer applies resyncs in order with ordinary control traffic.
+	pendingQS []*message.Message
+	// replay is a bounded ring of deep-copied recent partial/watermark
+	// frames. A dying socket can accept frames into kernel buffers and then
+	// lose them without an error ever surfacing; retransmitting the tail on
+	// reconnect closes that silent-loss window, and the parent's merger
+	// drops the duplicated overlap.
+	replay []*message.Message
+
+	closeCh chan struct{}
+	hbDone  chan struct{}
+}
+
+// dialUplink establishes the initial connection and handshake, returning
+// the uplink and the parent's query set. The caller calls startHeartbeats
+// once it is ready to serve traffic.
+func dialUplink(addr string, id uint32, opts DialOptions) (*uplink, []query.Query, error) {
+	u := &uplink{
+		addr:    addr,
+		id:      id,
+		opts:    opts.withDefaults(),
+		closeCh: make(chan struct{}),
+	}
+	u.cond = sync.NewCond(&u.mu)
+	conn, qs, err := u.handshake()
+	if err != nil {
+		return nil, nil, err
+	}
+	u.conn = conn
+	return u, qs, nil
+}
+
+// startHeartbeats launches the idle-uplink heartbeat loop (when enabled).
+func (u *uplink) startHeartbeats() {
+	if u.opts.Heartbeat > 0 {
+		u.hbDone = make(chan struct{})
+		go u.heartbeatLoop()
+	}
+}
+
+// handshake dials the parent once: hello up, query set down.
+func (u *uplink) handshake() (*message.TCPConn, []query.Query, error) {
+	conn, err := message.Dial(u.addr, u.opts.Codec)
+	if err != nil {
+		return nil, nil, err
+	}
+	if u.opts.WriteTimeout > 0 {
+		conn.SetWriteTimeout(u.opts.WriteTimeout)
+	}
+	if err := conn.Send(&message.Message{Kind: message.KindHello, From: u.id}); err != nil {
+		conn.Close()
+		return nil, nil, err
+	}
+	qs, err := conn.RecvTimeout(u.opts.HandshakeTimeout)
+	if err != nil {
+		conn.Close()
+		return nil, nil, fmt.Errorf("node: handshake with %s: %w", u.addr, err)
+	}
+	if qs.Kind != message.KindQuerySet {
+		conn.Close()
+		return nil, nil, fmt.Errorf("node: handshake with %s: expected query set, got kind %d", u.addr, qs.Kind)
+	}
+	return conn, qs.Queries, nil
+}
+
+// current returns the live connection, waiting out an in-flight reconnect.
+func (u *uplink) current() (*message.TCPConn, uint64, error) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	for u.reconnecting {
+		u.cond.Wait()
+	}
+	if u.down != nil {
+		return nil, 0, u.down
+	}
+	return u.conn, u.gen, nil
+}
+
+// fail reports that the connection of generation gen broke with cause. It
+// returns a usable connection (reconnecting if this caller wins the race to
+// do so) or the uplink's terminal error. Single-flight: concurrent callers
+// wait for the winner's outcome.
+func (u *uplink) fail(gen uint64, cause error) (*message.TCPConn, uint64, error) {
+	u.mu.Lock()
+	for {
+		if u.down != nil {
+			err := u.down
+			u.mu.Unlock()
+			return nil, 0, err
+		}
+		if u.gen != gen {
+			// Someone else already reconnected; use their connection.
+			c, g := u.conn, u.gen
+			u.mu.Unlock()
+			return c, g, nil
+		}
+		if !u.reconnecting {
+			break
+		}
+		u.cond.Wait()
+	}
+	u.reconnecting = true
+	old := u.conn
+	u.mu.Unlock()
+
+	if old != nil {
+		u.accountRetired(old)
+		old.Close()
+	}
+	conn, qs, err := u.redial()
+
+	u.mu.Lock()
+	u.reconnecting = false
+	if err != nil {
+		if u.down == nil {
+			u.down = fmt.Errorf("%w: %s (last cause: %v)", ErrUplinkDown, err, cause)
+		}
+		err := u.down
+		u.cond.Broadcast()
+		u.mu.Unlock()
+		if conn != nil {
+			conn.Close()
+		}
+		return nil, 0, err
+	}
+	u.conn = conn
+	u.gen++
+	g := u.gen
+	u.pendingQS = append(u.pendingQS, &message.Message{Kind: message.KindQuerySet, Queries: qs})
+	u.cond.Broadcast()
+	u.mu.Unlock()
+	return conn, g, nil
+}
+
+// redial attempts the handshake under the retry policy: exponential backoff
+// with jitter, aborting early when the uplink is closed.
+func (u *uplink) redial() (*message.TCPConn, []query.Query, error) {
+	delay := u.opts.Retry.BaseDelay
+	var lastErr error
+	for attempt := 0; attempt < u.opts.Retry.MaxRetries; attempt++ {
+		if attempt > 0 {
+			d := delay/2 + time.Duration(rand.Int63n(int64(delay/2)+1))
+			select {
+			case <-u.closeCh:
+				return nil, nil, errors.New("closed during reconnect")
+			case <-time.After(d):
+			}
+			if delay *= 2; delay > u.opts.Retry.MaxDelay {
+				delay = u.opts.Retry.MaxDelay
+			}
+		}
+		select {
+		case <-u.closeCh:
+			return nil, nil, errors.New("closed during reconnect")
+		default:
+		}
+		conn, qs, err := u.handshake()
+		if err == nil {
+			if err = u.sendReplay(conn); err == nil {
+				return conn, qs, nil
+			}
+			conn.Close() // broken before it carried anything; try again
+		}
+		lastErr = err
+	}
+	return nil, nil, fmt.Errorf("gave up after %d attempts: %w", u.opts.Retry.MaxRetries, lastErr)
+}
+
+// sendReplay retransmits the recorded frame tail on a fresh connection,
+// restoring anything the dead socket silently swallowed. The parent dedups
+// the overlap (merger contributor sets; watermarks are monotone).
+func (u *uplink) sendReplay(conn *message.TCPConn) error {
+	u.mu.Lock()
+	frames := append([]*message.Message(nil), u.replay...)
+	u.mu.Unlock()
+	for _, f := range frames {
+		if err := conn.Send(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// record clones a data frame into the replay ring. Only partials and
+// watermarks are retained: they are idempotent at the parent, raw event
+// batches are not. Clones share no memory with m — the caller is free to
+// recycle it as soon as Send returns (the Conn contract).
+func (u *uplink) record(m *message.Message) {
+	if u.opts.ReplayDepth <= 0 {
+		return
+	}
+	switch m.Kind {
+	case message.KindPartial, message.KindWatermark:
+	default:
+		return
+	}
+	c := *m
+	if c.Partial != nil {
+		c.Partial = c.Partial.Clone()
+	}
+	u.mu.Lock()
+	if len(u.replay) >= u.opts.ReplayDepth {
+		copy(u.replay, u.replay[1:])
+		u.replay[len(u.replay)-1] = &c
+	} else {
+		u.replay = append(u.replay, &c)
+	}
+	u.mu.Unlock()
+}
+
+// accountRetired folds a retired connection's byte count into the running
+// total so BytesSent stays monotone across reconnects.
+func (u *uplink) accountRetired(c *message.TCPConn) {
+	u.mu.Lock()
+	u.prevBytes += c.BytesSent()
+	u.mu.Unlock()
+}
+
+// Send implements message.Conn: it transmits m, transparently reconnecting
+// and retransmitting on link failure until the retry budget is exhausted.
+func (u *uplink) Send(m *message.Message) error {
+	conn, gen, err := u.current()
+	if err != nil {
+		return err
+	}
+	for {
+		if err := conn.Send(m); err == nil {
+			u.record(m)
+			return nil
+		} else if conn, gen, err = u.fail(gen, err); err != nil {
+			return err
+		}
+	}
+}
+
+// Recv implements message.Conn: it receives the next downstream message
+// (control traffic), transparently reconnecting on link failure. After a
+// reconnect, the parent's fresh query set is delivered first as a
+// KindQuerySet message so the consumer can resync before reading control
+// traffic from the new connection. Single consumer only.
+func (u *uplink) Recv() (*message.Message, error) {
+	conn, gen, err := u.current()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		u.mu.Lock()
+		if len(u.pendingQS) > 0 {
+			m := u.pendingQS[0]
+			u.pendingQS = u.pendingQS[1:]
+			u.mu.Unlock()
+			return m, nil
+		}
+		u.mu.Unlock()
+		m, rerr := conn.Recv()
+		if rerr == nil {
+			return m, nil
+		}
+		if conn, gen, err = u.fail(gen, rerr); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// Close implements message.Conn: it flushes and closes the live connection
+// and marks the uplink down so in-flight reconnects abort.
+func (u *uplink) Close() error {
+	u.mu.Lock()
+	if u.closed {
+		u.mu.Unlock()
+		return nil
+	}
+	u.closed = true
+	close(u.closeCh)
+	conn := u.conn
+	if u.down == nil {
+		u.down = fmt.Errorf("%w: closed", ErrUplinkDown)
+	}
+	u.cond.Broadcast()
+	u.mu.Unlock()
+	var err error
+	if conn != nil {
+		// Close the socket before waiting for the heartbeat loop: a
+		// heartbeat Send blocked on a stalled peer is released by the close.
+		err = conn.Close()
+	}
+	if u.hbDone != nil {
+		<-u.hbDone
+	}
+	return err
+}
+
+// BytesSent implements message.Conn: cumulative across reconnects.
+func (u *uplink) BytesSent() uint64 {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	total := u.prevBytes
+	if u.conn != nil {
+		total += u.conn.BytesSent()
+	}
+	return total
+}
+
+// heartbeatLoop sends KindHeartbeat whenever a full period elapsed with no
+// other traffic, so an idle-but-alive child is never evicted by the
+// parent's liveness timeout (§3.2). One goroutine and one ticker per
+// uplink, regardless of message volume.
+func (u *uplink) heartbeatLoop() {
+	defer close(u.hbDone)
+	t := time.NewTicker(u.opts.Heartbeat)
+	defer t.Stop()
+	last := u.BytesSent()
+	for {
+		select {
+		case <-u.closeCh:
+			return
+		case <-t.C:
+		}
+		if cur := u.BytesSent(); cur != last {
+			last = cur
+			continue // the uplink carried traffic this period; stay quiet
+		}
+		if err := u.Send(&message.Message{Kind: message.KindHeartbeat, From: u.id}); err != nil {
+			return // terminal: uplink down or closed
+		}
+		last = u.BytesSent()
+	}
+}
+
+var _ message.Conn = (*uplink)(nil)

@@ -45,6 +45,16 @@ func NewAgg(ops Op) Agg {
 	return a
 }
 
+// CloneState returns a deep copy of the aggregate state sharing no memory
+// with a: Values gets its own backing array and the scratch buffer is not
+// carried over (the copy re-grows one on its first merge).
+func (a *Agg) CloneState() Agg {
+	c := *a
+	c.Values = append([]float64(nil), a.Values...)
+	c.scratch = nil
+	return c
+}
+
 // Reset re-initialises a for a new slice, keeping the Values buffer to avoid
 // reallocation.
 func (a *Agg) Reset(ops Op) {
