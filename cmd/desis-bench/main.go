@@ -3,6 +3,7 @@
 //	desis-bench -exp all                    # everything, test scale
 //	desis-bench -exp fig6b -events 2000000  # one figure, paper-ish scale
 //	desis-bench -exp ablation-assembly -out BENCH_assembly.json
+//	desis-bench -exp plan-churn -out BENCH_plan.json
 //	desis-bench -list
 package main
 
@@ -45,11 +46,33 @@ func main() {
 	}
 
 	if *out != "" {
-		if *exp != "ablation-assembly" {
-			fmt.Fprintln(os.Stderr, "desis-bench: -out only applies to -exp ablation-assembly")
+		var rep any
+		var err error
+		switch *exp {
+		case "ablation-assembly":
+			var r *bench.AssemblyReport
+			if r, err = bench.RunAssemblyReport(cfg); err == nil {
+				rep = r
+				for _, p := range r.Points {
+					fmt.Printf("windows=%-3d indexed=%.0f win/s naive=%.0f win/s speedup=%.2fx allocs/ev %.2f -> %.2f\n",
+						p.Windows, p.IndexedWindowsPerSec, p.NaiveWindowsPerSec, p.WindowsSpeedup,
+						p.NaiveAllocsPerEvent, p.IndexedAllocsPerEvent)
+				}
+			}
+		case "plan-churn":
+			var r *bench.PlanChurnReport
+			if r, err = bench.RunPlanChurnReport(cfg); err == nil {
+				rep = r
+				for _, p := range r.Points {
+					fmt.Printf("catalog=%-5d adds=%.0f/s removes=%.0f/s resync diff=%dB full=%dB ratio=%.1fx\n",
+						p.CatalogQueries, p.AddsPerSec, p.RemovesPerSec,
+						p.DeltaResyncBytes, p.FullPlanBytes, p.ResendRatio)
+				}
+			}
+		default:
+			fmt.Fprintln(os.Stderr, "desis-bench: -out only applies to -exp ablation-assembly or plan-churn")
 			os.Exit(2)
 		}
-		rep, err := bench.RunAssemblyReport(cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "desis-bench:", err)
 			os.Exit(1)
@@ -62,11 +85,6 @@ func main() {
 		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "desis-bench:", err)
 			os.Exit(1)
-		}
-		for _, p := range rep.Points {
-			fmt.Printf("windows=%-3d indexed=%.0f win/s naive=%.0f win/s speedup=%.2fx allocs/ev %.2f -> %.2f\n",
-				p.Windows, p.IndexedWindowsPerSec, p.NaiveWindowsPerSec, p.WindowsSpeedup,
-				p.NaiveAllocsPerEvent, p.IndexedAllocsPerEvent)
 		}
 		return
 	}

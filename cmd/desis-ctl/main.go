@@ -2,9 +2,13 @@
 //
 //	desis-ctl -root localhost:7070 -add "tumbling(5s) median key=2" -addid 42
 //	desis-ctl -root localhost:7070 -remove 42
+//	desis-ctl -root localhost:7070 -plan
 //
-// The root applies the change and broadcasts it down the topology; local
-// nodes start (or stop) answering the query from their next punctuation.
+// Adds and removes become plan deltas: the root applies the change to its
+// epoch-versioned execution plan and broadcasts the delta down the topology;
+// local nodes start (or stop) answering the query from their next
+// punctuation. -plan dumps the root's live catalog (groups, placements,
+// epoch) for inspection.
 package main
 
 import (
@@ -14,6 +18,7 @@ import (
 
 	"desis/internal/message"
 	"desis/internal/node"
+	"desis/internal/plan"
 	"desis/internal/query"
 )
 
@@ -22,6 +27,7 @@ func main() {
 	add := flag.String("add", "", "query to add, in the textual query language")
 	addID := flag.Uint64("addid", 0, "explicit id for the added query (required with -add)")
 	remove := flag.Uint64("remove", 0, "id of a running query to remove")
+	dumpPlan := flag.Bool("plan", false, "dump the root's live execution plan")
 	text := flag.Bool("text", false, "use the string wire codec")
 	flag.Parse()
 
@@ -34,6 +40,11 @@ func main() {
 	switch {
 	case *add != "" && *remove != 0:
 		err = fmt.Errorf("use either -add or -remove, not both")
+	case *dumpPlan:
+		var p *plan.Plan
+		if p, err = node.FetchPlan(*root, codec); err == nil {
+			fmt.Print(p.Describe())
+		}
 	case *add != "":
 		if *addID == 0 {
 			err = fmt.Errorf("-add needs -addid (a unique non-zero query id)")
@@ -54,7 +65,7 @@ func main() {
 			fmt.Printf("removed query %d\n", *remove)
 		}
 	default:
-		err = fmt.Errorf("nothing to do: pass -add or -remove")
+		err = fmt.Errorf("nothing to do: pass -add, -remove, or -plan")
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "desis-ctl:", err)

@@ -32,6 +32,7 @@ import (
 	"desis/internal/event"
 	"desis/internal/gen"
 	"desis/internal/operator"
+	"desis/internal/plan"
 	"desis/internal/query"
 )
 
@@ -150,24 +151,18 @@ type Engine struct {
 	e *core.Engine
 }
 
-// NewEngine analyzes the queries into query-groups and builds the engine.
-// Query IDs must be unique; zero IDs are assigned sequentially. Queries with
-// key=* (AnyKey) register as group-by templates, instantiated per observed
-// key with the concrete key reported in Result.Key.
+// NewEngine analyzes the queries into an execution plan (the epoch-versioned
+// catalog every tier shares, see internal/plan) and builds the engine from
+// it. Query IDs must be unique; zero IDs are assigned sequentially. Queries
+// with key=* (AnyKey) register as group-by templates, instantiated per
+// observed key with the concrete key reported in Result.Key.
 func NewEngine(queries []Query, opts Options) (*Engine, error) {
 	queries = assignIDs(queries)
-	concrete, templates := query.Split(queries)
-	groups, err := query.Analyze(concrete, query.Options{Dedup: opts.Dedup})
+	p, err := plan.New(queries, plan.Options{Dedup: opts.Dedup})
 	if err != nil {
 		return nil, err
 	}
-	e := &Engine{e: core.New(groups, opts.coreConfig())}
-	for _, t := range templates {
-		if err := e.e.AddTemplate(t); err != nil {
-			return nil, err
-		}
-	}
-	return e, nil
+	return &Engine{e: core.NewFromPlan(p, opts.coreConfig())}, nil
 }
 
 func assignIDs(queries []Query) []Query {
@@ -218,6 +213,15 @@ func (e *Engine) AddQuery(q Query) (uint64, error) {
 
 // RemoveQuery unregisters a running query.
 func (e *Engine) RemoveQuery(id uint64) error { return e.e.RemoveQuery(id) }
+
+// PlanEpoch returns the epoch of the engine's execution plan: 0 after
+// construction, incremented by every runtime catalog change (AddQuery,
+// RemoveQuery, template instantiation).
+func (e *Engine) PlanEpoch() uint64 { return e.e.PlanEpoch() }
+
+// DescribePlan renders the engine's live query catalog (groups, members,
+// placement, templates and instances) for humans.
+func (e *Engine) DescribePlan() string { return e.e.Plan().Describe() }
 
 // Stats reports the engine's work counters.
 type Stats = core.Stats

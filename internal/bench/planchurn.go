@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"desis/internal/core"
+	"desis/internal/gen"
+	"desis/internal/plan"
+	"desis/internal/query"
+)
+
+// The plan-churn experiment measures the control plane introduced with the
+// epoch-versioned execution plan: how fast a live engine absorbs add/remove
+// deltas while resident catalogs grow, and how many bytes a reconnecting
+// child's resync costs when the parent can answer with an epoch diff instead
+// of a full plan resend.
+
+// PlanChurnPoint is one measured sweep point of the plan-churn experiment.
+type PlanChurnPoint struct {
+	// CatalogQueries is the number of resident queries when churn starts.
+	CatalogQueries int `json:"catalog_queries"`
+	// AddsPerSec / RemovesPerSec are plan-delta application rates on a live
+	// engine (groups started, slices open) at that catalog size.
+	AddsPerSec    float64 `json:"adds_per_sec"`
+	RemovesPerSec float64 `json:"removes_per_sec"`
+	// MissedDeltas is the staleness of the simulated reconnecting child.
+	MissedDeltas int `json:"missed_deltas"`
+	// DeltaResyncBytes is the encoded size of the epoch-diff resync (the
+	// missed delta suffix); FullPlanBytes is the encoded size of the full
+	// plan the child would receive without the history (or when too stale).
+	DeltaResyncBytes int `json:"delta_resync_bytes"`
+	FullPlanBytes    int `json:"full_plan_bytes"`
+	// ResendRatio is FullPlanBytes / DeltaResyncBytes: how much cheaper the
+	// epoch diff makes a reconnect at this catalog size.
+	ResendRatio float64 `json:"resend_ratio"`
+}
+
+// PlanChurnReport is the JSON document desis-bench -exp plan-churn -out
+// writes (BENCH_plan.json in the repo root).
+type PlanChurnReport struct {
+	// WarmupEvents is how many events each engine ingests before churn, so
+	// deltas hit live groups (open slices, administrative punctuations).
+	WarmupEvents int `json:"warmup_events"`
+	// ChurnDeltas is how many add (and then remove) deltas each point times.
+	ChurnDeltas int `json:"churn_deltas"`
+	// Points holds one entry per resident-catalog size.
+	Points []PlanChurnPoint `json:"points"`
+}
+
+// churnQuery builds the i-th synthetic query of the churn mix: window
+// lengths, functions, and keys all cycle so consecutive queries land in
+// different query-groups.
+func churnQuery(i, keys int) query.Query {
+	funcs := []string{"sum", "average", "max", "min"}
+	kinds := []string{
+		"tumbling(%dms) %s key=%d",
+		"sliding(%dms,250ms) %s key=%d",
+	}
+	length := 500 + 250*(i%8)
+	q := query.MustParse(fmt.Sprintf(kinds[i%len(kinds)], length, funcs[i%len(funcs)], i%keys))
+	q.ID = uint64(i + 1)
+	return q
+}
+
+// churnPoint measures one catalog size: delta throughput on a live engine
+// and resync sizes for a child that missed the churn.
+func churnPoint(catalog, churn, warmup, keys int) (PlanChurnPoint, error) {
+	resident := make([]query.Query, catalog)
+	for i := range resident {
+		resident[i] = churnQuery(i, keys)
+	}
+	p, err := plan.New(resident, plan.Options{})
+	if err != nil {
+		return PlanChurnPoint{}, err
+	}
+	hist := plan.NewHistory(p)
+	eng := core.NewFromPlan(hist.Plan().Clone(), core.Config{OnResult: func(core.Result) {}})
+	evs := gen.NewStream(gen.StreamConfig{Seed: 31, Keys: keys, IntervalMS: 1}).Events(warmup)
+	eng.ProcessBatch(evs)
+
+	pt := PlanChurnPoint{CatalogQueries: catalog, MissedDeltas: churn}
+
+	// Adds: each delta is minted from the authoritative history (the way a
+	// root serves a control command), applied there, and applied to the live
+	// engine. The encoded delta sizes accumulate into the resync cost a
+	// child that missed all of them would pay.
+	start := time.Now()
+	for i := 0; i < churn; i++ {
+		d := hist.Plan().AddDelta(churnQuery(catalog+i, keys))
+		if err := hist.Apply(d); err != nil {
+			return PlanChurnPoint{}, err
+		}
+		if err := eng.Apply(d); err != nil {
+			return PlanChurnPoint{}, err
+		}
+		pt.DeltaResyncBytes += len(plan.AppendDelta(nil, d))
+	}
+	pt.AddsPerSec = float64(churn) / time.Since(start).Seconds()
+
+	// The full-plan resend the same stale child would receive without the
+	// delta log (message framing excluded on both sides).
+	pt.FullPlanBytes = len(plan.AppendPlan(nil, hist.Plan()))
+	if pt.DeltaResyncBytes > 0 {
+		pt.ResendRatio = float64(pt.FullPlanBytes) / float64(pt.DeltaResyncBytes)
+	}
+
+	// Removes: retire the queries just added.
+	start = time.Now()
+	for i := 0; i < churn; i++ {
+		d := hist.Plan().RemoveDelta(uint64(catalog + i + 1))
+		if err := hist.Apply(d); err != nil {
+			return PlanChurnPoint{}, err
+		}
+		if err := eng.Apply(d); err != nil {
+			return PlanChurnPoint{}, err
+		}
+	}
+	pt.RemovesPerSec = float64(churn) / time.Since(start).Seconds()
+	return pt, nil
+}
+
+// RunPlanChurnReport executes the plan-churn sweep and returns the
+// structured report.
+func RunPlanChurnReport(cfg Config) (*PlanChurnReport, error) {
+	cfg = cfg.withDefaults()
+	warmup := scaleEvents(cfg.Events, 100)
+	const churn = 128
+	rep := &PlanChurnReport{WarmupEvents: warmup, ChurnDeltas: churn}
+	for _, n := range []int{16, 64, 256, 1024} {
+		pt, err := churnPoint(n, churn, warmup, cfg.Keys)
+		if err != nil {
+			return nil, err
+		}
+		rep.Points = append(rep.Points, pt)
+	}
+	return rep, nil
+}
+
+// PlanChurn renders the plan-churn experiment as a table.
+func PlanChurn(cfg Config) (*Table, error) {
+	rep, err := RunPlanChurnReport(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{ID: "plan-churn", Title: "Plan-delta churn and reconnect resync cost", XLabel: "resident queries", YLabel: "deltas/s | bytes"}
+	for _, p := range rep.Points {
+		t.Add("adds/s", float64(p.CatalogQueries), p.AddsPerSec)
+		t.Add("removes/s", float64(p.CatalogQueries), p.RemovesPerSec)
+		t.Add("diff-bytes", float64(p.CatalogQueries), float64(p.DeltaResyncBytes))
+		t.Add("full-bytes", float64(p.CatalogQueries), float64(p.FullPlanBytes))
+		t.Add("resend-ratio", float64(p.CatalogQueries), p.ResendRatio)
+	}
+	return t, nil
+}

@@ -67,6 +67,7 @@ var Experiments = []Experiment{
 	{"ablation-codecs", "binary vs compact vs text wire codecs", one(AblationCodecs)},
 	{"ablation-shardedroot", "single vs key-sharded root engines", one(AblationShardedRoot)},
 	{"ablation-assembly", "amortized window assembly vs per-window slice re-fold", one(AblationAssembly)},
+	{"plan-churn", "plan-delta add/remove throughput and reconnect resync bytes", one(PlanChurn)},
 }
 
 // Run executes the experiment with the given id and prints its tables.

@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"desis/internal/event"
-	"desis/internal/operator"
+	"desis/internal/plan"
 	"desis/internal/query"
 )
 
@@ -13,29 +13,57 @@ import (
 // group. One Engine instance runs per node; on local nodes it is configured
 // with OnSlice and emits per-slice partial results instead of assembling
 // windows.
+//
+// The engine owns a copy of the deployment's execution plan and materialises
+// group state exclusively from it: the initial build and every runtime
+// catalog change (Apply) flow through the same reconciliation (syncPlan), so
+// an engine built from a plan at epoch N is identical to one that started
+// earlier and applied the deltas leading to epoch N.
 type Engine struct {
 	cfg            Config
 	pruneThreshold int
+	plan           *plan.Plan
 	groups         []*groupState
+	byID           map[uint32]*groupState
 	byKey          map[uint32][]*groupState
 	results        []Result
 	stats          Stats
-	templates      []query.Query   // group-by (key=*) queries
-	tmplKeys       map[uint32]bool // keys already instantiated
+	tmplKeys       map[uint32]bool // keys whose template instantiation ran
 }
 
-// New builds an engine for the analyzed query-groups.
+// New builds an engine for an analyzed group set, wrapping it into a plan at
+// epoch 0 (legacy construction path; the engine takes ownership of the
+// groups).
 func New(groups []*groupOf, cfg Config) *Engine {
-	e := &Engine{cfg: cfg, byKey: make(map[uint32][]*groupState)}
+	return NewFromPlan(plan.FromGroups(groups, plan.Options{Decentralized: cfg.Decentralized}), cfg)
+}
+
+// NewFromPlan builds an engine from an execution plan, taking ownership of
+// it. Config.Placement selects which groups of the plan this engine
+// materialises (a local node runs the distributed groups, the root engine
+// the root-only ones); the plan itself always stays complete so runtime
+// deltas reconcile identically on every tier.
+func NewFromPlan(p *plan.Plan, cfg Config) *Engine {
+	e := &Engine{
+		cfg:   cfg,
+		plan:  p,
+		byID:  make(map[uint32]*groupState),
+		byKey: make(map[uint32][]*groupState),
+	}
 	e.pruneThreshold = cfg.PruneThreshold
 	if e.pruneThreshold <= 0 {
 		e.pruneThreshold = DefaultPruneThreshold
 	}
-	for _, g := range groups {
-		e.install(newGroupState(e, g))
-	}
+	e.syncPlan()
 	return e
 }
+
+// Plan exposes the engine's execution plan. Callers must treat it as
+// read-only; mutation goes through Apply.
+func (e *Engine) Plan() *plan.Plan { return e.plan }
+
+// PlanEpoch returns the epoch of the engine's plan.
+func (e *Engine) PlanEpoch() uint64 { return e.plan.Epoch }
 
 // RecyclePartial returns a partial emitted through Config.OnSlice to the
 // engine's pools once the consumer is done with it (e.g. after the wire
@@ -45,16 +73,14 @@ func (e *Engine) RecyclePartial(p *SlicePartial) {
 	if p == nil {
 		return
 	}
-	for _, gs := range e.groups {
-		if gs.id == p.Group {
-			gs.recyclePartial(p)
-			return
-		}
+	if gs := e.byID[p.Group]; gs != nil {
+		gs.recyclePartial(p)
 	}
 }
 
 func (e *Engine) install(gs *groupState) {
 	e.groups = append(e.groups, gs)
+	e.byID[gs.id] = gs
 	e.byKey[gs.key] = append(e.byKey[gs.key], gs)
 }
 
@@ -62,7 +88,7 @@ func (e *Engine) install(gs *groupState) {
 // first event of an unseen key instantiates any registered group-by
 // templates for it.
 func (e *Engine) Process(ev event.Event) {
-	if e.templates != nil && !e.tmplKeys[ev.Key] {
+	if len(e.plan.Templates) > 0 && !e.tmplKeys[ev.Key] {
 		e.instantiateTemplates(ev.Key)
 	}
 	for _, gs := range e.byKey[ev.Key] {
@@ -70,43 +96,192 @@ func (e *Engine) Process(ev event.Event) {
 	}
 }
 
+// Apply mutates the engine's plan by one delta and reconciles group state
+// with the result. It is the single mutation path: AddQuery, AddTemplate,
+// RemoveQuery, and template instantiation all funnel through here, as do
+// deltas arriving over the wire in decentralized deployments.
+func (e *Engine) Apply(d plan.Delta) error {
+	if err := e.plan.Apply(d); err != nil {
+		return err
+	}
+	if d.Kind == plan.DeltaInstantiate {
+		if e.tmplKeys == nil {
+			e.tmplKeys = make(map[uint32]bool)
+		}
+		e.tmplKeys[d.Key] = true
+	}
+	e.syncPlan()
+	return nil
+}
+
+// ResyncPlan replaces the engine's plan with a newer full copy of the same
+// lineage (a reconnecting node that is too stale for an epoch diff receives
+// one) and reconciles group state. The new plan must extend the current one:
+// every materialised group must still exist with at least its known members.
+func (e *Engine) ResyncPlan(p *plan.Plan) error {
+	if p.Epoch < e.plan.Epoch {
+		return fmt.Errorf("core: resync plan epoch %d behind engine epoch %d", p.Epoch, e.plan.Epoch)
+	}
+	for _, gs := range e.groups {
+		g := p.GroupByID(gs.id)
+		if g == nil {
+			return fmt.Errorf("core: resync plan lost group %d", gs.id)
+		}
+		if len(g.Queries) < len(gs.members) || g.Key != gs.key || g.Placement != gs.placement {
+			return fmt.Errorf("core: resync plan diverges on group %d", gs.id)
+		}
+	}
+	e.plan = p
+	e.syncPlan()
+	return nil
+}
+
+// syncPlan reconciles every materialised group with the plan's catalog: the
+// one install path shared by initial construction, runtime deltas, and full
+// resyncs.
+func (e *Engine) syncPlan() {
+	for _, g := range e.plan.Groups {
+		e.syncGroup(g)
+	}
+	for _, in := range e.plan.Instances {
+		if e.tmplKeys == nil {
+			e.tmplKeys = make(map[uint32]bool)
+		}
+		e.tmplKeys[in.Key] = true
+	}
+}
+
+// syncGroup brings one group's runtime state in line with its catalog entry:
+// missing state is installed (subject to the placement filter), new contexts
+// and members are registered, a changed operator mask takes effect from an
+// administrative punctuation at the current event time, and tombstoned
+// members are dropped from the trackers. Existing members and slices are
+// untouched, so the member indices EPs carry stay stable across the
+// topology.
+func (e *Engine) syncGroup(g *groupOf) {
+	gs := e.byID[g.ID]
+	if gs == nil {
+		// The placement filter selects the tier's share of the plan; the
+		// ownership check keeps a shard from materialising groups whose keys
+		// the shard map routes elsewhere.
+		if !e.cfg.Placement.accepts(g.Placement) || !e.plan.Owns(g.Key) {
+			return
+		}
+		e.install(newGroupState(e, g))
+		return
+	}
+	changed := false
+	if len(g.Contexts) > len(gs.contexts) {
+		gs.contexts = append(gs.contexts, g.Contexts[len(gs.contexts):]...)
+		changed = true
+	}
+	if g.Ops != gs.ops {
+		gs.ops = g.Ops
+		gs.logicalOps = uint64(g.LogicalOps.NumOps())
+		changed = true
+	}
+	if len(g.Queries) > len(gs.members) {
+		changed = true
+	}
+	if changed && gs.started {
+		// Close the running slice at an administrative punctuation so every
+		// slice has a uniform operator mask and joining members register at
+		// the current stream position (they answer no earlier windows).
+		cut := gs.lastEventTime
+		if cut < gs.lastPunct {
+			cut = gs.lastPunct
+		}
+		gs.closeSlice(cut)
+		gs.flushPending()
+		gs.cur.aggs = gs.newAggs()
+	}
+	for i := len(gs.members); i < len(g.Queries); i++ {
+		gs.addMember(g.Queries[i])
+	}
+	for i := range gs.members {
+		if g.Queries[i].Removed && !gs.members[i].removed {
+			gs.removeMember(i)
+			changed = true
+		}
+	}
+	if changed && gs.started {
+		gs.nextTimeBound = gs.cal.NextBoundary(gs.lastPunct)
+		gs.nextCountID = gs.countCal.NextBoundary(gs.count)
+	}
+}
+
+// AddQuery admits a query at runtime (§3.2) through a plan delta. The query
+// joins an existing compatible query-group when one exists — the group's
+// current slice is closed at an administrative punctuation so the widened
+// operator set applies from here on — or founds a new group. Windows that
+// started before registration are not answered. It returns the id of the
+// group the query joined (0 for group-by templates, which live in the
+// catalog until keys instantiate them).
+func (e *Engine) AddQuery(q query.Query) (groupID uint32, err error) {
+	if err := e.Apply(e.plan.AddDelta(q)); err != nil {
+		return 0, err
+	}
+	if q.AnyKey {
+		return 0, e.instantiateForSeenKeys(q)
+	}
+	g, _, ok := e.plan.Lookup(q.ID)
+	if !ok {
+		return 0, fmt.Errorf("core: query %d vanished after admission", q.ID)
+	}
+	return g.ID, nil
+}
+
 // AddTemplate registers a group-by query template (AnyKey): one instance
 // per observed key is created lazily, all answering under the template's
 // query id with the concrete key in Result.Key.
 func (e *Engine) AddTemplate(q query.Query) error {
-	probe := q
-	probe.AnyKey = false
-	if err := probe.Validate(); err != nil {
-		return err
-	}
-	if e.tmplKeys == nil {
-		e.tmplKeys = make(map[uint32]bool)
-	}
-	e.templates = append(e.templates, q)
-	// Keys whose template instantiation already ran need this template
-	// added explicitly; keys not yet instantiated pick it up with their
-	// next event.
+	q.AnyKey = true
+	_, err := e.AddQuery(q)
+	return err
+}
+
+// instantiateForSeenKeys materialises a just-registered template for every
+// key whose instantiation already ran; keys not yet seen pick it up with
+// their next event.
+func (e *Engine) instantiateForSeenKeys(t query.Query) error {
 	for k := range e.tmplKeys {
-		inst := q
-		inst.AnyKey = false
-		inst.Key = k
-		if _, err := e.AddQuery(inst); err != nil {
+		if !e.plan.Owns(k) || e.plan.Instantiated(t.ID, k) {
+			continue
+		}
+		if err := e.Apply(e.plan.InstantiateDelta(t.ID, k)); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
+// instantiateTemplates materialises every registered template for a freshly
+// observed key — but only when this engine's plan owns the key, so in a
+// sharded deployment exactly one shard instantiates each key.
 func (e *Engine) instantiateTemplates(k uint32) {
-	e.tmplKeys[k] = true
-	for _, t := range e.templates {
-		inst := t
-		inst.AnyKey = false
-		inst.Key = k
-		// Template queries validated at AddTemplate; AddQuery cannot fail
-		// on placement for a fresh key.
-		_, _ = e.AddQuery(inst)
+	if e.tmplKeys == nil {
+		e.tmplKeys = make(map[uint32]bool)
 	}
+	e.tmplKeys[k] = true
+	if !e.plan.Owns(k) {
+		return
+	}
+	for _, t := range e.plan.Templates {
+		if e.plan.Instantiated(t.ID, k) {
+			continue
+		}
+		// Template queries validated at admission; instantiation of a fresh
+		// key cannot fail placement.
+		_ = e.Apply(e.plan.InstantiateDelta(t.ID, k))
+	}
+}
+
+// RemoveQuery retires a running query immediately through a plan delta; its
+// open windows are abandoned (§3.2 also allows waiting for the last window,
+// which callers get by delaying this call until the window result arrives).
+// For group-by templates it removes the template and every per-key instance.
+func (e *Engine) RemoveQuery(id uint64) error {
+	return e.Apply(e.plan.RemoveDelta(id))
 }
 
 // ProcessBatch ingests a batch of events in order.
@@ -146,177 +321,6 @@ func (e *Engine) emit(r Result) {
 	e.results = append(e.results, r)
 }
 
-// NumGroups reports how many query-groups the engine maintains — the
+// NumGroups reports how many query-groups the engine materialised — the
 // quantity the optimization experiments of §6.3 vary across systems.
 func (e *Engine) NumGroups() int { return len(e.groups) }
-
-// AddQuery registers a query at runtime (§3.2). The query joins an existing
-// compatible query-group when one exists — the group's current slice is
-// closed at an administrative punctuation so the widened operator set
-// applies from here on — or founds a new group. Windows that started before
-// registration are not answered. It returns the group the query joined.
-func (e *Engine) AddQuery(q query.Query) (groupID uint32, err error) {
-	if err := q.Validate(); err != nil {
-		return 0, err
-	}
-	placement := query.Distributed
-	if e.cfg.Decentralized && q.Measure == query.Count {
-		placement = query.RootOnly
-	}
-	gs, ctx := e.placeQuery(q, placement)
-	if gs == nil {
-		g := &query.Group{
-			ID:        uint32(len(e.groups)),
-			Key:       q.Key,
-			Placement: placement,
-			Contexts:  []query.Predicate{q.Pred},
-		}
-		g.Queries = []query.GroupQuery{{Query: q, Ctx: 0}}
-		g.LogicalOps = q.Operators()
-		g.Ops = g.LogicalOps | operator.OpCount
-		gs = newGroupState(e, g)
-		e.install(gs)
-		return g.ID, nil
-	}
-	// Close the running slice so every slice has a uniform operator mask.
-	if gs.started {
-		cut := gs.lastEventTime
-		if cut < gs.lastPunct {
-			cut = gs.lastPunct
-		}
-		gs.closeSlice(cut)
-		gs.flushPending()
-	}
-	var specs []operator.FuncSpec
-	for _, m := range gs.members {
-		if !m.removed {
-			specs = append(specs, m.Funcs...)
-		}
-	}
-	specs = append(specs, q.Funcs...)
-	logical := operator.Union(specs)
-	gs.ops = logical | operator.OpCount
-	gs.logicalOps = uint64(logical.NumOps())
-	if gs.started {
-		// Reopen the current slice with the widened mask.
-		gs.cur.aggs = gs.newAggs()
-	}
-	gq := query.GroupQuery{Query: q, Ctx: ctx}
-	gs.addMember(gq)
-	if gs.started {
-		gs.nextTimeBound = gs.cal.NextBoundary(gs.lastPunct)
-		gs.nextCountID = gs.countCal.NextBoundary(gs.count)
-	}
-	return gs.id, nil
-}
-
-// placeQuery finds a group that can host q under the analyzer's rules,
-// extending its contexts if needed. A nil group means none fits.
-func (e *Engine) placeQuery(q query.Query, placement query.Placement) (*groupState, int) {
-	for _, gs := range e.byKey[q.Key] {
-		if gs.placement != placement {
-			continue
-		}
-		compatible := true
-		ctx := -1
-		for i, c := range gs.contexts {
-			if c.Equal(q.Pred) {
-				ctx = i
-				break
-			}
-			if c.Overlaps(q.Pred) {
-				compatible = false
-				break
-			}
-		}
-		if ctx >= 0 {
-			return gs, ctx
-		}
-		if compatible {
-			gs.contexts = append(gs.contexts, q.Pred)
-			if gs.started {
-				gs.cur.aggs = gs.newAggs()
-			}
-			return gs, len(gs.contexts) - 1
-		}
-	}
-	return nil, 0
-}
-
-// SyncGroup reconciles the engine with a group that was mutated (or created)
-// by query.Place at runtime: new contexts and members are registered, and a
-// widened operator mask takes effect from an administrative punctuation at
-// the current event time. Existing members and slices are untouched, so the
-// member indices EPs carry stay stable across the topology.
-func (e *Engine) SyncGroup(g *groupOf) {
-	var gs *groupState
-	for _, cand := range e.groups {
-		if cand.id == g.ID {
-			gs = cand
-			break
-		}
-	}
-	if gs == nil {
-		e.install(newGroupState(e, g))
-		return
-	}
-	changed := false
-	if len(g.Contexts) > len(gs.contexts) {
-		gs.contexts = append(gs.contexts, g.Contexts[len(gs.contexts):]...)
-		changed = true
-	}
-	if g.Ops != gs.ops {
-		gs.ops = g.Ops
-		gs.logicalOps = uint64(g.LogicalOps.NumOps())
-		changed = true
-	}
-	if changed && gs.started {
-		cut := gs.lastEventTime
-		if cut < gs.lastPunct {
-			cut = gs.lastPunct
-		}
-		gs.closeSlice(cut)
-		gs.flushPending()
-		gs.cur.aggs = gs.newAggs()
-	}
-	for i := len(gs.members); i < len(g.Queries); i++ {
-		gs.addMember(g.Queries[i])
-	}
-	if gs.started {
-		gs.nextTimeBound = gs.cal.NextBoundary(gs.lastPunct)
-		gs.nextCountID = gs.countCal.NextBoundary(gs.count)
-	}
-}
-
-// RemoveQuery unregisters a running query immediately; its open windows are
-// abandoned (§3.2 also allows waiting for the last window, which callers get
-// by delaying this call until the window result arrives). For group-by
-// templates it removes the template and every per-key instance.
-func (e *Engine) RemoveQuery(id uint64) error {
-	removed := false
-	for ti := len(e.templates) - 1; ti >= 0; ti-- {
-		if e.templates[ti].ID == id {
-			e.templates = append(e.templates[:ti], e.templates[ti+1:]...)
-			removed = true
-		}
-	}
-	if len(e.templates) == 0 {
-		e.templates = nil
-	}
-	for _, gs := range e.groups {
-		for i := range gs.members {
-			if gs.members[i].ID == id && !gs.members[i].removed {
-				gs.removeMember(i)
-				if gs.started {
-					gs.nextTimeBound = gs.cal.NextBoundary(gs.lastPunct)
-					gs.nextCountID = gs.countCal.NextBoundary(gs.count)
-				}
-				removed = true
-			}
-		}
-	}
-	if !removed {
-		return fmt.Errorf("core: no running query with id %d", id)
-	}
-	return nil
-}

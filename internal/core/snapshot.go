@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"desis/internal/operator"
+	"desis/internal/plan"
 	"desis/internal/window"
 )
 
@@ -21,14 +22,18 @@ type windowDynamicState = window.DynamicState
 // snapshotMagic guards against feeding arbitrary bytes to Restore.
 const snapshotMagic = 0x44455349 // "DESI"
 
-// snapshotVersion bumps when the layout changes (v2: Stats.Pruned).
-const snapshotVersion = 2
+// snapshotVersion bumps when the layout changes (v2: Stats.Pruned; v3: plan
+// epoch).
+const snapshotVersion = 3
 
 // Snapshot appends a serialised checkpoint of the engine's complete mutable
-// state to buf. The engine must be quiescent (no concurrent Process).
+// state to buf. The engine must be quiescent (no concurrent Process). The
+// checkpoint records the plan epoch it was cut at: restoring requires an
+// engine built from the same catalog at the same epoch.
 func (e *Engine) Snapshot(buf []byte) []byte {
 	buf = appendU32s(buf, snapshotMagic)
 	buf = appendU32s(buf, snapshotVersion)
+	buf = appendU64s(buf, e.plan.Epoch)
 	buf = appendU64s(buf, e.stats.Events)
 	buf = appendU64s(buf, e.stats.Calculations)
 	buf = appendU64s(buf, e.stats.Slices)
@@ -95,8 +100,23 @@ func appendDynamic(buf []byte, entries []windowDynamicState) []byte {
 
 // Restore rebuilds an engine from groups (the same set, in the same order,
 // as when the snapshot was taken — persist the queries with the snapshot)
-// and a checkpoint produced by Snapshot.
+// and a checkpoint produced by Snapshot. The snapshot's plan epoch is not
+// checked here: callers re-analyzing a persisted query set start at epoch 0
+// regardless of how many deltas produced the catalog. RestoreFromPlan is the
+// strict variant.
 func Restore(groups []*groupOf, cfg Config, snap []byte) (*Engine, error) {
+	return restore(New(groups, cfg), snap, false)
+}
+
+// RestoreFromPlan rebuilds an engine from an execution plan and a checkpoint
+// produced by Snapshot on an engine at the same plan epoch. It takes
+// ownership of the plan and fails when the epochs diverge — the guarantee a
+// decentralized restore needs before resuming a delta stream.
+func RestoreFromPlan(p *plan.Plan, cfg Config, snap []byte) (*Engine, error) {
+	return restore(NewFromPlan(p, cfg), snap, true)
+}
+
+func restore(e *Engine, snap []byte, checkEpoch bool) (*Engine, error) {
 	r := &snapReader{buf: snap}
 	if r.u32() != snapshotMagic {
 		return nil, fmt.Errorf("core: not a snapshot")
@@ -104,7 +124,10 @@ func Restore(groups []*groupOf, cfg Config, snap []byte) (*Engine, error) {
 	if v := r.u32(); v != snapshotVersion {
 		return nil, fmt.Errorf("core: snapshot version %d, want %d", v, snapshotVersion)
 	}
-	e := New(groups, cfg)
+	epoch := r.u64()
+	if checkEpoch && r.err == nil && epoch != e.plan.Epoch {
+		return nil, fmt.Errorf("core: snapshot cut at plan epoch %d, engine plan at %d", epoch, e.plan.Epoch)
+	}
 	e.stats.Events = r.u64()
 	e.stats.Calculations = r.u64()
 	e.stats.Slices = r.u64()

@@ -62,8 +62,8 @@ type sliceIndex struct {
 }
 
 // configure re-targets the index at the given lane count and operator mask,
-// invalidating it when either changed (runtime AddQuery/SyncGroup widening,
-// context growth). The decomposable mask is derived by the caller.
+// invalidating it when either changed (a runtime plan delta widening the
+// mask, context growth). The decomposable mask is derived by the caller.
 func (x *sliceIndex) configure(nctx int, ops operator.Op, n int) {
 	if x.nctx == nctx && x.ops == ops {
 		return

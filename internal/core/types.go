@@ -121,6 +121,34 @@ type Stats struct {
 // retention pruning (Config.PruneThreshold = 0 selects it).
 const DefaultPruneThreshold = 64
 
+// PlacementFilter selects which groups of the execution plan an engine
+// materialises. The plan itself is always held complete, so runtime deltas
+// reconcile identically on every tier; the filter only gates local state.
+type PlacementFilter uint8
+
+// The placement filters.
+const (
+	// AllGroups materialises every group (central deployments).
+	AllGroups PlacementFilter = iota
+	// DistributedOnly materialises the distributed groups — what a local
+	// node slices; root-only groups' raw events are forwarded instead.
+	DistributedOnly
+	// RootOnlyGroups materialises the root-only groups — what the root's
+	// own engine evaluates over forwarded raw events.
+	RootOnlyGroups
+)
+
+// accepts reports whether the filter admits a group of the given placement.
+func (f PlacementFilter) accepts(p query.Placement) bool {
+	switch f {
+	case DistributedOnly:
+		return p == query.Distributed
+	case RootOnlyGroups:
+		return p == query.RootOnly
+	}
+	return true
+}
+
 // Config configures an Engine.
 type Config struct {
 	// OnResult receives window results as they are produced. When nil,
@@ -151,8 +179,12 @@ type Config struct {
 	// compactions.
 	PruneThreshold int
 	// Decentralized applies the decentralized placement rules when queries
-	// are added at runtime (count-based windows are RootOnly, §5.2).
+	// are added at runtime (count-based windows are RootOnly, §5.2). Only
+	// consulted by the legacy New constructor when it wraps groups into a
+	// plan; NewFromPlan callers encode placement in the plan itself.
 	Decentralized bool
+	// Placement gates which groups of the plan this engine materialises.
+	Placement PlacementFilter
 }
 
 // groupOf re-exports the analyzer's group type for readability.

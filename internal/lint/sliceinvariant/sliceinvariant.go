@@ -3,10 +3,10 @@
 // and the closed-slice ring rest on are only maintained if mutation stays
 // confined to the documented mutation points. The analyzer guards the state
 // fields of core.groupState, core.sliceRec, core.sliceIndex, the identity
-// fields of core.SlicePartial, and the shared query.Group descriptor:
-// every assignment, compound assignment, increment/decrement, or
-// address-taking of a guarded field outside its allow-listed writer
-// functions is reported.
+// fields of core.SlicePartial, the shared query.Group descriptor, and the
+// epoch-versioned plan.Plan catalog: every assignment, compound assignment,
+// increment/decrement, or address-taking of a guarded field outside its
+// allow-listed writer functions is reported.
 //
 // Slice ids must be monotone: counters marked as such may be incremented
 // anywhere in the owning package, but may never be decremented and may only
@@ -49,7 +49,10 @@ type Rule struct {
 	Message string
 }
 
-const corePkg = "desis/internal/core"
+const (
+	corePkg = "desis/internal/core"
+	planPkg = "desis/internal/plan"
+)
 
 // DefaultRules is the guard table for the Desis tree.
 var DefaultRules = []Rule{
@@ -93,12 +96,10 @@ var DefaultRules = []Rule{
 			corePkg + ":groupState.closeSlice",
 			corePkg + ":groupState.prune",
 			corePkg + ":readSlice",
-			// Runtime query admission re-provisions the *open* slice's
-			// aggregate row after widening the operator mask (administrative
-			// punctuation closes the old slice first).
-			corePkg + ":Engine.AddQuery",
-			corePkg + ":Engine.placeQuery",
-			corePkg + ":Engine.SyncGroup",
+			// Plan reconciliation re-provisions the *open* slice's aggregate
+			// row after widening the operator mask (administrative punctuation
+			// closes the old slice first).
+			corePkg + ":Engine.syncGroup",
 		},
 		Message: "closed-slice records are immutable outside the slicing path; the assembly index and window gathering assume their extents and aggregates never change",
 	},
@@ -116,12 +117,23 @@ var DefaultRules = []Rule{
 		Message: "a partial's identity (group, slice id) is assigned once when it is staged or decoded; ids are monotone per (node, group)",
 	},
 	{
-		Type:      "desis/internal/query.Group",
-		AllowPkgs: []string{"desis/internal/query"},
-		AllowFuncs: []string{
-			corePkg + ":Engine.AddQuery",
-		},
-		Message: "shared query-group descriptors are mutated only by query.Analyze/Place (so every node derives the same groups) and by Engine.AddQuery on a freshly founded group",
+		Type: "desis/internal/query.Group",
+		// Group descriptors are forged by query.Analyze/Place and evolved
+		// only by the plan package's delta application (including the wire
+		// decoder materialising a received plan), so every node derives the
+		// same groups from the same delta sequence.
+		AllowPkgs: []string{"desis/internal/query", planPkg},
+		Message:   "shared query-group descriptors are mutated only by query analysis and plan-delta application (so every node derives the same groups)",
+	},
+	{
+		Type: planPkg + ".Plan",
+		// The execution plan is the single source of truth for every tier;
+		// the only mutation mechanism is minting a delta and funneling it
+		// through Plan.Apply (or decoding a full plan off the wire), both of
+		// which live in the plan package. Writes anywhere else would let one
+		// tier's catalog drift from the delta sequence the others replay.
+		AllowPkgs: []string{planPkg},
+		Message:   "the execution plan is immutable outside the plan package: mint a delta and funnel it through Plan.Apply so every tier derives identical state",
 	},
 }
 

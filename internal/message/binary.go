@@ -9,6 +9,7 @@ import (
 	"desis/internal/event"
 	"desis/internal/invariant"
 	"desis/internal/operator"
+	"desis/internal/plan"
 	"desis/internal/query"
 )
 
@@ -24,14 +25,16 @@ func (Binary) Append(buf []byte, m *Message) ([]byte, error) {
 	buf = append(buf, byte(m.Kind))
 	buf = appendU32(buf, m.From)
 	switch m.Kind {
-	case KindHello, KindHeartbeat, KindGoodbye:
+	case KindHello:
+		buf = appendU64(buf, m.Epoch)
+	case KindHeartbeat, KindGoodbye, KindPlanDump:
 	case KindEventBatch:
 		buf = event.AppendBatch(buf, m.Events)
 	case KindPartial:
 		buf = appendPartial(buf, m.Partial)
 	case KindWatermark:
 		buf = appendU64(buf, uint64(m.Watermark))
-	case KindQuerySet, KindAddQuery:
+	case KindAddQuery:
 		buf = appendU32(buf, uint32(len(m.Queries)))
 		for _, q := range m.Queries {
 			buf = appendQuery(buf, q)
@@ -41,6 +44,13 @@ func (Binary) Append(buf []byte, m *Message) ([]byte, error) {
 		buf = appendU64(buf, uint64(m.Watermark))
 	case KindResult:
 		buf = appendResult(buf, m.Result)
+	case KindPlanState:
+		buf = plan.AppendPlan(buf, m.Plan)
+	case KindPlanDelta:
+		buf = appendU32(buf, uint32(len(m.Deltas)))
+		for _, d := range m.Deltas {
+			buf = plan.AppendDelta(buf, d)
+		}
 	default:
 		return nil, fmt.Errorf("message: cannot encode kind %d", m.Kind)
 	}
@@ -54,7 +64,9 @@ func (Binary) Decode(buf []byte) (*Message, error) {
 	m.Kind = Kind(r.u8())
 	m.From = r.u32()
 	switch m.Kind {
-	case KindHello, KindHeartbeat, KindGoodbye:
+	case KindHello:
+		m.Epoch = r.u64()
+	case KindHeartbeat, KindGoodbye, KindPlanDump:
 	case KindEventBatch:
 		var err error
 		m.Events, _, err = event.DecodeBatch(r.buf, nil)
@@ -66,7 +78,7 @@ func (Binary) Decode(buf []byte) (*Message, error) {
 		m.Partial = r.partial()
 	case KindWatermark:
 		m.Watermark = int64(r.u64())
-	case KindQuerySet, KindAddQuery:
+	case KindAddQuery:
 		n := r.u32()
 		for i := uint32(0); i < n && r.err == nil; i++ {
 			m.Queries = append(m.Queries, r.query())
@@ -76,6 +88,24 @@ func (Binary) Decode(buf []byte) (*Message, error) {
 		m.Watermark = int64(r.u64())
 	case KindResult:
 		m.Result = r.result()
+	case KindPlanState:
+		if r.err == nil {
+			p, rest, err := plan.DecodePlan(r.buf)
+			if err != nil {
+				return nil, err
+			}
+			m.Plan, r.buf = p, rest
+		}
+	case KindPlanDelta:
+		n := r.u32()
+		for i := uint32(0); i < n && r.err == nil; i++ {
+			d, rest, err := plan.DecodeDelta(r.buf)
+			if err != nil {
+				return nil, err
+			}
+			m.Deltas = append(m.Deltas, d)
+			r.buf = rest
+		}
 	default:
 		return nil, fmt.Errorf("message: cannot decode kind %d", m.Kind)
 	}

@@ -41,7 +41,9 @@ func (Compact) Append(buf []byte, m *Message) ([]byte, error) {
 	buf = append(buf, byte(m.Kind))
 	buf = binary.AppendUvarint(buf, uint64(m.From))
 	switch m.Kind {
-	case KindHello, KindHeartbeat, KindGoodbye:
+	case KindHello:
+		buf = binary.AppendUvarint(buf, m.Epoch)
+	case KindHeartbeat, KindGoodbye:
 	case KindWatermark:
 		buf = binary.AppendVarint(buf, m.Watermark)
 	case KindEventBatch:
@@ -115,7 +117,9 @@ func (Compact) Decode(buf []byte) (*Message, error) {
 	m.Kind = Kind(r.u8())
 	m.From = uint32(r.uvarint())
 	switch m.Kind {
-	case KindHello, KindHeartbeat, KindGoodbye:
+	case KindHello:
+		m.Epoch = r.uvarint()
+	case KindHeartbeat, KindGoodbye:
 	case KindWatermark:
 		m.Watermark = r.varint()
 	case KindEventBatch:

@@ -11,6 +11,7 @@ package message
 import (
 	"desis/internal/core"
 	"desis/internal/event"
+	"desis/internal/plan"
 	"desis/internal/query"
 )
 
@@ -19,10 +20,13 @@ type Kind uint8
 
 // Message kinds.
 const (
-	// KindHello introduces a child node to its parent.
+	// KindHello introduces a child node to its parent, carrying the child's
+	// plan epoch (NoEpoch for a fresh child with no plan yet) so the parent
+	// can reply with an epoch diff instead of the full catalog.
 	KindHello Kind = iota + 1
-	// KindQuerySet distributes the full query set from the root downward.
-	KindQuerySet
+	// KindPlanState carries the full execution plan from the root downward:
+	// the handshake reply for fresh or too-stale children.
+	KindPlanState
 	// KindEventBatch carries raw events: local-node input, forwarding in
 	// centralized systems, and RootOnly groups in Desis.
 	KindEventBatch
@@ -33,9 +37,11 @@ const (
 	KindWatermark
 	// KindResult carries a window result from the root to a client.
 	KindResult
-	// KindAddQuery registers a query at runtime (§3.2).
+	// KindAddQuery asks the root to register a query at runtime (§3.2); sent
+	// by control clients (cmd/desis-ctl). The root converts it into a plan
+	// delta and broadcasts the delta.
 	KindAddQuery
-	// KindRemoveQuery removes a running query by id (§3.2).
+	// KindRemoveQuery asks the root to remove a running query by id (§3.2).
 	KindRemoveQuery
 	// KindHeartbeat keeps the node-liveness timeout of §3.2 from firing.
 	KindHeartbeat
@@ -44,7 +50,20 @@ const (
 	// reconnect grace period. A disconnect without a goodbye is treated as
 	// a failure the child may recover from (§3.2 fault tolerance).
 	KindGoodbye
+	// KindPlanDelta carries one or more serialized plan deltas from the root
+	// downward: runtime catalog changes and epoch-diff resyncs for
+	// reconnecting children. Each delta names the epoch it produces, so
+	// receivers apply them idempotently and in order.
+	KindPlanDelta
+	// KindPlanDump asks the root for its live execution plan; the reply is a
+	// KindPlanState (cmd/desis-ctl plan).
+	KindPlanDump
 )
+
+// NoEpoch is the plan epoch a fresh child reports in its hello: it is newer
+// than any real epoch, so the parent's epoch diff fails closed and the child
+// receives the full plan.
+const NoEpoch = ^uint64(0)
 
 // Message is the unit of communication between nodes. Exactly the fields
 // implied by Kind are meaningful.
@@ -52,6 +71,9 @@ type Message struct {
 	Kind Kind
 	// From identifies the sending node.
 	From uint32
+	// Epoch is the sender's plan epoch in KindHello (NoEpoch when the child
+	// holds no plan yet).
+	Epoch uint64
 	// Events is the payload of KindEventBatch.
 	Events []event.Event
 	// Partial is the payload of KindPartial.
@@ -59,12 +81,16 @@ type Message struct {
 	// Watermark is the payload of KindWatermark, and the optional drain
 	// deadline of KindRemoveQuery.
 	Watermark int64
-	// Queries is the payload of KindQuerySet and KindAddQuery.
+	// Queries is the payload of KindAddQuery.
 	Queries []query.Query
 	// QueryID is the payload of KindRemoveQuery.
 	QueryID uint64
 	// Result is the payload of KindResult.
 	Result *core.Result
+	// Deltas is the payload of KindPlanDelta, in epoch order.
+	Deltas []plan.Delta
+	// Plan is the payload of KindPlanState.
+	Plan *plan.Plan
 }
 
 // Codec serialises messages. Implementations must be inverses:

@@ -11,6 +11,7 @@ import (
 	"desis/internal/core"
 	"desis/internal/event"
 	"desis/internal/operator"
+	"desis/internal/plan"
 	"desis/internal/query"
 )
 
@@ -34,6 +35,8 @@ func samplePartial() *core.SlicePartial {
 func sampleMessages() []*Message {
 	return []*Message{
 		{Kind: KindHello, From: 3},
+		{Kind: KindHello, From: 7, Epoch: 42},
+		{Kind: KindHello, From: 8, Epoch: NoEpoch},
 		{Kind: KindHeartbeat, From: 9},
 		{Kind: KindWatermark, From: 1, Watermark: 123456},
 		{Kind: KindEventBatch, From: 4, Events: []event.Event{
@@ -44,13 +47,39 @@ func sampleMessages() []*Message {
 	}
 }
 
+func samplePlan() *plan.Plan {
+	qs := []query.Query{
+		query.MustParse("tumbling(1s) average key=3 value>=80"),
+		query.MustParse("sliding(10s,2s) sum,quantile(0.9) key=1"),
+		query.MustParse("session(5s) median key=0"),
+	}
+	for i := range qs {
+		qs[i].ID = uint64(i + 1)
+	}
+	p, err := plan.New(qs, plan.Options{Decentralized: true})
+	if err != nil {
+		panic(err)
+	}
+	// A removal tombstones a member, exercising the wire fields that are not
+	// derivable from the live query set.
+	if err := p.Apply(p.RemoveDelta(3)); err != nil {
+		panic(err)
+	}
+	return p
+}
+
 func controlMessages() []*Message {
+	p := samplePlan()
+	addQ := query.MustParse("userdefined max key=7")
+	addQ.ID = 4
 	return []*Message{
-		{Kind: KindQuerySet, From: 0, Queries: []query.Query{
-			query.MustParse("tumbling(1s) average key=3 value>=80"),
-			query.MustParse("sliding(10s,2s) sum,quantile(0.9) key=1"),
-			query.MustParse("session(5s) median key=0"),
+		{Kind: KindPlanState, From: 0, Plan: p},
+		{Kind: KindPlanDelta, From: 0, Deltas: []plan.Delta{
+			p.AddDelta(addQ),
+			{Kind: plan.DeltaRemoveQuery, Epoch: 3, QueryID: 1},
+			{Kind: plan.DeltaInstantiate, Epoch: 4, QueryID: 9, Key: 12},
 		}},
+		{Kind: KindPlanDump, From: 0},
 		{Kind: KindAddQuery, From: 2, Queries: []query.Query{query.MustParse("userdefined max key=7")}},
 		{Kind: KindRemoveQuery, From: 2, QueryID: 42, Watermark: 99},
 		{Kind: KindResult, From: 0, Result: &core.Result{
@@ -85,6 +114,23 @@ func messagesEqual(a, b *Message) bool {
 	if a.Kind != b.Kind || a.From != b.From || a.Watermark != b.Watermark || a.QueryID != b.QueryID {
 		return false
 	}
+	if a.Epoch != b.Epoch {
+		return false
+	}
+	if len(a.Deltas) != len(b.Deltas) {
+		return false
+	}
+	for i := range a.Deltas {
+		if !deltasEqual(a.Deltas[i], b.Deltas[i]) {
+			return false
+		}
+	}
+	if (a.Plan == nil) != (b.Plan == nil) {
+		return false
+	}
+	if a.Plan != nil && !plansEqual(a.Plan, b.Plan) {
+		return false
+	}
 	if len(a.Events) != len(b.Events) {
 		return false
 	}
@@ -112,6 +158,57 @@ func messagesEqual(a, b *Message) bool {
 	}
 	if a.Result != nil && !reflect.DeepEqual(a.Result, b.Result) {
 		return false
+	}
+	return true
+}
+
+func queriesEqual(a, b query.Query) bool {
+	return a.ID == b.ID && a.AnyKey == b.AnyKey && a.String() == b.String()
+}
+
+func deltasEqual(a, b plan.Delta) bool {
+	return a.Kind == b.Kind && a.Epoch == b.Epoch && a.QueryID == b.QueryID &&
+		a.Key == b.Key && queriesEqual(a.Query, b.Query)
+}
+
+func plansEqual(a, b *plan.Plan) bool {
+	if a.Epoch != b.Epoch || a.Decentralized != b.Decentralized || a.Dedup != b.Dedup ||
+		a.Shards != b.Shards || a.Shard != b.Shard {
+		return false
+	}
+	if len(a.Groups) != len(b.Groups) || len(a.Templates) != len(b.Templates) || len(a.Instances) != len(b.Instances) {
+		return false
+	}
+	for i := range a.Groups {
+		g, h := a.Groups[i], b.Groups[i]
+		if g.ID != h.ID || g.Key != h.Key || g.Placement != h.Placement || g.Dedup != h.Dedup ||
+			g.Ops != h.Ops || g.LogicalOps != h.LogicalOps {
+			return false
+		}
+		if len(g.Contexts) != len(h.Contexts) || len(g.Queries) != len(h.Queries) {
+			return false
+		}
+		for j := range g.Contexts {
+			if g.Contexts[j] != h.Contexts[j] {
+				return false
+			}
+		}
+		for j := range g.Queries {
+			if g.Queries[j].Ctx != h.Queries[j].Ctx || g.Queries[j].Removed != h.Queries[j].Removed ||
+				!queriesEqual(g.Queries[j].Query, h.Queries[j].Query) {
+				return false
+			}
+		}
+	}
+	for i := range a.Templates {
+		if !queriesEqual(a.Templates[i], b.Templates[i]) {
+			return false
+		}
+	}
+	for i := range a.Instances {
+		if a.Instances[i] != b.Instances[i] {
+			return false
+		}
 	}
 	return true
 }

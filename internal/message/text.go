@@ -29,7 +29,9 @@ func (Text) Append(buf []byte, m *Message) ([]byte, error) {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%d|%d|", m.Kind, m.From)
 	switch m.Kind {
-	case KindHello, KindHeartbeat, KindGoodbye:
+	case KindHello:
+		fmt.Fprintf(&sb, "%d", m.Epoch)
+	case KindHeartbeat, KindGoodbye:
 	case KindEventBatch:
 		for _, e := range m.Events {
 			fmt.Fprintf(&sb, "%d,%d,%d,%v;", e.Time, e.Key, e.Marker, e.Value)
@@ -79,7 +81,13 @@ func (Text) Decode(buf []byte) (*Message, error) {
 		rest = head[2]
 	}
 	switch m.Kind {
-	case KindHello, KindHeartbeat, KindGoodbye:
+	case KindHello:
+		if rest != "" {
+			if m.Epoch, err = strconv.ParseUint(rest, 10, 64); err != nil {
+				return nil, err
+			}
+		}
+	case KindHeartbeat, KindGoodbye:
 	case KindWatermark:
 		w, err := strconv.ParseInt(rest, 10, 64)
 		if err != nil {

@@ -80,6 +80,13 @@ func (a *Assembler) installGroup(g *query.Group) {
 		rg.registerMember(idx, 0)
 	}
 	a.states[g.ID] = rg
+	// A catalog arriving with tombstoned members (a plan resend after
+	// removals) must not resurrect them.
+	for idx := range g.Queries {
+		if g.Queries[idx].Removed {
+			a.RemoveMember(g.ID, idx)
+		}
+	}
 }
 
 func (rg *rootGroup) registerMember(idx int, regTime int64) {
@@ -102,9 +109,11 @@ func (rg *rootGroup) registerMember(idx int, regTime int64) {
 	rg.removed = append(rg.removed, false)
 }
 
-// SyncGroup reconciles the assembler with a group mutated (or created) by
-// query.Place: new members register with the current watermark as their
-// registration time, so they only answer windows starting afterwards.
+// SyncGroup reconciles the assembler with a group's catalog entry after a
+// plan delta applied: new members register with the current watermark as
+// their registration time (they only answer windows starting afterwards), and
+// freshly tombstoned members are unregistered. Indices stay stable either
+// way.
 func (a *Assembler) SyncGroup(g *query.Group, regTime int64) {
 	rg, ok := a.states[g.ID]
 	if !ok {
@@ -113,6 +122,11 @@ func (a *Assembler) SyncGroup(g *query.Group, regTime int64) {
 	}
 	for idx := len(rg.reg); idx < len(g.Queries); idx++ {
 		rg.registerMember(idx, regTime)
+	}
+	for idx := range g.Queries {
+		if g.Queries[idx].Removed && !rg.removed[idx] {
+			a.RemoveMember(g.ID, idx)
+		}
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"desis/internal/core"
 	"desis/internal/event"
 	"desis/internal/message"
+	"desis/internal/plan"
 	"desis/internal/query"
 )
 
@@ -246,36 +247,42 @@ func (c *Cluster) WaitRoot(t int64) {
 	}
 }
 
-// AddQuery registers a query on every node of the topology (§3.2). It first
-// waits for the root to catch up with the latest AdvanceAll, so the new
-// query's registration time is well defined across nodes.
+// AddQuery registers a query on every node of the topology (§3.2): one plan
+// delta is minted against the root's authoritative plan, applied there, and
+// the same delta is applied to every local — the in-process analogue of the
+// TCP tree's KindPlanDelta broadcast, which guarantees identical epochs and
+// derived placement everywhere. It first waits for the root to catch up with
+// the latest AdvanceAll, so the new query's registration time is well
+// defined across nodes.
 func (c *Cluster) AddQuery(q query.Query) error {
 	c.WaitRoot(c.lastAdvanced())
 	c.rootMu.Lock()
-	err := c.root.AddQuery(q)
+	d := c.root.History().Plan().AddDelta(q)
+	err := c.root.Apply(d)
 	c.rootMu.Unlock()
 	if err != nil {
 		return err
 	}
-	for _, l := range c.locals {
-		if err := l.AddQuery(q); err != nil {
-			return err
-		}
-	}
-	return nil
+	return c.applyToLocals(d)
 }
 
-// RemoveQuery removes a running query everywhere.
+// RemoveQuery removes a running query everywhere, through the same
+// one-minted-delta path as AddQuery.
 func (c *Cluster) RemoveQuery(id uint64) error {
 	c.WaitRoot(c.lastAdvanced())
 	c.rootMu.Lock()
-	err := c.root.RemoveQuery(id)
+	d := c.root.History().Plan().RemoveDelta(id)
+	err := c.root.Apply(d)
 	c.rootMu.Unlock()
 	if err != nil {
 		return err
 	}
+	return c.applyToLocals(d)
+}
+
+func (c *Cluster) applyToLocals(d plan.Delta) error {
 	for _, l := range c.locals {
-		if err := l.RemoveQuery(id); err != nil {
+		if err := l.Apply(d); err != nil {
 			return err
 		}
 	}

@@ -112,11 +112,11 @@ func dialRawChild(t *testing.T, addr string, id uint32) *rawChild {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := conn.Send(&message.Message{Kind: message.KindHello, From: id}); err != nil {
+	if err := conn.Send(&message.Message{Kind: message.KindHello, From: id, Epoch: message.NoEpoch}); err != nil {
 		t.Fatal(err)
 	}
 	qs, err := conn.RecvTimeout(2 * time.Second)
-	if err != nil || qs.Kind != message.KindQuerySet {
+	if err != nil || qs.Kind != message.KindPlanState {
 		t.Fatalf("handshake: %v, %v", qs, err)
 	}
 	return &rawChild{t: t, conn: conn}

@@ -12,6 +12,7 @@ import (
 	"desis/internal/core"
 	"desis/internal/event"
 	"desis/internal/message"
+	"desis/internal/plan"
 	"desis/internal/query"
 )
 
@@ -19,11 +20,16 @@ import (
 // engine in slice-emitting mode for distributed groups, forwards raw events
 // for RootOnly groups, and emits watermarks so parents can close windows
 // timely.
+//
+// The local holds a full copy of the execution plan (inside its engine) but
+// materialises only the distributed groups; runtime catalog changes arrive
+// as plan deltas (Apply) or, after a too-stale reconnect, as a full plan
+// (ResyncPlan), and both funnel through the engine's one reconciliation
+// path.
 type Local struct {
 	id      uint32
 	conn    message.Conn
 	engine  *core.Engine
-	groups  []*query.Group  // full shared group set, for runtime Place
 	forward map[uint32]bool // keys needed by RootOnly groups
 	buf     []event.Event
 	batchSz int
@@ -33,26 +39,62 @@ type Local struct {
 
 // NewLocal builds a local node for the analyzed groups, sending to parent.
 // batchSize controls how many RootOnly events are coalesced per message.
+// The groups are deep-copied into the node's own plan, so several nodes of
+// an in-process topology can be built from one analyzed set.
 func NewLocal(id uint32, groups []*query.Group, parent message.Conn, batchSize int) *Local {
+	p := plan.FromGroups(groups, plan.Options{Decentralized: true}).Clone()
+	return NewLocalFromPlan(id, p, parent, batchSize)
+}
+
+// NewLocalFromPlan builds a local node from an execution plan (e.g. one
+// received in a handshake), taking ownership of it.
+func NewLocalFromPlan(id uint32, p *plan.Plan, parent message.Conn, batchSize int) *Local {
 	if batchSize <= 0 {
 		batchSize = 256
 	}
 	l := &Local{id: id, conn: parent, forward: make(map[uint32]bool), batchSz: batchSize}
-	l.groups = append(l.groups, groups...)
-	var dist []*query.Group
-	for _, g := range groups {
+	l.engine = core.NewFromPlan(p, core.Config{
+		Placement: core.DistributedOnly,
+		OnSlice:   l.sendPartial,
+	})
+	l.rebuildForward()
+	return l
+}
+
+// rebuildForward derives the RootOnly forwarding set from the plan. It is
+// conservative across removals: a group whose members were all tombstoned
+// still forwards (the root simply ignores the events).
+func (l *Local) rebuildForward() {
+	for _, g := range l.engine.Plan().Groups {
 		if g.Placement == query.RootOnly {
 			l.forward[g.Key] = true
 		}
-		if g.Placement == query.Distributed {
-			dist = append(dist, g)
-		}
 	}
-	l.engine = core.New(dist, core.Config{
-		Decentralized: true,
-		OnSlice:       l.sendPartial,
-	})
-	return l
+}
+
+// Epoch returns the local's plan epoch, reported in its hello so the parent
+// can resync it by epoch diff.
+func (l *Local) Epoch() uint64 { return l.engine.PlanEpoch() }
+
+// Apply applies one plan delta (arriving from the parent, or minted by the
+// in-process Cluster) to the local's engine and forwarding set.
+func (l *Local) Apply(d plan.Delta) error {
+	if err := l.engine.Apply(d); err != nil {
+		return err
+	}
+	l.rebuildForward()
+	return nil
+}
+
+// ResyncPlan replaces the local's plan with a newer full copy of the same
+// lineage (the handshake reply when the node is too stale for an epoch
+// diff).
+func (l *Local) ResyncPlan(p *plan.Plan) error {
+	if err := l.engine.ResyncPlan(p); err != nil {
+		return err
+	}
+	l.rebuildForward()
+	return nil
 }
 
 func (l *Local) sendPartial(p *core.SlicePartial) {
@@ -111,33 +153,16 @@ func (l *Local) AdvanceTo(t int64) error {
 	return l.err
 }
 
-// AddQuery registers a query at runtime, mirroring the root's broadcast.
-// Every node applies the same deterministic placement, so group ids and
-// member indices stay topology-wide consistent.
+// AddQuery registers a query at runtime by minting and applying the add
+// delta locally. In-process topologies prefer Cluster.AddQuery, which mints
+// one delta at the root and applies the same delta everywhere.
 func (l *Local) AddQuery(q query.Query) error {
-	g, _, created, err := query.Place(l.groups, q, query.Options{Decentralized: true})
-	if err != nil {
-		return err
-	}
-	if created {
-		l.groups = append(l.groups, g)
-	}
-	if g.Placement == query.RootOnly {
-		l.forward[g.Key] = true
-		return nil
-	}
-	l.engine.SyncGroup(g)
-	return nil
+	return l.Apply(l.engine.Plan().AddDelta(q))
 }
 
-// RemoveQuery unregisters a running distributed query.
+// RemoveQuery unregisters a running query.
 func (l *Local) RemoveQuery(id uint64) error {
-	// RootOnly queries live in the root's engine; removing one here is a
-	// no-op (the forward set stays conservative).
-	if err := l.engine.RemoveQuery(id); err != nil {
-		return nil //nolint:nilerr // not found locally means root-only
-	}
-	return nil
+	return l.Apply(l.engine.Plan().RemoveDelta(id))
 }
 
 // Stats exposes the underlying engine's counters.

@@ -7,6 +7,7 @@ import (
 	"desis/internal/core"
 	"desis/internal/event"
 	"desis/internal/message"
+	"desis/internal/plan"
 	"desis/internal/query"
 )
 
@@ -16,32 +17,38 @@ import (
 // aggregation engine over the time-merged raw events of RootOnly
 // (count-based) groups, because only the root observes the global event
 // order (§5.2).
+//
+// The root owns the deployment's authoritative execution plan, wrapped in a
+// plan.History: every runtime catalog change applies here first, the
+// resulting delta is what servers broadcast down the tree, and reconnecting
+// children resync by epoch diff (History.Since) instead of a full catalog
+// resend.
 type Root struct {
+	hist     *plan.History
 	merger   *Merger
 	asm      *Assembler
 	eng      *core.Engine
-	groups   []*query.Group
 	evBuf    map[uint32][]event.Event
 	onResult func(core.Result)
 	wm       int64
 }
 
 // NewRoot builds a root for the analyzed groups, expecting the given child
-// node ids.
+// node ids. It takes ownership of the group pointers (they become the
+// authoritative plan's catalog).
 func NewRoot(groups []*query.Group, children []uint32, onResult func(core.Result)) *Root {
+	p := plan.FromGroups(groups, plan.Options{Decentralized: true})
 	r := &Root{
-		groups:   append([]*query.Group(nil), groups...),
+		hist:     plan.NewHistory(p),
 		evBuf:    make(map[uint32][]event.Event),
 		onResult: onResult,
 	}
-	var rootOnly []*query.Group
-	for _, g := range groups {
-		if g.Placement == query.RootOnly {
-			rootOnly = append(rootOnly, g)
-		}
-	}
-	r.eng = core.New(rootOnly, core.Config{OnResult: onResult})
-	r.asm = NewAssembler(groups, onResult)
+	// The engine holds its own plan copy of the same lineage: Root.Apply
+	// applies each delta to both, keeping the epochs locked together. The
+	// placement filter materialises only the RootOnly groups; the assembler
+	// handles the distributed ones.
+	r.eng = core.NewFromPlan(p.Clone(), core.Config{OnResult: onResult, Placement: core.RootOnlyGroups})
+	r.asm = NewAssembler(p.Groups, onResult)
 	r.merger = NewMerger(children)
 	r.merger.Out = r.asm.AddPartial
 	r.merger.OutEvents = func(from uint32, evs []event.Event) {
@@ -50,6 +57,13 @@ func NewRoot(groups []*query.Group, children []uint32, onResult func(core.Result
 	r.merger.OutWatermark = r.advance
 	return r
 }
+
+// History exposes the root's authoritative plan history (for handshake epoch
+// diffs and plan dumps). Callers must hold whatever lock serialises Handle.
+func (r *Root) History() *plan.History { return r.hist }
+
+// Epoch returns the current plan epoch.
+func (r *Root) Epoch() uint64 { return r.hist.Epoch() }
 
 // Handle dispatches one message from a child.
 func (r *Root) Handle(m *message.Message) error {
@@ -69,6 +83,12 @@ func (r *Root) Handle(m *message.Message) error {
 		}
 	case message.KindRemoveQuery:
 		return r.RemoveQuery(m.QueryID)
+	case message.KindPlanDelta:
+		for _, d := range m.Deltas {
+			if err := r.Apply(d); err != nil {
+				return err
+			}
+		}
 	default:
 		return fmt.Errorf("node: root cannot handle message kind %d", m.Kind)
 	}
@@ -99,35 +119,40 @@ func (r *Root) advance(w int64) {
 // Watermark reports how far the root's event time has advanced.
 func (r *Root) Watermark() int64 { return r.wm }
 
-// AddQuery registers a query at runtime. The caller must broadcast the same
-// query to every node (the Cluster does this); placement is deterministic.
-func (r *Root) AddQuery(q query.Query) error {
-	g, _, created, err := query.Place(r.groups, q, query.Options{Decentralized: true})
-	if err != nil {
+// Apply applies one plan delta to every stage of the root: the authoritative
+// history, the RootOnly engine, and the assembler's distributed groups. It is
+// the single mutation path — AddQuery and RemoveQuery mint deltas and funnel
+// through here, as do deltas applied by the in-process Cluster.
+func (r *Root) Apply(d plan.Delta) error {
+	if d.Kind == plan.DeltaAddQuery && d.Query.AnyKey {
+		return fmt.Errorf("node: group-by templates (key=*) are not supported in decentralized deployments")
+	}
+	if err := r.hist.Apply(d); err != nil {
 		return err
 	}
-	if created {
-		r.groups = append(r.groups, g)
+	if err := r.eng.Apply(d); err != nil {
+		// The engine's plan shares the history's lineage; a divergence here
+		// is a bug, not a recoverable condition.
+		return fmt.Errorf("node: root engine diverged from plan: %w", err)
 	}
-	if g.Placement == query.RootOnly {
-		r.eng.SyncGroup(g)
-		return nil
+	for _, g := range r.hist.Plan().Groups {
+		if g.Placement == query.Distributed {
+			r.asm.SyncGroup(g, r.wm)
+		}
 	}
-	r.asm.SyncGroup(g, r.wm)
 	return nil
+}
+
+// AddQuery registers a query at runtime through a plan delta. Servers that
+// need the minted delta (to broadcast it) mint it themselves against
+// History().Plan() and call Apply.
+func (r *Root) AddQuery(q query.Query) error {
+	return r.Apply(r.hist.Plan().AddDelta(q))
 }
 
 // RemoveQuery unregisters a running query by id.
 func (r *Root) RemoveQuery(id uint64) error {
-	g, idx, ok := query.Lookup(r.groups, id)
-	if !ok {
-		return fmt.Errorf("node: no running query with id %d", id)
-	}
-	if g.Placement == query.RootOnly {
-		return r.eng.RemoveQuery(id)
-	}
-	r.asm.RemoveMember(g.ID, idx)
-	return nil
+	return r.Apply(r.hist.Plan().RemoveDelta(id))
 }
 
 // AddChild and RemoveChild adjust the expected child set at runtime (§3.2).

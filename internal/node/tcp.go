@@ -7,36 +7,42 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"desis/internal/core"
 	"desis/internal/event"
 	"desis/internal/message"
+	"desis/internal/plan"
 	"desis/internal/query"
 )
 
 // TCP deployment: the same Local/Intermediate/Root node types served over
 // real sockets, used by cmd/desis-node. The protocol is:
 //
-//  1. a child connects to its parent and sends KindHello with its node id;
-//  2. the parent replies with KindQuerySet (intermediates cache and relay
-//     the set they received from above);
+//  1. a child connects to its parent and sends KindHello with its node id
+//     and its current plan epoch (NoEpoch for a fresh child);
+//  2. the parent replies with the plan resync the epoch calls for: the
+//     missing delta suffix as KindPlanDelta when its history reaches back
+//     far enough, otherwise the full catalog as KindPlanState
+//     (intermediates serve this from their own cached plan history);
 //  3. the child streams partials/events/watermarks upward; an idle child
 //     emits KindHeartbeat every HeartbeatInterval so the §3.2 liveness
 //     timeout only fires for genuinely dead peers;
 //  4. when a child disconnects it is removed from the merge expectations; a
 //     silent child is *evicted* after the liveness timeout (enforced with a
 //     socket read deadline — no per-message goroutines or timers). Children
-//     reconnect with backoff, re-handshake, and resume their stream: a
-//     returning id supersedes the stale connection without disturbing the
-//     expectation counters (§3.2 fault tolerance);
+//     reconnect with backoff, re-handshake reporting their epoch, and
+//     resume their stream: a returning id supersedes the stale connection
+//     without disturbing the expectation counters (§3.2 fault tolerance);
 //  5. control clients (cmd/desis-ctl) connect to the root and send
-//     KindAddQuery / KindRemoveQuery as their first message; the root
-//     applies the change and broadcasts it down the tree (§3.2 runtime
+//     KindAddQuery / KindRemoveQuery / KindPlanDump as their first message;
+//     the root converts add/remove into a plan delta, applies it, and
+//     broadcasts the delta down the tree as KindPlanDelta (§3.2 runtime
 //     query management). A child whose link fails during the broadcast is
-//     dropped (it resyncs from the fresh query set on reconnect) rather
-//     than failing the command.
+//     dropped (it resyncs by epoch diff on reconnect) rather than failing
+//     the command.
 //
 // The full lifecycle state machine is documented in DESIGN.md §5c.
 
@@ -66,7 +72,6 @@ type RootServer struct {
 	mu       sync.Mutex
 	children map[uint32]*message.TCPConn
 	l        *message.Listener
-	queries  []query.Query
 	expected int
 	active   int
 	seenIDs  map[uint32]bool
@@ -106,7 +111,6 @@ func ServeRoot(addr string, queries []query.Query, nChildren int, timeout time.D
 		evicted:  make(map[uint32]bool),
 		goodbye:  make(map[uint32]bool),
 		unclean:  make(map[uint32]bool),
-		queries:  queries,
 		expected: nChildren,
 		timeout:  timeout,
 		done:     make(chan struct{}),
@@ -164,8 +168,8 @@ func (s *RootServer) serveConn(conn *message.TCPConn) {
 	}
 	switch first.Kind {
 	case message.KindHello:
-		s.serveChild(conn, first.From)
-	case message.KindAddQuery, message.KindRemoveQuery:
+		s.serveChild(conn, first)
+	case message.KindAddQuery, message.KindRemoveQuery, message.KindPlanDump:
 		s.serveControl(conn, first)
 		conn.Close()
 	default:
@@ -173,7 +177,8 @@ func (s *RootServer) serveConn(conn *message.TCPConn) {
 	}
 }
 
-func (s *RootServer) serveChild(conn *message.TCPConn, childID uint32) {
+func (s *RootServer) serveChild(conn *message.TCPConn, hello *message.Message) {
+	childID := hello.From
 	if s.timeout > 0 {
 		conn.SetWriteTimeout(s.timeout)
 	}
@@ -192,7 +197,7 @@ func (s *RootServer) serveChild(conn *message.TCPConn, childID uint32) {
 	delete(s.unclean, childID)
 	delete(s.goodbye, childID)
 	s.children[childID] = conn
-	err := conn.Send(&message.Message{Kind: message.KindQuerySet, Queries: s.queries})
+	err := conn.Send(planResync(s.root.History(), hello.Epoch))
 	s.mu.Unlock()
 
 	evicted := false
@@ -289,8 +294,20 @@ func (s *RootServer) closeDoneLocked() {
 	}
 }
 
+// planResync builds the handshake reply for a child reporting epoch: the
+// missing delta suffix when the history reaches back far enough (including
+// the empty suffix for an up-to-date child), otherwise the full plan. The
+// caller must hold the lock serialising hist.
+func planResync(hist *plan.History, epoch uint64) *message.Message {
+	if deltas, ok := hist.Since(epoch); ok {
+		return &message.Message{Kind: message.KindPlanDelta, Deltas: deltas}
+	}
+	return &message.Message{Kind: message.KindPlanState, Plan: hist.Plan()}
+}
+
 // serveControl applies one control command and broadcasts it downward; the
-// ack is a KindHello (or the connection closes with an error).
+// ack is a KindHello (or the connection closes with an error). KindPlanDump
+// instead answers with the live catalog as KindPlanState.
 func (s *RootServer) serveControl(conn *message.TCPConn, m *message.Message) {
 	var err error
 	switch m.Kind {
@@ -302,6 +319,11 @@ func (s *RootServer) serveControl(conn *message.TCPConn, m *message.Message) {
 		}
 	case message.KindRemoveQuery:
 		err = s.RemoveQuery(m.QueryID)
+	case message.KindPlanDump:
+		s.mu.Lock()
+		_ = conn.Send(&message.Message{Kind: message.KindPlanState, Plan: s.root.History().Plan()})
+		s.mu.Unlock()
+		return
 	}
 	if err != nil {
 		return // closing without ack signals failure to the client
@@ -311,9 +333,9 @@ func (s *RootServer) serveControl(conn *message.TCPConn, m *message.Message) {
 
 // broadcastLocked sends m to every child, visiting all of them even when
 // some fail. A child whose link fails is dropped — its connection is closed
-// so the handler runs the removal bookkeeping, and the child resyncs from
-// the fresh query set when it reconnects — instead of failing the control
-// command and leaving the tree inconsistent. The aggregated send errors are
+// so the handler runs the removal bookkeeping, and the child resyncs by
+// epoch diff when it reconnects — instead of failing the control command
+// and leaving the tree inconsistent. The aggregated send errors are
 // returned for observability only.
 func (s *RootServer) broadcastLocked(m *message.Message) error {
 	var errs []error
@@ -326,41 +348,33 @@ func (s *RootServer) broadcastLocked(m *message.Message) error {
 	return errors.Join(errs...)
 }
 
-// AddQuery registers a query at runtime on the root and every node below it.
+// AddQuery registers a query at runtime on the root and every node below it:
+// the change is minted as one plan delta, applied to the authoritative plan,
+// and that same delta is broadcast down the tree.
 func (s *RootServer) AddQuery(q query.Query) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.root.AddQuery(q); err != nil {
+	d := s.root.History().Plan().AddDelta(q)
+	if err := s.root.Apply(d); err != nil {
 		return err
 	}
-	s.queries = append(s.queries, q)
-	// Failed children are dropped, not command failures: the command has
-	// been applied at the root and remains the source of truth.
-	_ = s.broadcastLocked(&message.Message{Kind: message.KindAddQuery, Queries: []query.Query{q}})
+	// Failed children are dropped, not command failures: the delta has been
+	// applied at the root and remains the source of truth.
+	_ = s.broadcastLocked(&message.Message{Kind: message.KindPlanDelta, Deltas: []plan.Delta{d}})
 	return nil
 }
 
-// RemoveQuery removes a running query everywhere.
+// RemoveQuery removes a running query everywhere, through the same minted
+// plan delta path as AddQuery.
 func (s *RootServer) RemoveQuery(id uint64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.root.RemoveQuery(id); err != nil {
+	d := s.root.History().Plan().RemoveDelta(id)
+	if err := s.root.Apply(d); err != nil {
 		return err
 	}
-	s.queries = removeQueryID(s.queries, id)
-	_ = s.broadcastLocked(&message.Message{Kind: message.KindRemoveQuery, QueryID: id})
+	_ = s.broadcastLocked(&message.Message{Kind: message.KindPlanDelta, Deltas: []plan.Delta{d}})
 	return nil
-}
-
-// removeQueryID drops the query with the given id from a query-set slice.
-func removeQueryID(qs []query.Query, id uint64) []query.Query {
-	out := qs[:0]
-	for _, q := range qs {
-		if q.ID != id {
-			out = append(out, q)
-		}
-	}
-	return out
 }
 
 // Wait blocks until every expected child connected and disconnected. It
@@ -386,12 +400,15 @@ func (s *RootServer) Close() error { return s.l.Close() }
 // uplink (heartbeats, reconnect with backoff), and relays control messages
 // downward.
 type IntermediateServer struct {
-	l         *message.Listener
-	inter     *Intermediate
-	parent    *uplink
-	qmu       sync.Mutex
-	children  map[uint32]*message.TCPConn
-	queries   []query.Query
+	l        *message.Listener
+	inter    *Intermediate
+	parent   *uplink
+	qmu      sync.Mutex
+	children map[uint32]*message.TCPConn
+	// hist caches the plan received from above so this node can answer its
+	// own children's handshakes by epoch diff without a round trip to the
+	// root. Guarded by qmu.
+	hist      *plan.History
 	expected  int
 	active    int
 	seenIDs   map[uint32]bool
@@ -413,7 +430,7 @@ func ServeIntermediate(addr, parentAddr string, id uint32, nChildren int, timeou
 // options (heartbeat period, reconnect policy, write deadlines).
 func ServeIntermediateOptions(addr, parentAddr string, id uint32, nChildren int, timeout time.Duration, opts DialOptions) (*IntermediateServer, error) {
 	opts = opts.withDefaults()
-	up, queries, err := dialUplink(parentAddr, id, opts)
+	up, p, err := dialUplink(parentAddr, id, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -430,12 +447,17 @@ func ServeIntermediateOptions(addr, parentAddr string, id uint32, nChildren int,
 		evicted:  make(map[uint32]bool),
 		goodbye:  make(map[uint32]bool),
 		unclean:  make(map[uint32]bool),
-		queries:  queries,
+		hist:     plan.NewHistory(p),
 		expected: nChildren,
 		timeout:  timeout,
 		done:     make(chan struct{}),
 	}
 	s.inter = NewIntermediate(id, nil, up)
+	up.SetEpochFn(func() uint64 {
+		s.qmu.Lock()
+		defer s.qmu.Unlock()
+		return s.hist.Epoch()
+	})
 	up.startHeartbeats()
 	go s.acceptLoop()
 	go s.downstreamLoop()
@@ -463,12 +485,14 @@ func (s *IntermediateServer) acceptLoop() {
 	}
 }
 
-// downstreamLoop relays control messages arriving from the parent to every
-// child (the "root sends the new topology/queries to all other nodes" flow
-// of §3.2), keeping the cached query set in sync in both directions so
-// late-connecting children never receive removed queries. The merger never
-// reads from the parent, so this goroutine owns the downward direction; the
-// supervised uplink reconnects underneath it.
+// downstreamLoop relays plan changes arriving from the parent to every child
+// (the "root sends the new topology/queries to all other nodes" flow of
+// §3.2), keeping the cached plan history in sync so late-connecting children
+// resync from here by epoch diff. The merger never reads from the parent, so
+// this goroutine owns the downward direction; the supervised uplink
+// reconnects underneath it. Deltas this node has already applied (a
+// rebroadcast after reconnect) are skipped but still relayed: children
+// deduplicate by epoch themselves.
 func (s *IntermediateServer) downstreamLoop() {
 	for {
 		m, err := s.parent.Recv()
@@ -476,53 +500,32 @@ func (s *IntermediateServer) downstreamLoop() {
 			return
 		}
 		switch m.Kind {
-		case message.KindQuerySet:
-			// Fresh set from an uplink re-handshake: reconcile and relay.
-			s.resyncQueries(m.Queries)
-		case message.KindAddQuery, message.KindRemoveQuery:
+		case message.KindPlanState:
+			// Full plan from an uplink re-handshake: adopt it if it is not
+			// older than what we have, and relay as-is (children validate the
+			// epoch on their side too).
 			s.qmu.Lock()
-			if m.Kind == message.KindAddQuery {
-				s.queries = append(s.queries, m.Queries...)
-			} else {
-				s.queries = removeQueryID(s.queries, m.QueryID)
+			if m.Plan != nil && m.Plan.Epoch >= s.hist.Epoch() {
+				s.hist = plan.NewHistory(m.Plan)
+				for _, c := range s.children {
+					_ = c.Send(m)
+				}
+			}
+			s.qmu.Unlock()
+		case message.KindPlanDelta:
+			s.qmu.Lock()
+			for _, d := range m.Deltas {
+				if d.Epoch <= s.hist.Epoch() {
+					continue
+				}
+				if err := s.hist.Apply(d); err != nil {
+					break // stale history; the next re-handshake resyncs us
+				}
 			}
 			for _, c := range s.children {
 				_ = c.Send(m)
 			}
 			s.qmu.Unlock()
-		}
-	}
-}
-
-// resyncQueries reconciles the cached query set after an uplink
-// re-handshake: queries added or removed while the link was down are
-// relayed to the children as synthetic control messages.
-func (s *IntermediateServer) resyncQueries(qs []query.Query) {
-	s.qmu.Lock()
-	defer s.qmu.Unlock()
-	old := make(map[uint64]bool, len(s.queries))
-	for _, q := range s.queries {
-		old[q.ID] = true
-	}
-	next := make(map[uint64]bool, len(qs))
-	for _, q := range qs {
-		next[q.ID] = true
-	}
-	var down []*message.Message
-	for _, q := range qs {
-		if !old[q.ID] {
-			down = append(down, &message.Message{Kind: message.KindAddQuery, Queries: []query.Query{q}})
-		}
-	}
-	for _, q := range s.queries {
-		if !next[q.ID] {
-			down = append(down, &message.Message{Kind: message.KindRemoveQuery, QueryID: q.ID})
-		}
-	}
-	s.queries = append(s.queries[:0:0], qs...)
-	for _, m := range down {
-		for _, c := range s.children {
-			_ = c.Send(m)
 		}
 	}
 }
@@ -549,7 +552,7 @@ func (s *IntermediateServer) serveChild(conn *message.TCPConn) {
 	delete(s.unclean, childID)
 	delete(s.goodbye, childID)
 	s.children[childID] = conn
-	err = conn.Send(&message.Message{Kind: message.KindQuerySet, Queries: s.queries})
+	err = conn.Send(planResync(s.hist, first.Epoch))
 	s.qmu.Unlock()
 
 	evicted := false
@@ -642,13 +645,16 @@ func (s *IntermediateServer) Wait() error {
 }
 
 // LocalSession is the handle RunLocalTCP gives the feed callback: it
-// serialises the caller's stream against control messages (AddQuery /
-// RemoveQuery) arriving from the parent, and tracks the known query set so
-// a post-reconnect resync applies only the delta.
+// serialises the caller's stream against plan changes (deltas, post-reconnect
+// resyncs) arriving from the parent. The local's plan epoch makes every
+// arriving change idempotent, so a rebroadcast after reconnect is harmless.
 type LocalSession struct {
-	mu    sync.Mutex
-	l     *Local
-	known map[uint64]bool
+	mu sync.Mutex
+	l  *Local
+	// epoch mirrors l.Epoch() so the uplink's re-handshake can read it
+	// without mu: the feed goroutine may hold mu while blocking on the very
+	// reconnect that needs the epoch for its hello.
+	epoch atomic.Uint64
 }
 
 // Process ingests a batch of in-order events.
@@ -672,52 +678,39 @@ func (s *LocalSession) Stats() core.Stats {
 	return s.l.Stats()
 }
 
-// applyAdd registers queries arriving from the parent, skipping ids already
-// known (a rebroadcast after reconnect must not double-register).
-func (s *LocalSession) applyAdd(qs []query.Query) {
+// Epoch reports the session's current plan epoch (what the uplink puts in
+// its re-handshake hello). Lock-free so the uplink supervisor can call it
+// while the feed goroutine holds the session lock.
+func (s *LocalSession) Epoch() uint64 { return s.epoch.Load() }
+
+// applyDeltas applies plan deltas arriving from the parent, skipping epochs
+// already applied (a rebroadcast after reconnect must not double-register).
+func (s *LocalSession) applyDeltas(ds []plan.Delta) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, q := range qs {
-		if s.known[q.ID] {
+	// The closure reads the epoch at return time — a plain deferred Store
+	// would capture the pre-apply epoch as its argument.
+	defer func() { s.epoch.Store(s.l.Epoch()) }()
+	for _, d := range ds {
+		if d.Epoch <= s.l.Epoch() {
 			continue
 		}
-		if err := s.l.AddQuery(q); err == nil {
-			s.known[q.ID] = true
+		if err := s.l.Apply(d); err != nil {
+			return // epoch gap: wait for the full plan of the next resync
 		}
 	}
 }
 
-// applyRemove unregisters a query by id.
-func (s *LocalSession) applyRemove(id uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if !s.known[id] {
+// applyPlanState replaces the plan after an uplink re-handshake said we were
+// too stale for an epoch diff.
+func (s *LocalSession) applyPlanState(p *plan.Plan) {
+	if p == nil {
 		return
 	}
-	delete(s.known, id)
-	_ = s.l.RemoveQuery(id)
-}
-
-// applyQuerySet reconciles against the parent's full set after an uplink
-// re-handshake: new queries are added, missing ones removed.
-func (s *LocalSession) applyQuerySet(qs []query.Query) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	next := make(map[uint64]bool, len(qs))
-	for _, q := range qs {
-		next[q.ID] = true
-		if !s.known[q.ID] {
-			if err := s.l.AddQuery(q); err != nil {
-				delete(next, q.ID)
-			}
-		}
-	}
-	for id := range s.known {
-		if !next[id] {
-			_ = s.l.RemoveQuery(id)
-		}
-	}
-	s.known = next
+	_ = s.l.ResyncPlan(p)
+	s.epoch.Store(s.l.Epoch())
 }
 
 // RunLocalTCP connects a local node to parentAddr with default dial
@@ -730,25 +723,20 @@ func RunLocalTCP(parentAddr string, id uint32, batchSize int, codec message.Code
 
 // RunLocalTCPOptions is RunLocalTCP with explicit uplink options. The
 // uplink is supervised: on link failure it reconnects with exponential
-// backoff and jitter, re-handshakes, resyncs the query set, and resumes the
-// partial stream; once the retry budget is exhausted the session errors out
-// with ErrUplinkDown. While idle it emits heartbeats so the parent's
-// liveness timeout never evicts an alive child.
+// backoff and jitter, re-handshakes reporting the session's plan epoch,
+// applies the resync (epoch-diff deltas, or the full plan when too stale),
+// and resumes the partial stream; once the retry budget is exhausted the
+// session errors out with ErrUplinkDown. While idle it emits heartbeats so
+// the parent's liveness timeout never evicts an alive child.
 func RunLocalTCPOptions(parentAddr string, id uint32, batchSize int, opts DialOptions, feed func(*LocalSession) error) error {
 	opts = opts.withDefaults()
-	up, queries, err := dialUplink(parentAddr, id, opts)
+	up, p, err := dialUplink(parentAddr, id, opts)
 	if err != nil {
 		return err
 	}
-	groups, err := query.Analyze(queries, query.Options{Decentralized: true})
-	if err != nil {
-		up.Close()
-		return err
-	}
-	session := &LocalSession{l: NewLocal(id, groups, up, batchSize), known: make(map[uint64]bool, len(queries))}
-	for _, q := range queries {
-		session.known[q.ID] = true
-	}
+	session := &LocalSession{l: NewLocalFromPlan(id, p, up, batchSize)}
+	session.epoch.Store(session.l.Epoch())
+	up.SetEpochFn(session.Epoch)
 	up.startHeartbeats()
 	go func() {
 		for {
@@ -757,12 +745,10 @@ func RunLocalTCPOptions(parentAddr string, id uint32, batchSize int, opts DialOp
 				return
 			}
 			switch m.Kind {
-			case message.KindQuerySet:
-				session.applyQuerySet(m.Queries)
-			case message.KindAddQuery:
-				session.applyAdd(m.Queries)
-			case message.KindRemoveQuery:
-				session.applyRemove(m.QueryID)
+			case message.KindPlanState:
+				session.applyPlanState(m.Plan)
+			case message.KindPlanDelta:
+				session.applyDeltas(m.Deltas)
 			}
 		}
 	}()
@@ -805,4 +791,28 @@ func Control(rootAddr string, codec message.Codec, addQuery *query.Query, remove
 		return fmt.Errorf("node: unexpected control ack kind %d", ack.Kind)
 	}
 	return nil
+}
+
+// FetchPlan connects to a root as a control client and retrieves its live
+// execution plan (catalog, epoch, placements).
+func FetchPlan(rootAddr string, codec message.Codec) (*plan.Plan, error) {
+	if codec == nil {
+		codec = message.Binary{}
+	}
+	conn, err := message.Dial(rootAddr, codec)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if err := conn.Send(&message.Message{Kind: message.KindPlanDump}); err != nil {
+		return nil, err
+	}
+	reply, err := conn.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("node: plan dump rejected: %w", err)
+	}
+	if reply.Kind != message.KindPlanState || reply.Plan == nil {
+		return nil, fmt.Errorf("node: unexpected plan dump reply kind %d", reply.Kind)
+	}
+	return reply.Plan, nil
 }

@@ -8,7 +8,7 @@ import (
 	"time"
 
 	"desis/internal/message"
-	"desis/internal/query"
+	"desis/internal/plan"
 )
 
 // ErrUplinkDown is returned (wrapped) once a supervised uplink exhausted its
@@ -117,10 +117,15 @@ type uplink struct {
 	down         error  // terminal state; sticky
 	prevBytes    uint64 // BytesSent of retired connections
 	closed       bool
-	// pendingQS holds the query sets received by re-handshakes, delivered
-	// in-band by Recv as KindQuerySet messages so the single downstream
-	// consumer applies resyncs in order with ordinary control traffic.
-	pendingQS []*message.Message
+	// epochFn reports the child's current plan epoch for the hello of a
+	// re-handshake; nil (or before SetEpochFn) reports NoEpoch, which makes
+	// the parent send the full plan.
+	epochFn func() uint64
+	// pending holds the resync messages received by re-handshakes — a
+	// KindPlanDelta (epoch diff) or KindPlanState (full plan) — delivered
+	// in-band by Recv so the single downstream consumer applies resyncs in
+	// order with ordinary control traffic.
+	pending []*message.Message
 	// replay is a bounded ring of deep-copied recent partial/watermark
 	// frames. A dying socket can accept frames into kernel buffers and then
 	// lose them without an error ever surfacing; retransmitting the tail on
@@ -133,9 +138,11 @@ type uplink struct {
 }
 
 // dialUplink establishes the initial connection and handshake, returning
-// the uplink and the parent's query set. The caller calls startHeartbeats
-// once it is ready to serve traffic.
-func dialUplink(addr string, id uint32, opts DialOptions) (*uplink, []query.Query, error) {
+// the uplink and the parent's execution plan (the child is fresh, so it
+// reports NoEpoch and always receives the full plan). The caller installs an
+// epoch callback with SetEpochFn and calls startHeartbeats once it is ready
+// to serve traffic.
+func dialUplink(addr string, id uint32, opts DialOptions) (*uplink, *plan.Plan, error) {
 	u := &uplink{
 		addr:    addr,
 		id:      id,
@@ -143,12 +150,25 @@ func dialUplink(addr string, id uint32, opts DialOptions) (*uplink, []query.Quer
 		closeCh: make(chan struct{}),
 	}
 	u.cond = sync.NewCond(&u.mu)
-	conn, qs, err := u.handshake()
+	conn, resync, err := u.handshake()
 	if err != nil {
 		return nil, nil, err
 	}
+	if resync.Kind != message.KindPlanState {
+		conn.Close()
+		return nil, nil, fmt.Errorf("node: handshake with %s: expected full plan for a fresh child, got kind %d", addr, resync.Kind)
+	}
 	u.conn = conn
-	return u, qs, nil
+	return u, resync.Plan, nil
+}
+
+// SetEpochFn installs the callback reporting the child's plan epoch, used by
+// re-handshakes so the parent can reply with an epoch diff. The callback is
+// invoked from the reconnecting goroutine and must do its own locking.
+func (u *uplink) SetEpochFn(fn func() uint64) {
+	u.mu.Lock()
+	u.epochFn = fn
+	u.mu.Unlock()
 }
 
 // startHeartbeats launches the idle-uplink heartbeat loop (when enabled).
@@ -159,8 +179,10 @@ func (u *uplink) startHeartbeats() {
 	}
 }
 
-// handshake dials the parent once: hello up, query set down.
-func (u *uplink) handshake() (*message.TCPConn, []query.Query, error) {
+// handshake dials the parent once: hello (with the child's plan epoch) up,
+// plan resync down — an epoch diff (KindPlanDelta) or the full plan
+// (KindPlanState).
+func (u *uplink) handshake() (*message.TCPConn, *message.Message, error) {
 	conn, err := message.Dial(u.addr, u.opts.Codec)
 	if err != nil {
 		return nil, nil, err
@@ -168,20 +190,27 @@ func (u *uplink) handshake() (*message.TCPConn, []query.Query, error) {
 	if u.opts.WriteTimeout > 0 {
 		conn.SetWriteTimeout(u.opts.WriteTimeout)
 	}
-	if err := conn.Send(&message.Message{Kind: message.KindHello, From: u.id}); err != nil {
+	epoch := uint64(message.NoEpoch)
+	u.mu.Lock()
+	fn := u.epochFn
+	u.mu.Unlock()
+	if fn != nil {
+		epoch = fn()
+	}
+	if err := conn.Send(&message.Message{Kind: message.KindHello, From: u.id, Epoch: epoch}); err != nil {
 		conn.Close()
 		return nil, nil, err
 	}
-	qs, err := conn.RecvTimeout(u.opts.HandshakeTimeout)
+	resync, err := conn.RecvTimeout(u.opts.HandshakeTimeout)
 	if err != nil {
 		conn.Close()
 		return nil, nil, fmt.Errorf("node: handshake with %s: %w", u.addr, err)
 	}
-	if qs.Kind != message.KindQuerySet {
+	if resync.Kind != message.KindPlanState && resync.Kind != message.KindPlanDelta {
 		conn.Close()
-		return nil, nil, fmt.Errorf("node: handshake with %s: expected query set, got kind %d", u.addr, qs.Kind)
+		return nil, nil, fmt.Errorf("node: handshake with %s: expected plan state or delta, got kind %d", u.addr, resync.Kind)
 	}
-	return conn, qs.Queries, nil
+	return conn, resync, nil
 }
 
 // current returns the live connection, waiting out an in-flight reconnect.
@@ -228,7 +257,7 @@ func (u *uplink) fail(gen uint64, cause error) (*message.TCPConn, uint64, error)
 		u.accountRetired(old)
 		old.Close()
 	}
-	conn, qs, err := u.redial()
+	conn, resync, err := u.redial()
 
 	u.mu.Lock()
 	u.reconnecting = false
@@ -247,7 +276,7 @@ func (u *uplink) fail(gen uint64, cause error) (*message.TCPConn, uint64, error)
 	u.conn = conn
 	u.gen++
 	g := u.gen
-	u.pendingQS = append(u.pendingQS, &message.Message{Kind: message.KindQuerySet, Queries: qs})
+	u.pending = append(u.pending, resync)
 	u.cond.Broadcast()
 	u.mu.Unlock()
 	return conn, g, nil
@@ -255,7 +284,7 @@ func (u *uplink) fail(gen uint64, cause error) (*message.TCPConn, uint64, error)
 
 // redial attempts the handshake under the retry policy: exponential backoff
 // with jitter, aborting early when the uplink is closed.
-func (u *uplink) redial() (*message.TCPConn, []query.Query, error) {
+func (u *uplink) redial() (*message.TCPConn, *message.Message, error) {
 	delay := u.opts.Retry.BaseDelay
 	var lastErr error
 	for attempt := 0; attempt < u.opts.Retry.MaxRetries; attempt++ {
@@ -275,10 +304,10 @@ func (u *uplink) redial() (*message.TCPConn, []query.Query, error) {
 			return nil, nil, errors.New("closed during reconnect")
 		default:
 		}
-		conn, qs, err := u.handshake()
+		conn, resync, err := u.handshake()
 		if err == nil {
 			if err = u.sendReplay(conn); err == nil {
-				return conn, qs, nil
+				return conn, resync, nil
 			}
 			conn.Close() // broken before it carried anything; try again
 		}
@@ -356,9 +385,9 @@ func (u *uplink) Send(m *message.Message) error {
 
 // Recv implements message.Conn: it receives the next downstream message
 // (control traffic), transparently reconnecting on link failure. After a
-// reconnect, the parent's fresh query set is delivered first as a
-// KindQuerySet message so the consumer can resync before reading control
-// traffic from the new connection. Single consumer only.
+// reconnect, the parent's plan resync (epoch diff or full plan) is delivered
+// first so the consumer catches up before reading control traffic from the
+// new connection. Single consumer only.
 func (u *uplink) Recv() (*message.Message, error) {
 	conn, gen, err := u.current()
 	if err != nil {
@@ -366,9 +395,9 @@ func (u *uplink) Recv() (*message.Message, error) {
 	}
 	for {
 		u.mu.Lock()
-		if len(u.pendingQS) > 0 {
-			m := u.pendingQS[0]
-			u.pendingQS = u.pendingQS[1:]
+		if len(u.pending) > 0 {
+			m := u.pending[0]
+			u.pending = u.pending[1:]
 			u.mu.Unlock()
 			return m, nil
 		}

@@ -1,0 +1,74 @@
+package plan
+
+// DefaultRetention is how many applied deltas a History keeps for epoch-diff
+// resync before falling back to full-plan resends.
+const DefaultRetention = 256
+
+// History owns the authoritative copy of a plan together with a bounded log
+// of the deltas that produced its recent epochs. The root node holds one:
+// each runtime catalog change applies here first and the resulting delta is
+// broadcast; a reconnecting child reports its epoch and receives either the
+// missing delta suffix (Since) or, when the log no longer reaches back far
+// enough, the full plan.
+type History struct {
+	plan *Plan
+	log  []Delta
+	max  int
+}
+
+// NewHistory wraps a plan, taking ownership of it.
+func NewHistory(p *Plan) *History {
+	return &History{plan: p, max: DefaultRetention}
+}
+
+// SetRetention bounds the delta log (minimum 1).
+func (h *History) SetRetention(n int) {
+	if n < 1 {
+		n = 1
+	}
+	h.max = n
+	h.trim()
+}
+
+// Plan returns the live plan. Callers must not mutate it; Clone before
+// shipping it anywhere asynchronous.
+func (h *History) Plan() *Plan { return h.plan }
+
+// Epoch returns the current plan epoch.
+func (h *History) Epoch() uint64 { return h.plan.Epoch }
+
+// Apply applies one delta to the plan and records it in the log.
+func (h *History) Apply(d Delta) error {
+	if err := h.plan.Apply(d); err != nil {
+		return err
+	}
+	h.log = append(h.log, d)
+	h.trim()
+	return nil
+}
+
+func (h *History) trim() {
+	if len(h.log) > h.max {
+		h.log = append(h.log[:0:0], h.log[len(h.log)-h.max:]...)
+	}
+}
+
+// Since returns the deltas that advance a plan holder from epoch to the
+// current epoch, oldest first. ok is false when the holder is too stale (or
+// claims an epoch from a different lineage, e.g. after a root restart) and
+// needs the full plan instead. The returned slice aliases the log; callers
+// must not mutate it.
+func (h *History) Since(epoch uint64) (deltas []Delta, ok bool) {
+	cur := h.plan.Epoch
+	if epoch == cur {
+		return nil, true
+	}
+	if epoch > cur {
+		return nil, false
+	}
+	need := cur - epoch
+	if uint64(len(h.log)) < need {
+		return nil, false
+	}
+	return h.log[uint64(len(h.log))-need:], true
+}

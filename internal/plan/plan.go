@@ -1,0 +1,470 @@
+// Package plan defines the canonical execution plan of a Desis deployment:
+// the epoch-versioned catalog of running queries, their analyzed
+// query-groups (shared slices, operator unions, placement), group-by
+// templates with their per-key instances, and the key→shard routing map.
+//
+// The plan is the single source of truth for every tier — the central
+// engine, the shards of a ParallelEngine, and every node of a decentralized
+// topology hold (views of) the same plan and mutate it exclusively by
+// applying plan deltas (add query, remove query, instantiate template) in
+// epoch order. Because delta application is deterministic, all holders that
+// apply the same delta sequence derive identical group ids, context indices,
+// and member indices — the invariant the wire protocol relies on (partials
+// carry group ids, EPs carry member indices). The node tier serializes
+// deltas onto the wire: the root broadcasts each applied delta to its
+// subtree, and a reconnecting child resyncs by epoch diff (History.Since)
+// instead of a full query-set resend.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"desis/internal/operator"
+	"desis/internal/query"
+)
+
+// Options configures a plan.
+type Options struct {
+	// Decentralized applies the decentralized placement rules: count-based
+	// windows form RootOnly groups (§5.2).
+	Decentralized bool
+	// Dedup enables the deduplication operator on all formed groups.
+	Dedup bool
+	// Shards is the shard count of the key→shard routing map; 0 or 1 means
+	// unsharded.
+	Shards int
+}
+
+// Instance records one materialised template instance: template TemplateID
+// was instantiated for key Key. The pair is recorded so a key instantiates
+// each template exactly once across the deployment.
+type Instance struct {
+	TemplateID uint64
+	Key        uint32
+}
+
+// Plan is the execution plan: the analyzed catalog at one epoch. All
+// mutation goes through Apply; everything else must treat a Plan as
+// read-only (desis-lint's sliceinvariant analyzer enforces the writer set).
+type Plan struct {
+	// Epoch is the mutation counter: 0 after initial analysis, incremented
+	// by every applied delta. Two plan holders at the same epoch that
+	// started from the same initial catalog are byte-identical.
+	Epoch uint64
+	// Decentralized, Dedup, Shards mirror Options.
+	Decentralized bool
+	Dedup         bool
+	Shards        int
+	// Shard is the shard this plan is restricted to (see Restrict), or -1
+	// for the full (master) plan.
+	Shard int
+	// Groups is the analyzed catalog. Removed queries stay as tombstoned
+	// members (GroupQuery.Removed) so group ids and member indices remain
+	// stable across the topology and across full-plan resends.
+	Groups []*query.Group
+	// Templates are the registered group-by (AnyKey) queries.
+	Templates []query.Query
+	// Instances lists the (template, key) pairs instantiated so far, in
+	// admission order.
+	Instances []Instance
+}
+
+// New analyzes queries into a fresh plan at epoch 0. AnyKey queries register
+// as templates; concrete queries are placed into groups by folding the same
+// placement rule Apply uses, so a catalog built up-front is identical to one
+// built by adding the same queries one at a time.
+func New(queries []query.Query, opts Options) (*Plan, error) {
+	p := &Plan{
+		Decentralized: opts.Decentralized,
+		Dedup:         opts.Dedup,
+		Shards:        opts.Shards,
+		Shard:         -1,
+	}
+	for _, q := range queries {
+		if err := p.applyAdd(q); err != nil {
+			return nil, err
+		}
+	}
+	p.Epoch = 0
+	return p, nil
+}
+
+// FromGroups wraps an existing analyzed group set (e.g. from query.Analyze)
+// into a plan at epoch 0, taking ownership of the group pointers.
+func FromGroups(groups []*query.Group, opts Options) *Plan {
+	return &Plan{
+		Decentralized: opts.Decentralized,
+		Dedup:         opts.Dedup,
+		Shards:        opts.Shards,
+		Shard:         -1,
+		Groups:        groups,
+	}
+}
+
+// queryOpts maps the plan's options onto the analyzer's.
+func (p *Plan) queryOpts() query.Options {
+	return query.Options{Decentralized: p.Decentralized, Dedup: p.Dedup}
+}
+
+// ShardOf is the plan's key→shard routing map. Unsharded plans route
+// everything to shard 0.
+func (p *Plan) ShardOf(key uint32) int {
+	if p.Shards <= 1 {
+		return 0
+	}
+	return int(key % uint32(p.Shards))
+}
+
+// Owns reports whether this plan's shard owns the key. The master plan
+// (Shard < 0) owns every key.
+func (p *Plan) Owns(key uint32) bool {
+	return p.Shard < 0 || p.ShardOf(key) == p.Shard
+}
+
+// DeltaKind enumerates the plan mutations.
+type DeltaKind uint8
+
+// The delta kinds.
+const (
+	// DeltaAddQuery admits a query (or, when Query.AnyKey is set, registers
+	// a template).
+	DeltaAddQuery DeltaKind = iota + 1
+	// DeltaRemoveQuery retires the query (or template and all its
+	// instances) with QueryID; group members are tombstoned in place.
+	DeltaRemoveQuery
+	// DeltaInstantiate materialises template QueryID for key Key.
+	DeltaInstantiate
+)
+
+// String names the delta kind.
+func (k DeltaKind) String() string {
+	switch k {
+	case DeltaAddQuery:
+		return "add"
+	case DeltaRemoveQuery:
+		return "remove"
+	case DeltaInstantiate:
+		return "instantiate"
+	}
+	return fmt.Sprintf("DeltaKind(%d)", uint8(k))
+}
+
+// Delta is one plan mutation. Epoch is the epoch the plan has after the
+// delta applies; a delta only applies to a plan at exactly Epoch-1.
+type Delta struct {
+	Epoch uint64
+	Kind  DeltaKind
+	// Query is the admitted query (DeltaAddQuery).
+	Query query.Query
+	// QueryID is the removed query (DeltaRemoveQuery) or the instantiated
+	// template (DeltaInstantiate).
+	QueryID uint64
+	// Key is the instantiated key (DeltaInstantiate).
+	Key uint32
+}
+
+// String summarises the delta for logs.
+func (d Delta) String() string {
+	switch d.Kind {
+	case DeltaAddQuery:
+		return fmt.Sprintf("delta(%d add q%d)", d.Epoch, d.Query.ID)
+	case DeltaRemoveQuery:
+		return fmt.Sprintf("delta(%d remove q%d)", d.Epoch, d.QueryID)
+	case DeltaInstantiate:
+		return fmt.Sprintf("delta(%d instantiate q%d key=%d)", d.Epoch, d.QueryID, d.Key)
+	}
+	return fmt.Sprintf("delta(%d kind=%d)", d.Epoch, uint8(d.Kind))
+}
+
+// AddDelta mints the delta that admits q at the plan's next epoch.
+func (p *Plan) AddDelta(q query.Query) Delta {
+	return Delta{Epoch: p.Epoch + 1, Kind: DeltaAddQuery, Query: q}
+}
+
+// RemoveDelta mints the delta that retires query id at the next epoch.
+func (p *Plan) RemoveDelta(id uint64) Delta {
+	return Delta{Epoch: p.Epoch + 1, Kind: DeltaRemoveQuery, QueryID: id}
+}
+
+// InstantiateDelta mints the delta that materialises template tid for key.
+func (p *Plan) InstantiateDelta(tid uint64, key uint32) Delta {
+	return Delta{Epoch: p.Epoch + 1, Kind: DeltaInstantiate, QueryID: tid, Key: key}
+}
+
+// Apply mutates the plan by one delta. It is the only legal mutation of a
+// plan after construction. A failed Apply leaves the plan unchanged; on
+// success the plan's epoch equals d.Epoch.
+func (p *Plan) Apply(d Delta) error {
+	if d.Epoch != p.Epoch+1 {
+		return fmt.Errorf("plan: delta epoch %d does not follow plan epoch %d", d.Epoch, p.Epoch)
+	}
+	var err error
+	switch d.Kind {
+	case DeltaAddQuery:
+		err = p.applyAdd(d.Query)
+	case DeltaRemoveQuery:
+		err = p.applyRemove(d.QueryID)
+	case DeltaInstantiate:
+		err = p.applyInstantiate(d.QueryID, d.Key)
+	default:
+		err = fmt.Errorf("plan: unknown delta kind %d", uint8(d.Kind))
+	}
+	if err != nil {
+		return err
+	}
+	p.Epoch = d.Epoch
+	return nil
+}
+
+func (p *Plan) applyAdd(q query.Query) error {
+	if q.ID == 0 {
+		return fmt.Errorf("plan: query needs an explicit non-zero id")
+	}
+	if p.knowsID(q.ID) {
+		return fmt.Errorf("plan: query id %d already in the catalog", q.ID)
+	}
+	if q.AnyKey {
+		probe := q
+		probe.AnyKey = false
+		if err := probe.Validate(); err != nil {
+			return err
+		}
+		p.Templates = append(p.Templates, q)
+		return nil
+	}
+	g, _, created, err := query.Place(p.Groups, q, p.queryOpts())
+	if err != nil {
+		return err
+	}
+	if created {
+		p.Groups = append(p.Groups, g)
+	}
+	return nil
+}
+
+func (p *Plan) applyRemove(id uint64) error {
+	removed := false
+	for ti := len(p.Templates) - 1; ti >= 0; ti-- {
+		if p.Templates[ti].ID == id {
+			p.Templates = append(p.Templates[:ti], p.Templates[ti+1:]...)
+			removed = true
+		}
+	}
+	if removed {
+		// Forget the template's instantiation records; its per-key instance
+		// members (same query id) are tombstoned below.
+		kept := p.Instances[:0]
+		for _, in := range p.Instances {
+			if in.TemplateID != id {
+				kept = append(kept, in)
+			}
+		}
+		p.Instances = kept
+	}
+	for _, g := range p.Groups {
+		for i := range g.Queries {
+			if g.Queries[i].ID == id && !g.Queries[i].Removed {
+				g.Queries[i].Removed = true
+				removed = true
+			}
+		}
+	}
+	if !removed {
+		return fmt.Errorf("plan: no running query with id %d", id)
+	}
+	return nil
+}
+
+func (p *Plan) applyInstantiate(tid uint64, key uint32) error {
+	var tmpl *query.Query
+	for i := range p.Templates {
+		if p.Templates[i].ID == tid {
+			tmpl = &p.Templates[i]
+			break
+		}
+	}
+	if tmpl == nil {
+		return fmt.Errorf("plan: no template with id %d", tid)
+	}
+	if !p.Owns(key) {
+		return fmt.Errorf("plan: shard %d does not own key %d (shard %d does)", p.Shard, key, p.ShardOf(key))
+	}
+	for _, in := range p.Instances {
+		if in.TemplateID == tid && in.Key == key {
+			return fmt.Errorf("plan: template %d already instantiated for key %d", tid, key)
+		}
+	}
+	inst := *tmpl
+	inst.AnyKey = false
+	inst.Key = key
+	g, _, created, err := query.Place(p.Groups, inst, p.queryOpts())
+	if err != nil {
+		return err
+	}
+	if created {
+		p.Groups = append(p.Groups, g)
+	}
+	p.Instances = append(p.Instances, Instance{TemplateID: tid, Key: key})
+	return nil
+}
+
+// Instantiated reports whether template tid already materialised for key.
+func (p *Plan) Instantiated(tid uint64, key uint32) bool {
+	for _, in := range p.Instances {
+		if in.TemplateID == tid && in.Key == key {
+			return true
+		}
+	}
+	return false
+}
+
+// knowsID reports whether id names a live query or template in the catalog.
+// Template instances answer under the template's id and tombstones keep
+// their id, but neither blocks re-admission checks — only live distinct
+// queries do.
+func (p *Plan) knowsID(id uint64) bool {
+	for _, t := range p.Templates {
+		if t.ID == id {
+			return true
+		}
+	}
+	for _, g := range p.Groups {
+		for _, gq := range g.Queries {
+			if gq.ID == id && !gq.Removed {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Lookup finds the live query with id and the group hosting it.
+func (p *Plan) Lookup(id uint64) (*query.Group, int, bool) {
+	return query.Lookup(p.Groups, id)
+}
+
+// NextQueryID returns an id one larger than any query or template in the
+// catalog (tombstones included — retired ids are never reused).
+func (p *Plan) NextQueryID() uint64 {
+	next := query.NextID(p.Groups)
+	for _, t := range p.Templates {
+		if t.ID >= next {
+			next = t.ID + 1
+		}
+	}
+	return next
+}
+
+// Clone returns a deep copy sharing no mutable memory with p.
+func (p *Plan) Clone() *Plan {
+	c := *p
+	c.Groups = make([]*query.Group, len(p.Groups))
+	for i, g := range p.Groups {
+		c.Groups[i] = cloneGroup(g)
+	}
+	c.Templates = append([]query.Query(nil), p.Templates...)
+	c.Instances = append([]Instance(nil), p.Instances...)
+	return &c
+}
+
+func cloneGroup(g *query.Group) *query.Group {
+	ng := *g
+	ng.Contexts = append([]query.Predicate(nil), g.Contexts...)
+	ng.Queries = append([]query.GroupQuery(nil), g.Queries...)
+	return &ng
+}
+
+// Restrict returns this plan's view for one shard: the groups whose keys the
+// shard owns, every template (instantiation is gated by key ownership), and
+// the shard's instances. Group ids are preserved, so results and partials
+// remain comparable across shards.
+func (p *Plan) Restrict(shard int) *Plan {
+	c := p.Clone()
+	c.Shard = shard
+	kept := c.Groups[:0]
+	for _, g := range c.Groups {
+		if p.ShardOf(g.Key) == shard {
+			kept = append(kept, g)
+		}
+	}
+	c.Groups = kept
+	inst := c.Instances[:0]
+	for _, in := range c.Instances {
+		if p.ShardOf(in.Key) == shard {
+			inst = append(inst, in)
+		}
+	}
+	c.Instances = inst
+	return c
+}
+
+// GroupByID finds a group in the catalog.
+func (p *Plan) GroupByID(id uint32) *query.Group {
+	for _, g := range p.Groups {
+		if g.ID == id {
+			return g
+		}
+	}
+	return nil
+}
+
+// LiveQueries counts catalog members that are not tombstoned (template
+// instances included).
+func (p *Plan) LiveQueries() int {
+	n := 0
+	for _, g := range p.Groups {
+		for _, gq := range g.Queries {
+			if !gq.Removed {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Describe renders the catalog for humans (desis-ctl plan).
+func (p *Plan) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan epoch=%d decentralized=%v dedup=%v shards=%d",
+		p.Epoch, p.Decentralized, p.Dedup, p.Shards)
+	if p.Shard >= 0 {
+		fmt.Fprintf(&b, " shard=%d", p.Shard)
+	}
+	fmt.Fprintf(&b, " groups=%d live-queries=%d\n", len(p.Groups), p.LiveQueries())
+	for _, g := range p.Groups {
+		fmt.Fprintf(&b, "group %d key=%d placement=%s contexts=%d ops=%v",
+			g.ID, g.Key, g.Placement, len(g.Contexts), g.LogicalOps)
+		if p.Shards > 1 {
+			fmt.Fprintf(&b, " shard=%d", p.ShardOf(g.Key))
+		}
+		b.WriteByte('\n')
+		for i, gq := range g.Queries {
+			fmt.Fprintf(&b, "  [%d] q%d ctx=%d %s", i, gq.ID, gq.Ctx, gq.Query.String())
+			if gq.Removed {
+				b.WriteString(" (removed)")
+			}
+			b.WriteByte('\n')
+		}
+	}
+	for _, t := range p.Templates {
+		fmt.Fprintf(&b, "template q%d %s\n", t.ID, t.String())
+	}
+	for _, in := range p.Instances {
+		fmt.Fprintf(&b, "instance template=%d key=%d\n", in.TemplateID, in.Key)
+	}
+	return b.String()
+}
+
+// opsOf recomputes the operator union of a group's live members; kept here
+// so wire decoding can cross-check a received catalog.
+func opsOf(g *query.Group) (logical, ops operator.Op) {
+	var specs []operator.FuncSpec
+	for _, gq := range g.Queries {
+		if !gq.Removed {
+			specs = append(specs, gq.Funcs...)
+		}
+	}
+	logical = operator.Union(specs)
+	return logical, logical | operator.OpCount
+}

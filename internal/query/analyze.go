@@ -35,6 +35,11 @@ type GroupQuery struct {
 	Query
 	// Ctx indexes Group.Contexts.
 	Ctx int
+	// Removed tombstones a retired query: the member slot stays so group
+	// ids and member indices remain stable across every node of a topology
+	// (EPs carry member indices), but the query no longer contributes to
+	// the group's operator union and answers no windows.
+	Removed bool
 }
 
 // Group is a query-group (§4.1): a set of queries between which partial
@@ -80,48 +85,25 @@ type Options struct {
 // pairwise equal or non-overlapping, and (in decentralized mode) when they
 // agree on placement. Within a group, equal predicates share one selection
 // context.
+//
+// Analyze is a fold over Place: a catalog built up-front is identical —
+// group ids, context indices, member indices, operator masks — to one built
+// by admitting the same queries one at a time, which is the invariant the
+// execution plan's delta protocol relies on.
 func Analyze(queries []Query, opts Options) ([]*Group, error) {
-	type bucketKey struct {
-		key       uint32
-		placement Placement
-	}
 	var groups []*Group
-	buckets := make(map[bucketKey][]*Group)
 	for i := range queries {
 		q := queries[i]
 		if q.AnyKey {
 			return nil, fmt.Errorf("query %d: group-by templates (key=*) are instantiated at runtime; register them with the engine's AddTemplate (use Split to separate them)", q.ID)
 		}
-		if err := q.Validate(); err != nil {
+		g, _, created, err := Place(groups, q, opts)
+		if err != nil {
 			return nil, err
 		}
-		placement := Distributed
-		if opts.Decentralized && q.Measure == Count {
-			placement = RootOnly
-		}
-		bk := bucketKey{q.Key, placement}
-		g, ctx := place(buckets[bk], q.Pred)
-		if g == nil {
-			g = &Group{
-				ID:        uint32(len(groups)),
-				Key:       q.Key,
-				Placement: placement,
-				Dedup:     opts.Dedup,
-			}
+		if created {
 			groups = append(groups, g)
-			buckets[bk] = append(buckets[bk], g)
-			g.Contexts = append(g.Contexts, q.Pred)
-			ctx = 0
 		}
-		g.Queries = append(g.Queries, GroupQuery{Query: q, Ctx: ctx})
-	}
-	for _, g := range groups {
-		var specs []operator.FuncSpec
-		for _, gq := range g.Queries {
-			specs = append(specs, gq.Funcs...)
-		}
-		g.LogicalOps = operator.Union(specs)
-		g.Ops = g.LogicalOps | operator.OpCount
 	}
 	return groups, nil
 }
@@ -207,6 +189,9 @@ func Place(groups []*Group, q Query, opts Options) (g *Group, member int, create
 	g.Queries = append(g.Queries, GroupQuery{Query: q, Ctx: ctx})
 	var specs []operator.FuncSpec
 	for _, gq := range g.Queries {
+		if gq.Removed {
+			continue
+		}
 		specs = append(specs, gq.Funcs...)
 	}
 	g.LogicalOps = operator.Union(specs)
@@ -214,12 +199,13 @@ func Place(groups []*Group, q Query, opts Options) (g *Group, member int, create
 	return g, len(g.Queries) - 1, created, nil
 }
 
-// Lookup finds a query by ID inside a set of groups; used by runtime query
-// removal. It returns the group, the index within it, and whether it exists.
+// Lookup finds a live (non-tombstoned) query by ID inside a set of groups;
+// used by runtime query removal. It returns the group, the index within it,
+// and whether it exists.
 func Lookup(groups []*Group, id uint64) (*Group, int, bool) {
 	for _, g := range groups {
 		for i, gq := range g.Queries {
-			if gq.ID == id {
+			if gq.ID == id && !gq.Removed {
 				return g, i, true
 			}
 		}

@@ -5,7 +5,7 @@ import (
 	"sync"
 
 	"desis/internal/core"
-	"desis/internal/query"
+	"desis/internal/plan"
 )
 
 // ParallelEngine shards queries and events across several independent
@@ -16,10 +16,14 @@ import (
 //
 // Sharding is by key, so every query-group lives entirely in one shard and
 // all sharing within a group is preserved; queries with different keys that
-// could never share anyway are what gets parallelised.
+// could never share anyway are what gets parallelised. The key→shard map is
+// the execution plan's (plan.ShardOf): the master plan routes events and
+// runtime catalog changes, and each shard engine runs the plan's view for
+// its shard (plan.Restrict), which also gates group-by template
+// instantiation so exactly one shard owns each instantiated key.
 type ParallelEngine struct {
+	master *plan.Plan // routing + catalog validation; mutated only by caller goroutine
 	shards []*engineShard
-	n      uint32
 
 	resMu   sync.Mutex
 	results []Result
@@ -33,9 +37,12 @@ type engineShard struct {
 }
 
 type shardMsg struct {
-	evs  []Event
-	adv  int64         // advance watermark when evs is nil and done is nil
-	done chan struct{} // barrier acknowledgement when non-nil
+	evs   []Event
+	adv   int64         // advance watermark when evs is nil and done is nil
+	done  chan struct{} // barrier acknowledgement when non-nil
+	add   *Query        // runtime admission, ordered with the event stream
+	rm    uint64        // runtime removal when rmSet
+	rmSet bool
 }
 
 // shardBatch is the per-shard buffer size before a batch is handed to the
@@ -43,26 +50,18 @@ type shardMsg struct {
 const shardBatch = 512
 
 // NewParallelEngine builds n single-threaded engines and routes queries to
-// them by key. OnResult, when set, may be called concurrently from shard
-// goroutines and must be safe for that.
+// them via the plan's shard map. OnResult, when set, may be called
+// concurrently from shard goroutines and must be safe for that.
 func NewParallelEngine(queries []Query, n int, opts Options) (*ParallelEngine, error) {
 	if n <= 0 {
 		n = 1
 	}
 	queries = assignIDs(queries)
-	p := &ParallelEngine{n: uint32(n)}
-	perShard := make([][]Query, n)
-	for _, q := range queries {
-		if q.AnyKey {
-			// Group-by templates go to every shard; each instantiates only
-			// the keys routed to it.
-			for i := range perShard {
-				perShard[i] = append(perShard[i], q)
-			}
-			continue
-		}
-		perShard[q.Key%p.n] = append(perShard[q.Key%p.n], q)
+	master, err := plan.New(queries, plan.Options{Dedup: opts.Dedup, Shards: n})
+	if err != nil {
+		return nil, err
 	}
+	p := &ParallelEngine{master: master}
 	onResult := opts.OnResult
 	if onResult == nil {
 		onResult = func(r Result) {
@@ -72,22 +71,12 @@ func NewParallelEngine(queries []Query, n int, opts Options) (*ParallelEngine, e
 		}
 	}
 	for i := 0; i < n; i++ {
-		concrete, templates := query.Split(perShard[i])
-		groups, err := query.Analyze(concrete, query.Options{Dedup: opts.Dedup})
-		if err != nil {
-			return nil, fmt.Errorf("desis: shard %d: %w", i, err)
-		}
 		shardCfg := opts.coreConfig()
 		shardCfg.OnResult = onResult
 		sh := &engineShard{
-			eng: core.New(groups, shardCfg),
+			eng: core.NewFromPlan(master.Restrict(i), shardCfg),
 			ch:  make(chan shardMsg, 64),
 			wg:  &sync.WaitGroup{},
-		}
-		for _, t := range templates {
-			if err := sh.eng.AddTemplate(t); err != nil {
-				return nil, fmt.Errorf("desis: shard %d: %w", i, err)
-			}
 		}
 		sh.wg.Add(1)
 		go sh.run()
@@ -104,16 +93,27 @@ func (s *engineShard) run() {
 			close(m.done)
 		case m.evs != nil:
 			s.eng.ProcessBatch(m.evs)
+		case m.add != nil:
+			// Validated against the master plan before dispatch; a shard
+			// rejection here would mean the catalogs diverged.
+			_, _ = s.eng.AddQuery(*m.add)
+		case m.rmSet:
+			_ = s.eng.RemoveQuery(m.rm)
 		default:
 			s.eng.AdvanceTo(m.adv)
 		}
 	}
 }
 
+// shardFor routes a key through the plan's shard map.
+func (p *ParallelEngine) shardFor(key uint32) *engineShard {
+	return p.shards[p.master.ShardOf(key)]
+}
+
 // Process ingests one event; it is buffered and handed to its key's shard.
 // Like Engine, ParallelEngine is fed from one goroutine.
 func (p *ParallelEngine) Process(ev Event) {
-	sh := p.shards[ev.Key%p.n]
+	sh := p.shardFor(ev.Key)
 	sh.bufs = append(sh.bufs, ev)
 	if len(sh.bufs) >= shardBatch {
 		p.flushShard(sh)
@@ -125,6 +125,50 @@ func (p *ParallelEngine) ProcessBatch(evs []Event) {
 	for _, ev := range evs {
 		p.Process(ev)
 	}
+}
+
+// AddQuery admits a query at runtime: the master plan validates and records
+// the change, and the delta is handed to the owning shard (every shard for
+// AnyKey templates) ordered with the event stream. It returns the query id.
+func (p *ParallelEngine) AddQuery(q Query) (uint64, error) {
+	if q.ID == 0 {
+		return 0, fmt.Errorf("desis: AddQuery needs an explicit non-zero query ID")
+	}
+	if err := p.master.Apply(p.master.AddDelta(q)); err != nil {
+		return 0, err
+	}
+	if q.AnyKey {
+		for _, sh := range p.shards {
+			p.flushShard(sh)
+			sh.ch <- shardMsg{add: &q}
+		}
+		return q.ID, nil
+	}
+	sh := p.shardFor(q.Key)
+	p.flushShard(sh)
+	sh.ch <- shardMsg{add: &q}
+	return q.ID, nil
+}
+
+// RemoveQuery retires a running query (or template and its instances) on
+// every shard that hosts it.
+func (p *ParallelEngine) RemoveQuery(id uint64) error {
+	g, _, concrete := p.master.Lookup(id)
+	if err := p.master.Apply(p.master.RemoveDelta(id)); err != nil {
+		return err
+	}
+	if concrete {
+		sh := p.shardFor(g.Key)
+		p.flushShard(sh)
+		sh.ch <- shardMsg{rm: id, rmSet: true}
+		return nil
+	}
+	// Template (or already shard-spread instances): broadcast.
+	for _, sh := range p.shards {
+		p.flushShard(sh)
+		sh.ch <- shardMsg{rm: id, rmSet: true}
+	}
+	return nil
 }
 
 func (p *ParallelEngine) flushShard(sh *engineShard) {

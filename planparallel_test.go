@@ -1,0 +1,66 @@
+package desis_test
+
+import (
+	"testing"
+
+	"desis"
+)
+
+// TestParallelTemplateSingleInstantiation is the shard-ownership regression
+// check: a group-by template admitted at runtime is broadcast to every
+// shard, but the plan's key→shard map lets only the owning shard
+// instantiate each key — a window must never be materialised by two shards
+// (which would surface as duplicate results with partial counts).
+func TestParallelTemplateSingleInstantiation(t *testing.T) {
+	seed := desis.MustParseQuery("tumbling(100ms) count key=0")
+	seed.ID = 1
+	par, err := desis.NewParallelEngine([]desis.Query{seed}, 3, desis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nKeys = 7
+	for i := 0; i < 1000; i++ {
+		par.Process(desis.Event{Time: int64(i), Key: uint32(i % nKeys), Value: 1})
+	}
+	tmpl := desis.MustParseQuery("tumbling(100ms) sum key=*")
+	tmpl.ID = 7
+	if _, err := par.AddQuery(tmpl); err != nil {
+		t.Fatal(err)
+	}
+	// The template must instantiate for keys each shard has already seen and
+	// for keys first observed after admission.
+	for i := 1000; i < 3000; i++ {
+		par.Process(desis.Event{Time: int64(i), Key: uint32(i % (nKeys + 2)), Value: 1})
+	}
+	par.AdvanceTo(3000)
+	par.Barrier()
+	rs := par.Results()
+	par.Close()
+
+	type wkey struct {
+		key   uint32
+		start int64
+	}
+	seen := map[wkey]int{}
+	keys := map[uint32]bool{}
+	for _, r := range rs {
+		if r.QueryID != 7 {
+			continue
+		}
+		seen[wkey{r.Key, r.Start}]++
+		keys[r.Key] = true
+	}
+	if len(keys) != nKeys+2 {
+		t.Errorf("template answered %d keys, want %d", len(keys), nKeys+2)
+	}
+	for w, n := range seen {
+		if n != 1 {
+			t.Errorf("window key=%d start=%d materialised %d times, want exactly once", w.key, w.start, n)
+		}
+	}
+	// Duplicate admission of the same template id must be refused by the
+	// master plan before it reaches any shard.
+	if _, err := par.AddQuery(tmpl); err == nil {
+		t.Error("duplicate template id accepted")
+	}
+}
