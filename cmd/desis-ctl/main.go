@@ -3,12 +3,16 @@
 //	desis-ctl -root localhost:7070 -add "tumbling(5s) median key=2" -addid 42
 //	desis-ctl -root localhost:7070 -remove 42
 //	desis-ctl -root localhost:7070 -plan
+//	desis-ctl -root localhost:7070 -stats
 //
 // Adds and removes become plan deltas: the root applies the change to its
 // epoch-versioned execution plan and broadcasts the delta down the topology;
 // local nodes start (or stop) answering the query from their next
 // punctuation. -plan dumps the root's live catalog (groups, placements,
-// epoch) for inspection.
+// epoch) for inspection. -stats asks the root for a cluster-wide telemetry
+// snapshot: the root merges its own counters and histograms with those of
+// every reachable node in the tree, so the printed per-group event and
+// window totals are deployment-wide.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"desis/internal/node"
 	"desis/internal/plan"
 	"desis/internal/query"
+	"desis/internal/telemetry"
 )
 
 func main() {
@@ -28,6 +33,7 @@ func main() {
 	addID := flag.Uint64("addid", 0, "explicit id for the added query (required with -add)")
 	remove := flag.Uint64("remove", 0, "id of a running query to remove")
 	dumpPlan := flag.Bool("plan", false, "dump the root's live execution plan")
+	stats := flag.Bool("stats", false, "dump a merged cluster-wide telemetry snapshot")
 	text := flag.Bool("text", false, "use the string wire codec")
 	flag.Parse()
 
@@ -44,6 +50,11 @@ func main() {
 		var p *plan.Plan
 		if p, err = node.FetchPlan(*root, codec); err == nil {
 			fmt.Print(p.Describe())
+		}
+	case *stats:
+		var s *telemetry.Snapshot
+		if s, err = node.FetchStats(*root, codec); err == nil {
+			s.Format(os.Stdout)
 		}
 	case *add != "":
 		if *addID == 0 {
@@ -65,7 +76,7 @@ func main() {
 			fmt.Printf("removed query %d\n", *remove)
 		}
 	default:
-		err = fmt.Errorf("nothing to do: pass -add, -remove, or -plan")
+		err = fmt.Errorf("nothing to do: pass -add, -remove, -plan, or -stats")
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "desis-ctl:", err)

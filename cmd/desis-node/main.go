@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"time"
 
@@ -22,6 +23,7 @@ import (
 	"desis/internal/message"
 	"desis/internal/node"
 	"desis/internal/query"
+	"desis/internal/telemetry"
 )
 
 type queryList []query.Query
@@ -54,6 +56,7 @@ func main() {
 	heartbeat := flag.Duration("heartbeat", node.HeartbeatInterval, "idle-uplink heartbeat period (intermediate, local); negative disables")
 	retries := flag.Int("reconnect-retries", 8, "uplink reconnect attempts before giving up (intermediate, local)")
 	replay := flag.Int("replay-depth", 0, "partial/watermark frames replayed after a reconnect; 0 selects the default, negative disables (intermediate, local)")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/stats and /debug/pprof/ over HTTP at this address (any role); empty disables")
 	var queries queryList
 	flag.Var(&queries, "query", "query in the textual language (repeatable, root only)")
 	flag.Parse()
@@ -63,14 +66,23 @@ func main() {
 		codec = message.Text{}
 	}
 
+	// Intermediates and locals share one registry between the node (via
+	// DialOptions) and the debug server; the root's registry lives in its
+	// server, so runRoot wires its own debug endpoint.
+	opts := dialOpts(codec, *heartbeat, *retries, *replay)
+	if *debugAddr != "" && *role != "root" {
+		opts.Telemetry = telemetry.NewRegistry()
+		serveDebug(*debugAddr, opts.Telemetry)
+	}
+
 	var err error
 	switch *role {
 	case "root":
-		err = runRoot(*listen, queries, *children, *timeout, codec, *quiet)
+		err = runRoot(*listen, queries, *children, *timeout, codec, *quiet, *debugAddr)
 	case "intermediate":
-		err = runIntermediate(*listen, *parent, uint32(*id), *children, *timeout, dialOpts(codec, *heartbeat, *retries, *replay))
+		err = runIntermediate(*listen, *parent, uint32(*id), *children, *timeout, opts)
 	case "local":
-		err = runLocal(*parent, uint32(*id), *events, *seed, *keys, *interval, dialOpts(codec, *heartbeat, *retries, *replay))
+		err = runLocal(*parent, uint32(*id), *events, *seed, *keys, *interval, opts)
 	default:
 		err = fmt.Errorf("unknown -role %q (want root, intermediate, or local)", *role)
 	}
@@ -80,7 +92,18 @@ func main() {
 	}
 }
 
-func runRoot(listen string, queries []query.Query, children int, timeout time.Duration, codec message.Codec, quiet bool) error {
+// serveDebug exposes the registry (and pprof) over HTTP in the background.
+// Debug serving is best-effort: a bind failure is reported but never takes
+// the node down.
+func serveDebug(addr string, reg *telemetry.Registry) {
+	go func() {
+		if err := http.ListenAndServe(addr, telemetry.DebugMux(reg)); err != nil {
+			fmt.Fprintln(os.Stderr, "desis-node: debug server:", err)
+		}
+	}()
+}
+
+func runRoot(listen string, queries []query.Query, children int, timeout time.Duration, codec message.Codec, quiet bool, debugAddr string) error {
 	if len(queries) == 0 {
 		return fmt.Errorf("root needs at least one -query")
 	}
@@ -100,6 +123,9 @@ func runRoot(listen string, queries []query.Query, children int, timeout time.Du
 	})
 	if err != nil {
 		return err
+	}
+	if debugAddr != "" {
+		serveDebug(debugAddr, srv.Telemetry())
 	}
 	fmt.Fprintf(os.Stderr, "root listening on %s, %d queries, expecting %d children\n",
 		srv.Addr(), len(queries), children)

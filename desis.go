@@ -133,6 +133,10 @@ type Options struct {
 	// before pruning ones no open window can need; 0 selects the default
 	// (64). Stats.Pruned counts what retention dropped.
 	PruneThreshold int
+	// Telemetry, when non-nil, instruments the engine with per-group
+	// counters and latency histograms readable while it runs (see
+	// NewTelemetry). Shards of a ParallelEngine share the registry.
+	Telemetry *Telemetry
 }
 
 func (o Options) coreConfig() core.Config {
@@ -140,6 +144,7 @@ func (o Options) coreConfig() core.Config {
 		OnResult:       o.OnResult,
 		NaiveAssembly:  o.NaiveAssembly,
 		PruneThreshold: o.PruneThreshold,
+		Telemetry:      o.Telemetry.registry(),
 	}
 }
 

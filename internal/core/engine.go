@@ -2,10 +2,13 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"desis/internal/event"
 	"desis/internal/plan"
 	"desis/internal/query"
+	"desis/internal/telemetry"
 )
 
 // Engine is the Desis aggregation engine: it executes every query-group over
@@ -27,8 +30,23 @@ type Engine struct {
 	byID           map[uint32]*groupState
 	byKey          map[uint32][]*groupState
 	results        []Result
-	stats          Stats
+	stats          engineStats
 	tmplKeys       map[uint32]bool // keys whose template instantiation ran
+
+	// tel, when attached, receives per-group counters and the assembly
+	// latency histogram. telAsm is cached so the assembly path pays one
+	// nil check, not a registry lookup.
+	tel    *telemetry.Registry
+	telAsm *telemetry.Histogram
+}
+
+// engineStats is the engine's work accounting. The counters are atomic
+// because Stats() may be read concurrently with ingestion — most visibly
+// through ParallelEngine.Stats(), which sums shard engines while their
+// goroutines run Process. The single-writer ingest path still owns all
+// increments; atomics only make the cross-goroutine reads defined.
+type engineStats struct {
+	events, calculations, slices, windows, pruned atomic.Uint64
 }
 
 // New builds an engine for an analyzed group set, wrapping it into a plan at
@@ -55,7 +73,27 @@ func NewFromPlan(p *plan.Plan, cfg Config) *Engine {
 		e.pruneThreshold = DefaultPruneThreshold
 	}
 	e.syncPlan()
+	if cfg.Telemetry != nil {
+		e.AttachTelemetry(cfg.Telemetry)
+	}
 	return e
+}
+
+// AttachTelemetry connects the engine to a telemetry registry: per-group
+// event/slice/window counters (group.<id>.…) and the window-assembly
+// latency histogram. Groups installed later (runtime deltas, template
+// instantiation) register on install. Attaching is idempotent; an engine
+// without telemetry pays one nil-pointer branch per instrumented site
+// and allocates nothing.
+func (e *Engine) AttachTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	e.tel = reg
+	e.telAsm = reg.Histogram("engine.assembly_latency")
+	for _, gs := range e.groups {
+		gs.attachTelemetry(reg)
+	}
 }
 
 // Plan exposes the engine's execution plan. Callers must treat it as
@@ -82,6 +120,9 @@ func (e *Engine) install(gs *groupState) {
 	e.groups = append(e.groups, gs)
 	e.byID[gs.id] = gs
 	e.byKey[gs.key] = append(e.byKey[gs.key], gs)
+	if e.tel != nil {
+		gs.attachTelemetry(e.tel)
+	}
 }
 
 // Process ingests one event, routing it to every group of its key. The
@@ -309,11 +350,29 @@ func (e *Engine) Results() []Result {
 	return r
 }
 
-// Stats returns the engine's work counters.
-func (e *Engine) Stats() Stats { return e.stats }
+// Stats returns a snapshot of the engine's work counters. It is safe to
+// call concurrently with ingestion: each counter is read atomically (the
+// snapshot is per-counter consistent, not a cross-counter cut).
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Events:       e.stats.events.Load(),
+		Calculations: e.stats.calculations.Load(),
+		Slices:       e.stats.slices.Load(),
+		Windows:      e.stats.windows.Load(),
+		Pruned:       e.stats.pruned.Load(),
+	}
+}
+
+// recordAssembly feeds the window-assembly latency histogram. t0 is zero
+// when telemetry is unattached (see groupState.beginAssembly).
+func (e *Engine) recordAssembly(t0 time.Time) {
+	if !t0.IsZero() {
+		e.telAsm.Record(time.Since(t0))
+	}
+}
 
 func (e *Engine) emit(r Result) {
-	e.stats.Windows++
+	e.stats.windows.Add(1)
 	if e.cfg.OnResult != nil {
 		e.cfg.OnResult(r)
 		return

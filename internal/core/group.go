@@ -1,12 +1,15 @@
 package core
 
 import (
+	"fmt"
 	"sort"
+	"time"
 
 	"desis/internal/event"
 	"desis/internal/invariant"
 	"desis/internal/operator"
 	"desis/internal/query"
+	"desis/internal/telemetry"
 	"desis/internal/window"
 )
 
@@ -83,6 +86,13 @@ type groupState struct {
 	// events identical in (time, value) within the current slice are
 	// dropped. nil when the group does not request deduplication.
 	dedup map[dedupKey]struct{}
+
+	// Per-group instruments, nil until Engine.AttachTelemetry: their
+	// methods no-op on nil, so the hot path calls them unconditionally and
+	// an unattached engine pays one branch, zero allocations.
+	telEvents  *telemetry.Counter
+	telSlices  *telemetry.Counter
+	telWindows *telemetry.Counter
 }
 
 type dedupKey struct {
@@ -107,6 +117,15 @@ func newGroupState(e *Engine, g *query.Group) *groupState {
 		gs.addMember(gq)
 	}
 	return gs
+}
+
+// attachTelemetry registers the group's counters. The names are stable
+// across the topology (group ids come from the shared plan), so merging
+// node snapshots sums each group's counters cluster-wide.
+func (g *groupState) attachTelemetry(reg *telemetry.Registry) {
+	g.telEvents = reg.Counter(fmt.Sprintf("group.%d.events", g.id))
+	g.telSlices = reg.Counter(fmt.Sprintf("group.%d.slices", g.id))
+	g.telWindows = reg.Counter(fmt.Sprintf("group.%d.windows", g.id))
 }
 
 // addMember registers a query in the group's trackers and returns its index.
@@ -156,6 +175,9 @@ func (g *groupState) start(t int64) {
 	g.cur = sliceRec{start: t, startCount: g.count, lastEvent: t, aggs: g.newAggs()}
 	g.nextTimeBound = g.cal.NextBoundary(t)
 	g.nextCountID = g.countCal.NextBoundary(g.count)
+	if telemetry.TraceEnabled {
+		telemetry.TraceSlice(telemetry.TraceOpen, g.e.cfg.TraceName, uint64(g.id), g.nextSliceID, t, t)
+	}
 }
 
 func (g *groupState) newAggs() []operator.Agg {
@@ -223,7 +245,7 @@ func (g *groupState) process(ev event.Event) {
 	for i := range g.contexts {
 		if g.contexts[i].Matches(ev.Value) {
 			g.cur.aggs[i].Add(ev.Value)
-			g.e.stats.Calculations += g.logicalOps
+			g.e.stats.calculations.Add(g.logicalOps)
 		}
 	}
 	if !g.sessions.Empty() {
@@ -239,7 +261,8 @@ func (g *groupState) process(ev event.Event) {
 	g.lastEventTime = ev.Time
 	g.cur.lastEvent = ev.Time
 	g.count++
-	g.e.stats.Events++
+	g.e.stats.events.Add(1)
+	g.telEvents.Inc()
 	for g.count == g.nextCountID {
 		g.punctuateCount(ev.Time)
 		g.nextCountID = g.countCal.NextBoundary(g.count)
@@ -349,7 +372,11 @@ func (g *groupState) closeSlice(b int64) {
 	for i := range g.cur.aggs {
 		g.cur.aggs[i].Finish()
 	}
-	g.e.stats.Slices++
+	g.e.stats.slices.Add(1)
+	g.telSlices.Inc()
+	if telemetry.TraceEnabled {
+		telemetry.TraceSlice(telemetry.TraceClose, g.e.cfg.TraceName, uint64(g.id), g.cur.seq, g.cur.start, b)
+	}
 	if g.e.cfg.OnSlice != nil {
 		g.stagePartial()
 	} else {
@@ -372,6 +399,9 @@ func (g *groupState) closeSlice(b int64) {
 	}
 	g.cur = sliceRec{start: b, startCount: g.count, lastEvent: g.lastEventTime, aggs: g.newAggs()}
 	g.lastPunct = b
+	if telemetry.TraceEnabled {
+		telemetry.TraceSlice(telemetry.TraceOpen, g.e.cfg.TraceName, uint64(g.id), g.nextSliceID, b, b)
+	}
 	if g.dedup != nil && len(g.dedup) > 0 {
 		// Deduplication is slice-scoped: the context resets with the slice.
 		g.dedup = make(map[dedupKey]struct{})
@@ -445,6 +475,9 @@ func (g *groupState) flushPending() {
 	}
 	p := g.pending
 	g.pending = nil
+	if telemetry.TraceEnabled {
+		telemetry.TraceSlice(telemetry.TraceShip, g.e.cfg.TraceName, uint64(g.id), p.ID, p.Start, p.End)
+	}
 	g.e.cfg.OnSlice(p)
 }
 
@@ -456,6 +489,7 @@ func (g *groupState) assembleTime(idx int, ws, we int64) {
 		return
 	}
 	mops := g.memberOpsFor(m)
+	t0 := g.beginAssembly()
 	lo := sort.Search(len(g.closed), func(i int) bool { return g.closed[i].start >= ws })
 	g.scratch.Reset(mops &^ operator.OpNDSort)
 	g.scratch.Sorted = true
@@ -480,6 +514,7 @@ func (g *groupState) assembleTime(idx int, ws, we int64) {
 		}
 		g.finishValues(m, mops)
 		g.emitResult(m, ws, we)
+		g.e.recordAssembly(t0)
 		return
 	}
 	// Slice ends are monotone, so the covered slices form the contiguous
@@ -491,6 +526,17 @@ func (g *groupState) assembleTime(idx int, ws, we int64) {
 	}
 	g.assembleRange(m, mops, lo, hi)
 	g.emitResult(m, ws, we)
+	g.e.recordAssembly(t0)
+}
+
+// beginAssembly opens a latency measurement when the assembly histogram
+// is attached; the zero time means "not measuring" so the unattached
+// path never calls time.Now.
+func (g *groupState) beginAssembly() time.Time {
+	if g.e.telAsm == nil {
+		return time.Time{}
+	}
+	return time.Now()
 }
 
 // assembleRange folds closed[lo:hi] into the scratch aggregate through the
@@ -545,6 +591,7 @@ func (g *groupState) assembleCount(idx int, cs, ce int64) {
 		return
 	}
 	mops := g.memberOpsFor(m)
+	t0 := g.beginAssembly()
 	lo := sort.Search(len(g.closed), func(i int) bool { return g.closed[i].startCount >= cs })
 	g.scratch.Reset(mops &^ operator.OpNDSort)
 	g.scratch.Sorted = true
@@ -559,6 +606,7 @@ func (g *groupState) assembleCount(idx int, cs, ce int64) {
 		}
 		g.finishValues(m, mops)
 		g.emitResult(m, cs, ce)
+		g.e.recordAssembly(t0)
 		return
 	}
 	// endCount is strictly increasing across closed slices, so the covered
@@ -566,6 +614,7 @@ func (g *groupState) assembleCount(idx int, cs, ce int64) {
 	hi := lo + sort.Search(len(g.closed)-lo, func(i int) bool { return g.closed[lo+i].endCount > ce })
 	g.assembleRange(m, mops, lo, hi)
 	g.emitResult(m, cs, ce)
+	g.e.recordAssembly(t0)
 }
 
 // memberOpsFor maps a member's operator needs onto the group's slice
@@ -584,6 +633,10 @@ func (g *groupState) memberOpsFor(m *member) operator.Op {
 // aggregate and hands the result to the engine.
 func (g *groupState) emitResult(m *member, start, end int64) {
 	g.scratch.Finish()
+	g.telWindows.Inc()
+	if telemetry.TraceEnabled {
+		telemetry.TraceSlice(telemetry.TraceAssemble, g.e.cfg.TraceName, uint64(g.id), g.cur.seq, start, end)
+	}
 	if g.e.cfg.OnWindowAgg != nil {
 		g.e.cfg.OnWindowAgg(m.ID, start, end, &g.scratch)
 		return
@@ -637,7 +690,7 @@ func (g *groupState) prune() {
 		g.closed[i].aggs = nil
 	}
 	g.closed = append(g.closed[:0], g.closed[n:]...)
-	g.e.stats.Pruned += uint64(n)
+	g.e.stats.pruned.Add(uint64(n))
 	if g.useIndex() {
 		g.idx.dropFront(n)
 	}

@@ -34,11 +34,11 @@ func (e *Engine) Snapshot(buf []byte) []byte {
 	buf = appendU32s(buf, snapshotMagic)
 	buf = appendU32s(buf, snapshotVersion)
 	buf = appendU64s(buf, e.plan.Epoch)
-	buf = appendU64s(buf, e.stats.Events)
-	buf = appendU64s(buf, e.stats.Calculations)
-	buf = appendU64s(buf, e.stats.Slices)
-	buf = appendU64s(buf, e.stats.Windows)
-	buf = appendU64s(buf, e.stats.Pruned)
+	buf = appendU64s(buf, e.stats.events.Load())
+	buf = appendU64s(buf, e.stats.calculations.Load())
+	buf = appendU64s(buf, e.stats.slices.Load())
+	buf = appendU64s(buf, e.stats.windows.Load())
+	buf = appendU64s(buf, e.stats.pruned.Load())
 	buf = appendU32s(buf, uint32(len(e.groups)))
 	for _, gs := range e.groups {
 		buf = gs.snapshot(buf)
@@ -128,11 +128,11 @@ func restore(e *Engine, snap []byte, checkEpoch bool) (*Engine, error) {
 	if checkEpoch && r.err == nil && epoch != e.plan.Epoch {
 		return nil, fmt.Errorf("core: snapshot cut at plan epoch %d, engine plan at %d", epoch, e.plan.Epoch)
 	}
-	e.stats.Events = r.u64()
-	e.stats.Calculations = r.u64()
-	e.stats.Slices = r.u64()
-	e.stats.Windows = r.u64()
-	e.stats.Pruned = r.u64()
+	e.stats.events.Store(r.u64())
+	e.stats.calculations.Store(r.u64())
+	e.stats.slices.Store(r.u64())
+	e.stats.windows.Store(r.u64())
+	e.stats.pruned.Store(r.u64())
 	n := int(r.u32())
 	if r.err == nil && n != len(e.groups) {
 		return nil, fmt.Errorf("core: snapshot has %d groups, engine has %d", n, len(e.groups))

@@ -8,6 +8,7 @@ package core
 import (
 	"desis/internal/operator"
 	"desis/internal/query"
+	"desis/internal/telemetry"
 )
 
 // FuncValue is the evaluated value of one aggregation function of a query.
@@ -185,6 +186,14 @@ type Config struct {
 	Decentralized bool
 	// Placement gates which groups of the plan this engine materialises.
 	Placement PlacementFilter
+	// Telemetry, when non-nil, attaches the engine to a telemetry registry
+	// at construction (equivalent to calling AttachTelemetry afterwards):
+	// per-group event/slice/window counters plus the assembly-latency
+	// histogram. Nil costs one predictable branch per instrumented site.
+	Telemetry *telemetry.Registry
+	// TraceName labels this engine's slice-lifecycle trace events (the
+	// node= field) under the desis_trace build tag; unused otherwise.
+	TraceName string
 }
 
 // groupOf re-exports the analyzer's group type for readability.

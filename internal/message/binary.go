@@ -11,6 +11,7 @@ import (
 	"desis/internal/operator"
 	"desis/internal/plan"
 	"desis/internal/query"
+	"desis/internal/telemetry"
 )
 
 // Binary is the default codec: little-endian fixed-width fields, the layout
@@ -27,7 +28,21 @@ func (Binary) Append(buf []byte, m *Message) ([]byte, error) {
 	switch m.Kind {
 	case KindHello:
 		buf = appendU64(buf, m.Epoch)
-	case KindHeartbeat, KindGoodbye, KindPlanDump:
+	case KindGoodbye, KindPlanDump:
+	case KindHeartbeat:
+		if m.Load != nil {
+			buf = append(buf, 1)
+			buf = telemetry.AppendLoadDigest(buf, m.Load)
+		} else {
+			buf = append(buf, 0)
+		}
+	case KindStatsDump:
+		if m.Stats != nil {
+			buf = append(buf, 1)
+			buf = telemetry.AppendSnapshot(buf, m.Stats)
+		} else {
+			buf = append(buf, 0)
+		}
 	case KindEventBatch:
 		buf = event.AppendBatch(buf, m.Events)
 	case KindPartial:
@@ -66,7 +81,23 @@ func (Binary) Decode(buf []byte) (*Message, error) {
 	switch m.Kind {
 	case KindHello:
 		m.Epoch = r.u64()
-	case KindHeartbeat, KindGoodbye, KindPlanDump:
+	case KindGoodbye, KindPlanDump:
+	case KindHeartbeat:
+		if r.u8() == 1 && r.err == nil {
+			d, rest, err := telemetry.DecodeLoadDigest(r.buf)
+			if err != nil {
+				return nil, err
+			}
+			m.Load, r.buf = d, rest
+		}
+	case KindStatsDump:
+		if r.u8() == 1 && r.err == nil {
+			s, rest, err := telemetry.DecodeSnapshot(r.buf)
+			if err != nil {
+				return nil, err
+			}
+			m.Stats, r.buf = s, rest
+		}
 	case KindEventBatch:
 		var err error
 		m.Events, _, err = event.DecodeBatch(r.buf, nil)

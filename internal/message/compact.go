@@ -9,6 +9,7 @@ import (
 	"desis/internal/event"
 	"desis/internal/invariant"
 	"desis/internal/operator"
+	"desis/internal/telemetry"
 )
 
 // Compact is a varint/delta codec for constrained links: event batches are
@@ -43,7 +44,14 @@ func (Compact) Append(buf []byte, m *Message) ([]byte, error) {
 	switch m.Kind {
 	case KindHello:
 		buf = binary.AppendUvarint(buf, m.Epoch)
-	case KindHeartbeat, KindGoodbye:
+	case KindGoodbye:
+	case KindHeartbeat:
+		if m.Load != nil {
+			buf = append(buf, 1)
+			buf = telemetry.AppendLoadDigest(buf, m.Load)
+		} else {
+			buf = append(buf, 0)
+		}
 	case KindWatermark:
 		buf = binary.AppendVarint(buf, m.Watermark)
 	case KindEventBatch:
@@ -119,7 +127,15 @@ func (Compact) Decode(buf []byte) (*Message, error) {
 	switch m.Kind {
 	case KindHello:
 		m.Epoch = r.uvarint()
-	case KindHeartbeat, KindGoodbye:
+	case KindGoodbye:
+	case KindHeartbeat:
+		if r.u8() == 1 && r.err == nil {
+			d, rest, err := telemetry.DecodeLoadDigest(r.buf)
+			if err != nil {
+				return nil, err
+			}
+			m.Load, r.buf = d, rest
+		}
 	case KindWatermark:
 		m.Watermark = r.varint()
 	case KindEventBatch:

@@ -13,6 +13,7 @@ import (
 	"desis/internal/event"
 	"desis/internal/plan"
 	"desis/internal/query"
+	"desis/internal/telemetry"
 )
 
 // Kind discriminates the message payload.
@@ -58,6 +59,13 @@ const (
 	// KindPlanDump asks the root for its live execution plan; the reply is a
 	// KindPlanState (cmd/desis-ctl plan).
 	KindPlanDump
+	// KindStatsDump asks a node for its telemetry snapshot. Sent root-down:
+	// the root snapshots itself, forwards the request to its children, and
+	// merges the replies, so one request against the root yields
+	// cluster-wide counters (cmd/desis-ctl -stats). A request carries no
+	// snapshot; the reply carries the responder's (merged) snapshot in
+	// Stats.
+	KindStatsDump
 )
 
 // NoEpoch is the plan epoch a fresh child reports in its hello: it is newer
@@ -91,6 +99,11 @@ type Message struct {
 	Deltas []plan.Delta
 	// Plan is the payload of KindPlanState.
 	Plan *plan.Plan
+	// Stats is the payload of a KindStatsDump reply; nil in the request.
+	Stats *telemetry.Snapshot
+	// Load is an optional compact load digest piggybacked on KindHeartbeat,
+	// letting the parent track per-child lag between stats pulls.
+	Load *telemetry.LoadDigest
 }
 
 // Codec serialises messages. Implementations must be inverses:

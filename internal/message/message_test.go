@@ -13,6 +13,7 @@ import (
 	"desis/internal/operator"
 	"desis/internal/plan"
 	"desis/internal/query"
+	"desis/internal/telemetry"
 )
 
 func samplePartial() *core.SlicePartial {
@@ -38,6 +39,10 @@ func sampleMessages() []*Message {
 		{Kind: KindHello, From: 7, Epoch: 42},
 		{Kind: KindHello, From: 8, Epoch: NoEpoch},
 		{Kind: KindHeartbeat, From: 9},
+		{Kind: KindHeartbeat, From: 9, Load: &telemetry.LoadDigest{
+			Epoch: 4, Watermark: 98_000, Events: 120_000, Slices: 98, Windows: 42,
+			Reconnects: 1, ReplayLen: 7,
+		}},
 		{Kind: KindWatermark, From: 1, Watermark: 123456},
 		{Kind: KindEventBatch, From: 4, Events: []event.Event{
 			{Time: 1, Key: 2, Value: 3.5},
@@ -68,11 +73,27 @@ func samplePlan() *plan.Plan {
 	return p
 }
 
+func sampleSnapshot() *telemetry.Snapshot {
+	s := telemetry.NewSnapshot()
+	s.Counters["group.1.events"] = 120_000
+	s.Counters["group.1.windows"] = 42
+	s.Counters["reorder.dropped"] = 3
+	s.Gauges["reorder.pending"] = -2 // negative exercises the varint path
+	h := telemetry.NewRegistry().Histogram("engine.assembly_latency")
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	s.Hists["engine.assembly_latency"] = h.Export()
+	return s
+}
+
 func controlMessages() []*Message {
 	p := samplePlan()
 	addQ := query.MustParse("userdefined max key=7")
 	addQ.ID = 4
 	return []*Message{
+		{Kind: KindStatsDump, From: 2},
+		{Kind: KindStatsDump, From: 0, Stats: sampleSnapshot()},
 		{Kind: KindPlanState, From: 0, Plan: p},
 		{Kind: KindPlanDelta, From: 0, Deltas: []plan.Delta{
 			p.AddDelta(addQ),
@@ -157,6 +178,18 @@ func messagesEqual(a, b *Message) bool {
 		return false
 	}
 	if a.Result != nil && !reflect.DeepEqual(a.Result, b.Result) {
+		return false
+	}
+	if (a.Stats == nil) != (b.Stats == nil) {
+		return false
+	}
+	if a.Stats != nil && !reflect.DeepEqual(a.Stats, b.Stats) {
+		return false
+	}
+	if (a.Load == nil) != (b.Load == nil) {
+		return false
+	}
+	if a.Load != nil && *a.Load != *b.Load {
 		return false
 	}
 	return true

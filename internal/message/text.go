@@ -9,6 +9,7 @@ import (
 	"desis/internal/event"
 	"desis/internal/invariant"
 	"desis/internal/operator"
+	"desis/internal/telemetry"
 )
 
 // Text is a Disco-style textual codec: numbers travel as decimal strings,
@@ -31,7 +32,12 @@ func (Text) Append(buf []byte, m *Message) ([]byte, error) {
 	switch m.Kind {
 	case KindHello:
 		fmt.Fprintf(&sb, "%d", m.Epoch)
-	case KindHeartbeat, KindGoodbye:
+	case KindGoodbye:
+	case KindHeartbeat:
+		if d := m.Load; d != nil {
+			fmt.Fprintf(&sb, "%d,%d,%d,%d,%d,%d,%d",
+				d.Epoch, d.Watermark, d.Events, d.Slices, d.Windows, d.Reconnects, d.ReplayLen)
+		}
 	case KindEventBatch:
 		for _, e := range m.Events {
 			fmt.Fprintf(&sb, "%d,%d,%d,%v;", e.Time, e.Key, e.Marker, e.Value)
@@ -87,7 +93,39 @@ func (Text) Decode(buf []byte) (*Message, error) {
 				return nil, err
 			}
 		}
-	case KindHeartbeat, KindGoodbye:
+	case KindGoodbye:
+	case KindHeartbeat:
+		if rest != "" {
+			f := strings.Split(rest, ",")
+			if len(f) != 7 {
+				return nil, fmt.Errorf("message: malformed text load digest %q", rest)
+			}
+			d := &telemetry.LoadDigest{}
+			if d.Epoch, err = strconv.ParseUint(f[0], 10, 64); err != nil {
+				return nil, err
+			}
+			if d.Watermark, err = strconv.ParseInt(f[1], 10, 64); err != nil {
+				return nil, err
+			}
+			if d.Events, err = strconv.ParseUint(f[2], 10, 64); err != nil {
+				return nil, err
+			}
+			if d.Slices, err = strconv.ParseUint(f[3], 10, 64); err != nil {
+				return nil, err
+			}
+			if d.Windows, err = strconv.ParseUint(f[4], 10, 64); err != nil {
+				return nil, err
+			}
+			if d.Reconnects, err = strconv.ParseUint(f[5], 10, 64); err != nil {
+				return nil, err
+			}
+			rl, err := strconv.ParseUint(f[6], 10, 32)
+			if err != nil {
+				return nil, err
+			}
+			d.ReplayLen = uint32(rl)
+			m.Load = d
+		}
 	case KindWatermark:
 		w, err := strconv.ParseInt(rest, 10, 64)
 		if err != nil {

@@ -10,19 +10,35 @@ import (
 )
 
 // Throughput measures events per second of wall time.
+//
+// Contract: the measurement interval opens at Start, or implicitly at the
+// first Add on a zero-value meter. Start always restarts — it zeroes the
+// event count, discarding anything recorded before it. EventsPerSecond on
+// a meter that has never started (no Start, no Add) reports 0 rather than
+// dividing by the decades since the zero time.Time.
 type Throughput struct {
 	start  time.Time
 	events uint64
 }
 
-// Start begins (or restarts) the measurement.
+// Start begins (or restarts) the measurement, discarding prior counts.
 func (t *Throughput) Start() { t.start = time.Now(); t.events = 0 }
 
-// Add records n processed events.
-func (t *Throughput) Add(n int) { t.events += uint64(n) }
+// Add records n processed events, opening the interval if Start was never
+// called so the events are not attributed to the zero time.
+func (t *Throughput) Add(n int) {
+	if t.start.IsZero() {
+		t.start = time.Now()
+	}
+	t.events += uint64(n)
+}
 
-// EventsPerSecond reports the rate so far.
+// EventsPerSecond reports the rate so far, or 0 before the measurement
+// has started.
 func (t *Throughput) EventsPerSecond() float64 {
+	if t.start.IsZero() {
+		return 0
+	}
 	el := time.Since(t.start).Seconds()
 	if el <= 0 {
 		return 0
@@ -33,36 +49,46 @@ func (t *Throughput) EventsPerSecond() float64 {
 // Events reports the processed-event count.
 func (t *Throughput) Events() uint64 { return t.events }
 
+// NumBuckets is the number of logarithmic buckets in a Histogram.
+// Exported so sibling packages (internal/telemetry) can keep atomic
+// shadow arrays bucket-compatible with Histogram and merge into it.
+const NumBuckets = 512
+
 // Histogram records durations in logarithmic buckets (HDR-style, ~4%
 // resolution) so recording is allocation-free on the hot path.
 type Histogram struct {
-	buckets [512]uint64
+	buckets [NumBuckets]uint64
 	count   uint64
 	sum     time.Duration
 	max     time.Duration
 }
 
-// bucketOf maps a duration to a logarithmic bucket index.
-func bucketOf(d time.Duration) int {
+// BucketIndex maps a duration to its logarithmic bucket index: 16
+// sub-buckets per octave of nanoseconds, clamped to [0, NumBuckets).
+func BucketIndex(d time.Duration) int {
 	if d <= 0 {
 		return 0
 	}
-	// 16 sub-buckets per octave of nanoseconds.
 	l := math.Log2(float64(d))
 	i := int(l * 16)
 	if i < 0 {
 		i = 0
 	}
-	if i >= len((&Histogram{}).buckets) {
-		i = len((&Histogram{}).buckets) - 1
+	if i >= NumBuckets {
+		i = NumBuckets - 1
 	}
 	return i
 }
 
-// valueOf returns the representative duration of a bucket.
-func valueOf(i int) time.Duration {
+// BucketValue returns the representative duration of a bucket.
+func BucketValue(i int) time.Duration {
 	return time.Duration(math.Exp2(float64(i) / 16))
 }
+
+// bucketOf and valueOf are the historical private names, kept so the
+// recording path reads the same as before the index was exported.
+func bucketOf(d time.Duration) int { return BucketIndex(d) }
+func valueOf(i int) time.Duration  { return BucketValue(i) }
 
 // Record adds one sample.
 func (h *Histogram) Record(d time.Duration) {
@@ -88,8 +114,14 @@ func (h *Histogram) Mean() time.Duration {
 // Max reports the largest sample.
 func (h *Histogram) Max() time.Duration { return h.max }
 
-// Quantile reports the q-quantile (0 < q <= 1) with ~4% resolution.
+// Quantile reports the q-quantile with ~4% resolution. q must lie in
+// (0, 1] — q=0 has no defined rank and q>1 (or NaN) is not a quantile;
+// both used to be silently clamped, hiding caller bugs, and now panic.
+// An empty histogram reports 0 for every valid q.
 func (h *Histogram) Quantile(q float64) time.Duration {
+	if !(q > 0 && q <= 1) { // negated to catch NaN too
+		panic(fmt.Sprintf("metrics: Quantile(%v) outside (0, 1]", q))
+	}
 	if h.count == 0 {
 		return 0
 	}
@@ -107,7 +139,8 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return h.max
 }
 
-// String summarises the histogram.
+// String summarises the histogram. An empty histogram reads
+// "n=0 mean=0s p50=0s p99=0s max=0s".
 func (h *Histogram) String() string {
 	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
 		h.count, h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.max)
@@ -124,6 +157,56 @@ func (h *Histogram) Merge(o *Histogram) {
 		h.max = o.max
 	}
 }
+
+// BucketCount is one non-empty bucket in a HistogramData export.
+type BucketCount struct {
+	Index int    `json:"i"`
+	N     uint64 `json:"n"`
+}
+
+// HistogramData is the portable form of a Histogram: only the non-empty
+// buckets, in ascending index order. Telemetry snapshots carry it across
+// the cluster wire and merge it back through Histogram.Merge.
+type HistogramData struct {
+	Count   uint64        `json:"count"`
+	Sum     time.Duration `json:"sum"`
+	Max     time.Duration `json:"max"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// Export copies the histogram into its portable form.
+func (h *Histogram) Export() HistogramData {
+	d := HistogramData{Count: h.count, Sum: h.sum, Max: h.max}
+	for i, c := range h.buckets {
+		if c != 0 {
+			d.Buckets = append(d.Buckets, BucketCount{Index: i, N: c})
+		}
+	}
+	return d
+}
+
+// Import rebuilds a Histogram from its portable form. Buckets with
+// out-of-range indices are dropped rather than corrupting neighbours.
+func Import(d HistogramData) *Histogram {
+	h := &Histogram{count: d.Count, sum: d.Sum, max: d.Max}
+	for _, b := range d.Buckets {
+		if b.Index >= 0 && b.Index < NumBuckets {
+			h.buckets[b.Index] += b.N
+		}
+	}
+	return h
+}
+
+// Merge folds o into d, delegating the bucket arithmetic to
+// Histogram.Merge so the wire path and the in-process path cannot drift.
+func (d HistogramData) Merge(o HistogramData) HistogramData {
+	h := Import(d)
+	h.Merge(Import(o))
+	return h.Export()
+}
+
+// Summary renders the portable form like Histogram.String.
+func (d HistogramData) Summary() string { return Import(d).String() }
 
 // Samples is a simple exact-quantile recorder for low-volume measurements
 // (e.g. per-window latencies in short runs).

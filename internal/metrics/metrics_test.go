@@ -1,6 +1,8 @@
 package metrics
 
 import (
+	"math"
+	"strings"
 	"testing"
 	"time"
 )
@@ -17,6 +19,35 @@ func TestThroughput(t *testing.T) {
 	eps := tp.EventsPerSecond()
 	if eps <= 0 || eps > 1000/0.01 {
 		t.Errorf("events/s = %g out of plausible range", eps)
+	}
+}
+
+// Regression: EventsPerSecond on a never-started meter used to divide by
+// the decades elapsed since time.Time{} and silently report ≈0; Add before
+// Start used to be wiped by Start's reset without the caller noticing.
+func TestThroughputZeroValue(t *testing.T) {
+	var tp Throughput
+	if eps := tp.EventsPerSecond(); eps != 0 {
+		t.Errorf("never-started meter: events/s = %g, want 0", eps)
+	}
+
+	// Add on a zero-value meter opens the interval implicitly.
+	var implicit Throughput
+	implicit.Add(100)
+	time.Sleep(5 * time.Millisecond)
+	if eps := implicit.EventsPerSecond(); eps <= 0 || eps > 100/0.005 {
+		t.Errorf("implicitly-started meter: events/s = %g out of plausible range", eps)
+	}
+	if implicit.Events() != 100 {
+		t.Errorf("events = %d", implicit.Events())
+	}
+
+	// Start after Add still restarts — that is its documented contract —
+	// but the count reflects only post-Start events.
+	implicit.Start()
+	implicit.Add(7)
+	if implicit.Events() != 7 {
+		t.Errorf("after restart: events = %d, want 7", implicit.Events())
 	}
 }
 
@@ -62,6 +93,88 @@ func TestHistogramEmpty(t *testing.T) {
 	var h Histogram
 	if h.Quantile(0.5) != 0 || h.Mean() != 0 {
 		t.Error("empty histogram not zero")
+	}
+	if s := h.String(); s != "n=0 mean=0s p50=0s p99=0s max=0s" {
+		t.Errorf("empty String() = %q", s)
+	}
+}
+
+// Regression: Quantile used to clamp q=0 to rank 1 and let q>1 walk off
+// the buckets returning max, silently accepting caller bugs.
+func TestHistogramQuantileDomain(t *testing.T) {
+	var h Histogram
+	h.Record(time.Millisecond)
+	for _, q := range []float64{0, -0.5, 1.0001, 2, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Quantile(%v) did not panic", q)
+				}
+			}()
+			h.Quantile(q)
+		}()
+	}
+	// The boundary q=1 is valid and reports the top sample's bucket.
+	if got := h.Quantile(1); got == 0 {
+		t.Error("Quantile(1) = 0 on non-empty histogram")
+	}
+}
+
+func TestHistogramExportImport(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	d := h.Export()
+	if d.Count != 100 || d.Max != 100*time.Microsecond || len(d.Buckets) == 0 {
+		t.Fatalf("export: %+v", d)
+	}
+	for i := 1; i < len(d.Buckets); i++ {
+		if d.Buckets[i].Index <= d.Buckets[i-1].Index {
+			t.Fatal("export buckets not in ascending index order")
+		}
+	}
+	back := Import(d)
+	if back.Count() != h.Count() || back.Max() != h.Max() || back.Mean() != h.Mean() {
+		t.Errorf("round trip: got %v, want %v", back, &h)
+	}
+	if back.Quantile(0.5) != h.Quantile(0.5) || back.Quantile(0.99) != h.Quantile(0.99) {
+		t.Error("round trip changed quantiles")
+	}
+
+	// HistogramData.Merge must agree with Histogram.Merge.
+	var other Histogram
+	other.Record(5 * time.Second)
+	merged := d.Merge(other.Export())
+	h.Merge(&other)
+	if merged.Count != h.Count() || merged.Max != h.Max() || merged.Summary() != h.String() {
+		t.Errorf("data merge %q disagrees with histogram merge %q", merged.Summary(), h.String())
+	}
+
+	// Corrupt indices are dropped, not wrapped into valid buckets.
+	hostile := HistogramData{Count: 1, Buckets: []BucketCount{{Index: -1, N: 9}, {Index: NumBuckets, N: 9}}}
+	if got := Import(hostile); got.buckets[0] != 0 || got.buckets[NumBuckets-1] != 0 {
+		t.Error("out-of-range bucket indices were not dropped")
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	if BucketIndex(-time.Second) != 0 || BucketIndex(0) != 0 {
+		t.Error("non-positive durations must land in bucket 0")
+	}
+	if BucketIndex(time.Duration(math.MaxInt64)) != NumBuckets-1 {
+		t.Error("huge duration must clamp to the top bucket")
+	}
+	for _, d := range []time.Duration{time.Nanosecond, time.Microsecond, time.Millisecond, time.Second} {
+		i := BucketIndex(d)
+		v := BucketValue(i)
+		// The representative value must be within one sub-bucket (~4%).
+		if v < d-d/10 || v > d+d/10 {
+			t.Errorf("BucketValue(BucketIndex(%v)) = %v, not within 10%%", d, v)
+		}
+	}
+	if !strings.Contains((&Histogram{}).String(), "n=0") {
+		t.Error("String must render on zero value")
 	}
 }
 

@@ -1,11 +1,13 @@
 package node
 
 import (
+	"fmt"
 	"sort"
 
 	"desis/internal/core"
 	"desis/internal/operator"
 	"desis/internal/query"
+	"desis/internal/telemetry"
 	"desis/internal/window"
 )
 
@@ -17,23 +19,29 @@ import (
 type Assembler struct {
 	states   map[uint32]*rootGroup
 	onResult func(core.Result)
+	// tel registers a group.<id>.windows counter per distributed group, so
+	// root-assembled windows land under the same names the single-node
+	// engine uses and cluster-wide merges line up per group.
+	tel       *telemetry.Registry
+	traceName string
 }
 
 type rootGroup struct {
-	g         *query.Group
-	cal       window.Calendar
-	buffer    []*core.SlicePartial // arrived, waiting for the watermark
-	store     []*core.SlicePartial // processed, sorted by Start
-	dirty     bool
-	sess      map[int32]*sessCand
-	uds       map[int32]*udState
-	started   bool
-	lastPunct int64
-	scratch   operator.Agg
-	runs      [][]float64        // scratch run list for value merging
-	rm        operator.RunMerger // k-way merger for non-decomposable values
-	reg       []int64            // per-member registration time (runtime AddQuery)
-	removed   []bool             // per-member removal flag (indices stay stable)
+	g          *query.Group
+	telWindows *telemetry.Counter
+	cal        window.Calendar
+	buffer     []*core.SlicePartial // arrived, waiting for the watermark
+	store      []*core.SlicePartial // processed, sorted by Start
+	dirty      bool
+	sess       map[int32]*sessCand
+	uds        map[int32]*udState
+	started    bool
+	lastPunct  int64
+	scratch    operator.Agg
+	runs       [][]float64        // scratch run list for value merging
+	rm         operator.RunMerger // k-way merger for non-decomposable values
+	reg        []int64            // per-member registration time (runtime AddQuery)
+	removed    []bool             // per-member removal flag (indices stay stable)
 }
 
 // sessCand is the open global session of one session query, tracked from
@@ -74,8 +82,24 @@ func NewAssembler(groups []*query.Group, onResult func(core.Result)) *Assembler 
 	return a
 }
 
+// AttachTelemetry registers per-group window counters in reg and labels
+// trace events with traceName; groups installed later register on install.
+func (a *Assembler) AttachTelemetry(reg *telemetry.Registry, traceName string) {
+	a.tel = reg
+	a.traceName = traceName
+	if reg == nil {
+		return
+	}
+	for _, rg := range a.states {
+		rg.telWindows = reg.Counter(fmt.Sprintf("group.%d.windows", rg.g.ID))
+	}
+}
+
 func (a *Assembler) installGroup(g *query.Group) {
 	rg := &rootGroup{g: g, sess: make(map[int32]*sessCand), uds: make(map[int32]*udState)}
+	if a.tel != nil {
+		rg.telWindows = a.tel.Counter(fmt.Sprintf("group.%d.windows", g.ID))
+	}
 	for idx := range g.Queries {
 		rg.registerMember(idx, 0)
 	}
@@ -346,6 +370,10 @@ func (a *Assembler) assemble(rg *rootGroup, idx int, ws, we int64) {
 	for i, spec := range m.Funcs {
 		v, ok := rg.scratch.Eval(spec)
 		values[i] = core.FuncValue{Spec: spec, Value: v, OK: ok}
+	}
+	rg.telWindows.Inc()
+	if telemetry.TraceEnabled {
+		telemetry.TraceSlice(telemetry.TraceAssemble, a.traceName, uint64(rg.g.ID), 0, ws, we)
 	}
 	a.onResult(core.Result{
 		QueryID: m.ID,

@@ -1,6 +1,7 @@
 package node
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -43,6 +44,16 @@ func TestTCPRuntimeControl(t *testing.T) {
 		added.ID = 2
 		controlErr <- Control(root.Addr(), nil, &added, 0)
 		<-removed
+		// Removal is immediate (matching the engine's semantics), and the
+		// control plane is not ordered against the data plane: wait for the
+		// root to assemble everything up to the phase boundary, or the
+		// remove races the in-flight phase-2 windows and kills them.
+		for start := time.Now(); root.Watermark() < 1500; time.Sleep(time.Millisecond) {
+			if time.Since(start) > 10*time.Second {
+				controlErr <- fmt.Errorf("root watermark stuck at %d", root.Watermark())
+				return
+			}
+		}
 		controlErr <- Control(root.Addr(), nil, nil, 2)
 	}()
 
@@ -55,18 +66,38 @@ func TestTCPRuntimeControl(t *testing.T) {
 			}
 			return l.AdvanceTo(int64(hi * 10))
 		}
+		// Control acks when the root applied the delta; the broadcast to
+		// this local is asynchronous, and a delta applies at the event time
+		// it lands. Wait for the epoch bump before streaming on, or the
+		// delta races the feed and the phase boundaries go nondeterministic.
+		awaitEpoch := func(above uint64) error {
+			for start := time.Now(); l.Epoch() <= above; time.Sleep(time.Millisecond) {
+				if time.Since(start) > 5*time.Second {
+					return fmt.Errorf("plan delta never reached the local (epoch %d)", l.Epoch())
+				}
+			}
+			return nil
+		}
 		if err := feed(0, 50); err != nil { // t in [0, 500)
 			return err
 		}
+		epoch := l.Epoch()
 		close(phase2)
 		if err := <-controlErr; err != nil {
+			return err
+		}
+		if err := awaitEpoch(epoch); err != nil {
 			return err
 		}
 		if err := feed(50, 150); err != nil { // t in [500, 1500)
 			return err
 		}
+		epoch = l.Epoch()
 		close(removed)
 		if err := <-controlErr; err != nil {
+			return err
+		}
+		if err := awaitEpoch(epoch); err != nil {
 			return err
 		}
 		if err := feed(150, 200); err != nil { // t in [1500, 2000)

@@ -7,6 +7,7 @@ import (
 	"desis/internal/core"
 	"desis/internal/event"
 	"desis/internal/message"
+	"desis/internal/telemetry"
 )
 
 // Intermediate is an intermediate node: a Merger between its children and
@@ -88,6 +89,25 @@ func (n *Intermediate) RemoveChildLocked(id uint32) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.merger.RemoveChild(id)
+}
+
+// AttachTelemetry instruments the merger with reg, labelling trace events
+// with traceName. Call before serving traffic.
+func (n *Intermediate) AttachTelemetry(reg *telemetry.Registry, traceName string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.merger.AttachTelemetry(reg, traceName)
+}
+
+// Digest summarises this node's progress for the heartbeat piggyback: the
+// merged watermark and how many merged partials went upward.
+func (n *Intermediate) Digest() *telemetry.LoadDigest {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return &telemetry.LoadDigest{
+		Watermark: n.merger.Watermark(),
+		Slices:    uint64(n.merger.PartialsSent()),
+	}
 }
 
 // Close announces a clean departure and closes the parent connection.

@@ -8,12 +8,14 @@ package node
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"desis/internal/core"
 	"desis/internal/event"
 	"desis/internal/message"
 	"desis/internal/plan"
 	"desis/internal/query"
+	"desis/internal/telemetry"
 )
 
 // Local is a local node: it ingests a data stream, runs the aggregation
@@ -33,8 +35,11 @@ type Local struct {
 	forward map[uint32]bool // keys needed by RootOnly groups
 	buf     []event.Event
 	batchSz int
-	wm      int64
-	err     error
+	// wm is atomic so Digest (called from the uplink's heartbeat
+	// goroutine) can read the watermark while the feed goroutine advances
+	// it; everything else about Local stays single-threaded.
+	wm  atomic.Int64
+	err error
 }
 
 // NewLocal builds a local node for the analyzed groups, sending to parent.
@@ -122,8 +127,8 @@ func (l *Local) Process(evs []event.Event) error {
 			}
 		}
 		l.engine.Process(ev)
-		if ev.Time > l.wm {
-			l.wm = ev.Time
+		if ev.Time > l.wm.Load() {
+			l.wm.Store(ev.Time)
 		}
 	}
 	return l.err
@@ -141,15 +146,16 @@ func (l *Local) flushForward() {
 // forwarded events flush, and a watermark is emitted. Call it at least once
 // per ingestion quantum; the stream's own timestamps advance it implicitly.
 func (l *Local) AdvanceTo(t int64) error {
-	if t > l.wm {
-		l.wm = t
+	if t > l.wm.Load() {
+		l.wm.Store(t)
 	}
-	l.engine.AdvanceTo(l.wm)
+	wm := l.wm.Load()
+	l.engine.AdvanceTo(wm)
 	l.flushForward()
 	if l.err != nil {
 		return l.err
 	}
-	l.err = l.conn.Send(&message.Message{Kind: message.KindWatermark, From: l.id, Watermark: l.wm})
+	l.err = l.conn.Send(&message.Message{Kind: message.KindWatermark, From: l.id, Watermark: wm})
 	return l.err
 }
 
@@ -167,6 +173,24 @@ func (l *Local) RemoveQuery(id uint64) error {
 
 // Stats exposes the underlying engine's counters.
 func (l *Local) Stats() core.Stats { return l.engine.Stats() }
+
+// AttachTelemetry instruments the local's engine with reg. Call before
+// serving traffic.
+func (l *Local) AttachTelemetry(reg *telemetry.Registry) { l.engine.AttachTelemetry(reg) }
+
+// Digest summarises this node's progress for the heartbeat piggyback. Safe
+// to call from a goroutine other than the feeder: the engine counters and
+// the watermark are atomic (the plan epoch is filled in by the caller from
+// its own lock-free mirror).
+func (l *Local) Digest() *telemetry.LoadDigest {
+	s := l.engine.Stats()
+	return &telemetry.LoadDigest{
+		Watermark: l.wm.Load(),
+		Events:    s.Events,
+		Slices:    s.Slices,
+		Windows:   s.Windows,
+	}
+}
 
 // Close flushes and closes the parent connection.
 func (l *Local) Close() error {

@@ -2,11 +2,13 @@ package node
 
 import (
 	"sort"
+	"time"
 
 	"desis/internal/core"
 	"desis/internal/event"
 	"desis/internal/invariant"
 	"desis/internal/operator"
+	"desis/internal/telemetry"
 )
 
 // Merger is the protocol logic of an intermediate node (§5.1.1): it merges
@@ -36,6 +38,14 @@ type Merger struct {
 	// completed slice are dropped instead of re-merged. Entries are
 	// garbage-collected as the watermark advances.
 	emitted map[mergeKey]bool
+
+	// Telemetry (nil-safe no-ops when unattached): merge latency is the
+	// time from a slice extent's first contribution to its emission, and
+	// the dup counter makes replayed-frame drops visible — a reconnect
+	// storm shows up here, not as silently diverging counts.
+	telMergeLat *telemetry.Histogram
+	telDups     *telemetry.Counter
+	traceName   string
 }
 
 type childState struct {
@@ -52,6 +62,9 @@ type mergeEntry struct {
 	// from records which children contributed, so a duplicate delivery (a
 	// reconnecting child replaying recent frames, §3.2) merges exactly once.
 	from map[uint32]bool
+	// t0 is when the first contribution arrived; zero when latency
+	// telemetry is unattached (no time.Now on the unobserved path).
+	t0 time.Time
 }
 
 // NewMerger builds a merger expecting the given child node ids.
@@ -65,6 +78,16 @@ func NewMerger(children []uint32) *Merger {
 		m.children[id] = &childState{watermark: -1}
 	}
 	return m
+}
+
+// AttachTelemetry registers the merger's instruments (merge.latency,
+// merge.dup_dropped) in reg and labels trace events with traceName.
+func (m *Merger) AttachTelemetry(reg *telemetry.Registry, traceName string) {
+	if reg != nil {
+		m.telMergeLat = reg.Histogram("merge.latency")
+		m.telDups = reg.Counter("merge.dup_dropped")
+	}
+	m.traceName = traceName
 }
 
 // AddChild registers a child joining at runtime (§3.2).
@@ -109,6 +132,7 @@ func (m *Merger) HandlePartial(from uint32, p *core.SlicePartial) {
 	// double-merging. On an ordered, fault-free link neither case occurs: a
 	// child's partial always precedes the child watermark that covers it.
 	if p.End <= m.watermark || m.emitted[k] {
+		m.telDups.Inc()
 		return
 	}
 	if p.End > m.maxEnd {
@@ -117,9 +141,13 @@ func (m *Merger) HandlePartial(from uint32, p *core.SlicePartial) {
 	e, ok := m.pending[k]
 	if !ok {
 		e = &mergeEntry{p: p, from: map[uint32]bool{from: true}}
+		if m.telMergeLat != nil {
+			e.t0 = time.Now()
+		}
 		m.pending[k] = e
 	} else {
 		if e.from[from] {
+			m.telDups.Inc()
 			return // duplicate contribution from a replayed frame
 		}
 		e.from[from] = true
@@ -128,7 +156,7 @@ func (m *Merger) HandlePartial(from uint32, p *core.SlicePartial) {
 	if len(e.from) >= len(m.children) {
 		delete(m.pending, k)
 		m.emitted[k] = true
-		m.emit(e.p)
+		m.emitEntry(e)
 	}
 }
 
@@ -201,8 +229,18 @@ func (m *Merger) flushUpTo(w int64) {
 		return flush[i].p.Start < flush[j].p.Start
 	})
 	for _, e := range flush {
-		m.emit(e.p)
+		m.emitEntry(e)
 	}
+}
+
+func (m *Merger) emitEntry(e *mergeEntry) {
+	if !e.t0.IsZero() {
+		m.telMergeLat.Record(time.Since(e.t0))
+	}
+	if telemetry.TraceEnabled {
+		telemetry.TraceSlice(telemetry.TraceMerge, m.traceName, uint64(e.p.Group), e.p.ID, e.p.Start, e.p.End)
+	}
+	m.emit(e.p)
 }
 
 func (m *Merger) emit(p *core.SlicePartial) {
@@ -214,6 +252,9 @@ func (m *Merger) emit(p *core.SlicePartial) {
 
 // PartialsSent reports how many merged partials were forwarded.
 func (m *Merger) PartialsSent() int64 { return m.sent }
+
+// Watermark reports the merged (minimum-child) watermark.
+func (m *Merger) Watermark() int64 { return m.watermark }
 
 // mergePartial folds src into dst: aggregates merge pairwise per selection
 // context, EPs concatenate, and LastEvent takes the maximum.

@@ -9,6 +9,7 @@ import (
 	"desis/internal/message"
 	"desis/internal/plan"
 	"desis/internal/query"
+	"desis/internal/telemetry"
 )
 
 // Root is the root node of a Desis topology: it merges the partial-result
@@ -56,6 +57,15 @@ func NewRoot(groups []*query.Group, children []uint32, onResult func(core.Result
 	}
 	r.merger.OutWatermark = r.advance
 	return r
+}
+
+// AttachTelemetry instruments every stage of the root — the RootOnly
+// engine, the merger, and the assembler — with reg, labelling trace events
+// with traceName. Call before serving traffic.
+func (r *Root) AttachTelemetry(reg *telemetry.Registry, traceName string) {
+	r.eng.AttachTelemetry(reg)
+	r.merger.AttachTelemetry(reg, traceName)
+	r.asm.AttachTelemetry(reg, traceName)
 }
 
 // History exposes the root's authoritative plan history (for handshake epoch

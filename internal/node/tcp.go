@@ -16,6 +16,7 @@ import (
 	"desis/internal/message"
 	"desis/internal/plan"
 	"desis/internal/query"
+	"desis/internal/telemetry"
 )
 
 // TCP deployment: the same Local/Intermediate/Root node types served over
@@ -82,6 +83,16 @@ type RootServer struct {
 	goodbye map[uint32]bool
 	unclean map[uint32]bool
 	timeout time.Duration
+	// tel is this node's instrument registry; loads holds the most recent
+	// heartbeat load digest per child (for the per-child lag gauges);
+	// statsC, when non-nil, routes KindStatsDump replies arriving on child
+	// connections to the in-flight collection. statsMu serialises
+	// collections so two concurrent desis-ctl -stats calls cannot steal
+	// each other's replies.
+	tel     *telemetry.Registry
+	loads   map[uint32]*telemetry.LoadDigest
+	statsC  chan *telemetry.Snapshot
+	statsMu sync.Mutex
 	done    chan struct{}
 	// doneTimer defers the done signal while an unclean departure might
 	// still turn into a reconnect (one timer per server, not per message).
@@ -111,14 +122,21 @@ func ServeRoot(addr string, queries []query.Query, nChildren int, timeout time.D
 		evicted:  make(map[uint32]bool),
 		goodbye:  make(map[uint32]bool),
 		unclean:  make(map[uint32]bool),
+		tel:      telemetry.NewRegistry(),
+		loads:    make(map[uint32]*telemetry.LoadDigest),
 		expected: nChildren,
 		timeout:  timeout,
 		done:     make(chan struct{}),
 	}
 	s.root = NewRoot(groups, nil, onResult)
+	s.root.AttachTelemetry(s.tel, "root")
 	go s.acceptLoop()
 	return s, nil
 }
+
+// Telemetry exposes the root's instrument registry, e.g. to mount a debug
+// HTTP endpoint next to the listener.
+func (s *RootServer) Telemetry() *telemetry.Registry { return s.tel }
 
 // Addr returns the bound address.
 func (s *RootServer) Addr() string { return s.l.Addr() }
@@ -169,7 +187,7 @@ func (s *RootServer) serveConn(conn *message.TCPConn) {
 	switch first.Kind {
 	case message.KindHello:
 		s.serveChild(conn, first)
-	case message.KindAddQuery, message.KindRemoveQuery, message.KindPlanDump:
+	case message.KindAddQuery, message.KindRemoveQuery, message.KindPlanDump, message.KindStatsDump:
 		s.serveControl(conn, first)
 		conn.Close()
 	default:
@@ -213,6 +231,20 @@ func (s *RootServer) serveChild(conn *message.TCPConn, hello *message.Message) {
 				}
 				break
 			}
+			if m.Kind == message.KindStatsDump {
+				// A child's stats reply belongs to the in-flight collection,
+				// not the merge pipeline.
+				s.mu.Lock()
+				ch := s.statsC
+				s.mu.Unlock()
+				if ch != nil && m.Stats != nil {
+					select {
+					case ch <- m.Stats:
+					default:
+					}
+				}
+				continue
+			}
 			s.mu.Lock()
 			if m.Kind == message.KindGoodbye {
 				if s.children[childID] == conn {
@@ -220,6 +252,9 @@ func (s *RootServer) serveChild(conn *message.TCPConn, hello *message.Message) {
 				}
 				s.mu.Unlock()
 				continue
+			}
+			if m.Kind == message.KindHeartbeat && m.Load != nil {
+				s.loads[childID] = m.Load
 			}
 			if herr := s.root.Handle(m); herr != nil && s.err == nil {
 				s.err = herr // keep the first real error; don't clobber it
@@ -324,11 +359,69 @@ func (s *RootServer) serveControl(conn *message.TCPConn, m *message.Message) {
 		_ = conn.Send(&message.Message{Kind: message.KindPlanState, Plan: s.root.History().Plan()})
 		s.mu.Unlock()
 		return
+	case message.KindStatsDump:
+		_ = conn.Send(&message.Message{Kind: message.KindStatsDump, Stats: s.collectStats()})
+		return
 	}
 	if err != nil {
 		return // closing without ack signals failure to the client
 	}
 	_ = conn.Send(&message.Message{Kind: message.KindHello})
+}
+
+// statsWait bounds how long a stats collection waits for child replies, so
+// a dead or wedged child cannot stall desis-ctl -stats. Intermediates use
+// a shorter bound than the root so their (partial) reply still arrives
+// inside the root's window.
+const statsWait = 2 * time.Second
+
+// collectStats assembles the cluster-wide snapshot: per-child lag gauges
+// from the latest heartbeat digests, this node's own instruments, and the
+// merged snapshots of every child that answers in time (children forward
+// the request down their own subtree, so the recursion covers the tree).
+func (s *RootServer) collectStats() *telemetry.Snapshot {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+
+	s.mu.Lock()
+	epoch := s.root.Epoch()
+	wm := s.root.Watermark()
+	for id, d := range s.loads {
+		s.tel.Gauge(fmt.Sprintf("node.%d.epoch_lag", id)).Set(int64(epoch) - int64(d.Epoch))
+		s.tel.Gauge(fmt.Sprintf("node.%d.watermark_lag", id)).Set(wm - d.Watermark)
+		s.tel.Gauge(fmt.Sprintf("node.%d.replay_occupancy", id)).Set(int64(d.ReplayLen))
+	}
+	n := len(s.children)
+	ch := make(chan *telemetry.Snapshot, n+1)
+	s.statsC = ch
+	_ = s.broadcastLocked(&message.Message{Kind: message.KindStatsDump})
+	s.mu.Unlock()
+
+	snap := s.tel.Snapshot()
+	mergeChildStats(snap, ch, n, statsWait)
+
+	s.mu.Lock()
+	s.statsC = nil
+	s.mu.Unlock()
+	return snap
+}
+
+// mergeChildStats folds up to n child snapshots from ch into snap, giving
+// up after wait so dead children cannot stall the collection.
+func mergeChildStats(snap *telemetry.Snapshot, ch <-chan *telemetry.Snapshot, n int, wait time.Duration) {
+	if n == 0 {
+		return
+	}
+	deadline := time.NewTimer(wait)
+	defer deadline.Stop()
+	for got := 0; got < n; got++ {
+		select {
+		case child := <-ch:
+			snap.Merge(child)
+		case <-deadline.C:
+			return
+		}
+	}
 }
 
 // broadcastLocked sends m to every child, visiting all of them even when
@@ -401,10 +494,17 @@ func (s *RootServer) Close() error { return s.l.Close() }
 // downward.
 type IntermediateServer struct {
 	l        *message.Listener
+	id       uint32
 	inter    *Intermediate
 	parent   *uplink
 	qmu      sync.Mutex
 	children map[uint32]*message.TCPConn
+	// tel/statsC/statsMu mirror the root's stats collection: a
+	// KindStatsDump arriving from the parent is answered with this node's
+	// snapshot merged with its children's (gathered via statsC).
+	tel     *telemetry.Registry
+	statsC  chan *telemetry.Snapshot
+	statsMu sync.Mutex
 	// hist caches the plan received from above so this node can answer its
 	// own children's handshakes by epoch diff without a round trip to the
 	// root. Guarded by qmu.
@@ -439,24 +539,39 @@ func ServeIntermediateOptions(addr, parentAddr string, id uint32, nChildren int,
 		up.Close()
 		return nil, err
 	}
+	tel := opts.Telemetry
+	if tel == nil {
+		tel = telemetry.NewRegistry()
+	}
 	s := &IntermediateServer{
 		l:        l,
+		id:       id,
 		parent:   up,
 		children: make(map[uint32]*message.TCPConn),
 		seenIDs:  make(map[uint32]bool),
 		evicted:  make(map[uint32]bool),
 		goodbye:  make(map[uint32]bool),
 		unclean:  make(map[uint32]bool),
+		tel:      tel,
 		hist:     plan.NewHistory(p),
 		expected: nChildren,
 		timeout:  timeout,
 		done:     make(chan struct{}),
 	}
 	s.inter = NewIntermediate(id, nil, up)
+	s.inter.AttachTelemetry(tel, fmt.Sprintf("inter.%d", id))
+	up.AttachTelemetry(tel)
 	up.SetEpochFn(func() uint64 {
 		s.qmu.Lock()
 		defer s.qmu.Unlock()
 		return s.hist.Epoch()
+	})
+	up.SetDigestFn(func() *telemetry.LoadDigest {
+		d := s.inter.Digest()
+		s.qmu.Lock()
+		d.Epoch = s.hist.Epoch()
+		s.qmu.Unlock()
+		return d
 	})
 	up.startHeartbeats()
 	go s.acceptLoop()
@@ -466,6 +581,9 @@ func ServeIntermediateOptions(addr, parentAddr string, id uint32, nChildren int,
 
 // Addr returns the bound address.
 func (s *IntermediateServer) Addr() string { return s.l.Addr() }
+
+// Telemetry exposes the intermediate's instrument registry.
+func (s *IntermediateServer) Telemetry() *telemetry.Registry { return s.tel }
 
 // Evicted returns the ids of children currently evicted by the liveness
 // timeout.
@@ -526,8 +644,39 @@ func (s *IntermediateServer) downstreamLoop() {
 				_ = c.Send(m)
 			}
 			s.qmu.Unlock()
+		case message.KindStatsDump:
+			// Answer off the relay goroutine: the collection waits on child
+			// replies, and plan traffic must keep flowing meanwhile.
+			go s.answerStats()
 		}
 	}
+}
+
+// answerStats collects this subtree's snapshot and sends it upward. The
+// uplink's Send is safe for concurrent use, so this runs beside the merge
+// pipeline without extra locking.
+func (s *IntermediateServer) answerStats() {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+
+	s.qmu.Lock()
+	n := len(s.children)
+	ch := make(chan *telemetry.Snapshot, n+1)
+	s.statsC = ch
+	for _, c := range s.children {
+		_ = c.Send(&message.Message{Kind: message.KindStatsDump})
+	}
+	s.qmu.Unlock()
+
+	snap := s.tel.Snapshot()
+	// Half the root's budget, so this node's (possibly partial) reply still
+	// lands inside the root's collection window when a child is dead.
+	mergeChildStats(snap, ch, n, statsWait/2)
+
+	s.qmu.Lock()
+	s.statsC = nil
+	s.qmu.Unlock()
+	_ = s.parent.Send(&message.Message{Kind: message.KindStatsDump, From: s.id, Stats: snap})
 }
 
 func (s *IntermediateServer) serveChild(conn *message.TCPConn) {
@@ -569,6 +718,18 @@ func (s *IntermediateServer) serveChild(conn *message.TCPConn) {
 					s.goodbye[childID] = true
 				}
 				s.qmu.Unlock()
+				continue
+			}
+			if m.Kind == message.KindStatsDump {
+				s.qmu.Lock()
+				ch := s.statsC
+				s.qmu.Unlock()
+				if ch != nil && m.Stats != nil {
+					select {
+					case ch <- m.Stats:
+					default:
+					}
+				}
 				continue
 			}
 			_ = s.inter.HandleLocked(m)
@@ -734,9 +895,20 @@ func RunLocalTCPOptions(parentAddr string, id uint32, batchSize int, opts DialOp
 	if err != nil {
 		return err
 	}
+	tel := opts.Telemetry
+	if tel == nil {
+		tel = telemetry.NewRegistry()
+	}
 	session := &LocalSession{l: NewLocalFromPlan(id, p, up, batchSize)}
 	session.epoch.Store(session.l.Epoch())
+	session.l.AttachTelemetry(tel)
+	up.AttachTelemetry(tel)
 	up.SetEpochFn(session.Epoch)
+	up.SetDigestFn(func() *telemetry.LoadDigest {
+		d := session.l.Digest()
+		d.Epoch = session.Epoch()
+		return d
+	})
 	up.startHeartbeats()
 	go func() {
 		for {
@@ -749,6 +921,11 @@ func RunLocalTCPOptions(parentAddr string, id uint32, batchSize int, opts DialOp
 				session.applyPlanState(m.Plan)
 			case message.KindPlanDelta:
 				session.applyDeltas(m.Deltas)
+			case message.KindStatsDump:
+				// Snapshot is lock-free and the uplink's Send is safe for
+				// concurrent use, so answering from the relay goroutine
+				// never stalls the feed.
+				_ = up.Send(&message.Message{Kind: message.KindStatsDump, From: id, Stats: tel.Snapshot()})
 			}
 		}
 	}()
@@ -815,4 +992,29 @@ func FetchPlan(rootAddr string, codec message.Codec) (*plan.Plan, error) {
 		return nil, fmt.Errorf("node: unexpected plan dump reply kind %d", reply.Kind)
 	}
 	return reply.Plan, nil
+}
+
+// FetchStats connects to a root as a control client and retrieves the
+// cluster-wide telemetry snapshot: the root's own instruments merged with
+// every reachable node's (cmd/desis-ctl -stats).
+func FetchStats(rootAddr string, codec message.Codec) (*telemetry.Snapshot, error) {
+	if codec == nil {
+		codec = message.Binary{}
+	}
+	conn, err := message.Dial(rootAddr, codec)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if err := conn.Send(&message.Message{Kind: message.KindStatsDump}); err != nil {
+		return nil, err
+	}
+	reply, err := conn.Recv()
+	if err != nil {
+		return nil, fmt.Errorf("node: stats dump rejected: %w", err)
+	}
+	if reply.Kind != message.KindStatsDump || reply.Stats == nil {
+		return nil, fmt.Errorf("node: unexpected stats dump reply kind %d", reply.Kind)
+	}
+	return reply.Stats, nil
 }

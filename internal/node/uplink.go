@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"desis/internal/message"
 	"desis/internal/plan"
+	"desis/internal/telemetry"
 )
 
 // ErrUplinkDown is returned (wrapped) once a supervised uplink exhausted its
@@ -66,6 +68,11 @@ type DialOptions struct {
 	ReplayDepth int
 	// HandshakeTimeout bounds the hello/query-set exchange (default 5s).
 	HandshakeTimeout time.Duration
+	// Telemetry, when non-nil, is the registry this node registers its
+	// instruments in (engine counters, uplink reconnects, merge latency).
+	// Nil means the node creates a private registry — stats dumps always
+	// answer; supply one to also serve it locally (e.g. -debug-addr).
+	Telemetry *telemetry.Registry
 }
 
 func (o DialOptions) withDefaults() DialOptions {
@@ -135,6 +142,19 @@ type uplink struct {
 
 	closeCh chan struct{}
 	hbDone  chan struct{}
+
+	// reconnects counts successful re-dials (atomic: heartbeat and digest
+	// readers race the reconnecting goroutine); telReconnects/telReplay
+	// mirror reconnects and replay-ring occupancy into a registry when
+	// attached (nil-safe no-ops otherwise).
+	reconnects    atomic.Uint64
+	telReconnects *telemetry.Counter
+	telReplay     *telemetry.Gauge
+	// digestFn, when set, builds the load digest piggybacked on idle
+	// heartbeats. It runs on the heartbeat goroutine with no uplink locks
+	// held; the uplink fills in the transport fields (reconnects, replay
+	// occupancy) itself.
+	digestFn func() *telemetry.LoadDigest
 }
 
 // dialUplink establishes the initial connection and handshake, returning
@@ -170,6 +190,30 @@ func (u *uplink) SetEpochFn(fn func() uint64) {
 	u.epochFn = fn
 	u.mu.Unlock()
 }
+
+// AttachTelemetry mirrors the uplink's reconnect count and replay-ring
+// occupancy into reg (uplink.reconnects, uplink.replay_occupancy).
+func (u *uplink) AttachTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	u.mu.Lock()
+	u.telReconnects = reg.Counter("uplink.reconnects")
+	u.telReplay = reg.Gauge("uplink.replay_occupancy")
+	u.mu.Unlock()
+}
+
+// SetDigestFn installs the callback building the node-level part of the
+// heartbeat load digest. The callback must be safe to run concurrently
+// with the node's feed goroutine.
+func (u *uplink) SetDigestFn(fn func() *telemetry.LoadDigest) {
+	u.mu.Lock()
+	u.digestFn = fn
+	u.mu.Unlock()
+}
+
+// Reconnects reports how many times the uplink successfully re-dialed.
+func (u *uplink) Reconnects() uint64 { return u.reconnects.Load() }
 
 // startHeartbeats launches the idle-uplink heartbeat loop (when enabled).
 func (u *uplink) startHeartbeats() {
@@ -278,7 +322,10 @@ func (u *uplink) fail(gen uint64, cause error) (*message.TCPConn, uint64, error)
 	g := u.gen
 	u.pending = append(u.pending, resync)
 	u.cond.Broadcast()
+	tel := u.telReconnects
 	u.mu.Unlock()
+	u.reconnects.Add(1)
+	tel.Inc()
 	return conn, g, nil
 }
 
@@ -355,7 +402,9 @@ func (u *uplink) record(m *message.Message) {
 	} else {
 		u.replay = append(u.replay, &c)
 	}
+	tel, n := u.telReplay, len(u.replay)
 	u.mu.Unlock()
+	tel.Set(int64(n))
 }
 
 // accountRetired folds a retired connection's byte count into the running
@@ -470,11 +519,31 @@ func (u *uplink) heartbeatLoop() {
 			last = cur
 			continue // the uplink carried traffic this period; stay quiet
 		}
-		if err := u.Send(&message.Message{Kind: message.KindHeartbeat, From: u.id}); err != nil {
+		if err := u.Send(&message.Message{Kind: message.KindHeartbeat, From: u.id, Load: u.digest()}); err != nil {
 			return // terminal: uplink down or closed
 		}
 		last = u.BytesSent()
 	}
+}
+
+// digest builds the heartbeat load digest: the node-level callback's view
+// completed with the uplink's own transport counters. Nil when no digest
+// callback is installed — the heartbeat then travels bare.
+func (u *uplink) digest() *telemetry.LoadDigest {
+	u.mu.Lock()
+	fn := u.digestFn
+	replayLen := len(u.replay)
+	u.mu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	d := fn()
+	if d == nil {
+		return nil
+	}
+	d.Reconnects = u.reconnects.Load()
+	d.ReplayLen = uint32(replayLen)
+	return d
 }
 
 var _ message.Conn = (*uplink)(nil)

@@ -1,0 +1,73 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+)
+
+// statsPage is the JSON document served at /debug/stats: the raw
+// snapshot (expvar-style, machine-readable) plus human-readable
+// histogram summaries so `curl | jq` answers "what's the p99" directly.
+type statsPage struct {
+	*Snapshot
+	Summaries map[string]string `json:"histogram_summaries,omitempty"`
+}
+
+// Handler serves the registry as an expvar-style JSON snapshot. Each
+// request takes a fresh snapshot, so polling it observes progress.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		s := r.Snapshot()
+		page := statsPage{Snapshot: s}
+		if len(s.Hists) > 0 {
+			page.Summaries = make(map[string]string, len(s.Hists))
+			for name, h := range s.Hists {
+				page.Summaries[name] = h.Summary()
+			}
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(page)
+	})
+}
+
+// textHandler serves the registry in the Format text form, for humans
+// without jq.
+func textHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		r.Snapshot().Format(w)
+	})
+}
+
+// DebugMux builds the -debug-addr mux: /debug/stats (JSON),
+// /debug/stats.txt (text), and the standard net/http/pprof handlers
+// under /debug/pprof/. The pprof handlers are mounted explicitly rather
+// than via the package's DefaultServeMux side effect, so importing this
+// package never pollutes a caller's default mux.
+func DebugMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/stats", Handler(r))
+	mux.Handle("/debug/stats.txt", textHandler(r))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		paths := []string{"/debug/stats", "/debug/stats.txt", "/debug/pprof/"}
+		sort.Strings(paths)
+		for _, p := range paths {
+			w.Write([]byte(p + "\n"))
+		}
+	})
+	return mux
+}

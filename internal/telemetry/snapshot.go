@@ -1,0 +1,269 @@
+package telemetry
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"desis/internal/metrics"
+)
+
+// Snapshot is a point-in-time copy of a registry (or a merge of many —
+// the cluster stats pull folds every node's snapshot into one). Counters
+// and histograms merge additively; gauges merge by sum, which is correct
+// because every gauge name is node-qualified (node.<id>.…) or describes
+// an additive quantity (replay-ring occupancy).
+type Snapshot struct {
+	Counters map[string]uint64                `json:"counters,omitempty"`
+	Gauges   map[string]int64                 `json:"gauges,omitempty"`
+	Hists    map[string]metrics.HistogramData `json:"histograms,omitempty"`
+}
+
+// NewSnapshot returns an empty snapshot with all maps allocated.
+func NewSnapshot() *Snapshot {
+	return &Snapshot{
+		Counters: map[string]uint64{},
+		Gauges:   map[string]int64{},
+		Hists:    map[string]metrics.HistogramData{},
+	}
+}
+
+// Merge folds o into s. Histogram merging reuses metrics.Histogram.Merge
+// via the portable form, so wire-merged quantiles equal in-process ones.
+func (s *Snapshot) Merge(o *Snapshot) {
+	if o == nil {
+		return
+	}
+	for k, v := range o.Counters {
+		s.Counters[k] += v
+	}
+	for k, v := range o.Gauges {
+		s.Gauges[k] += v
+	}
+	for k, v := range o.Hists {
+		if have, ok := s.Hists[k]; ok {
+			s.Hists[k] = have.Merge(v)
+		} else {
+			s.Hists[k] = v
+		}
+	}
+}
+
+// Counter reads a counter by name; absent names read 0.
+func (s *Snapshot) Counter(name string) uint64 { return s.Counters[name] }
+
+// Format writes the snapshot sorted and aligned, for desis-ctl -stats.
+func (s *Snapshot) Format(w io.Writer) {
+	keys := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%-40s %d\n", k, s.Counters[k])
+	}
+	keys = keys[:0]
+	for k := range s.Gauges {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%-40s %d\n", k, s.Gauges[k])
+	}
+	keys = keys[:0]
+	for k := range s.Hists {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%-40s %s\n", k, s.Hists[k].Summary())
+	}
+}
+
+// LoadDigest is the compact per-node load summary piggybacked on idle
+// heartbeats, letting a parent report child lag without a stats pull.
+type LoadDigest struct {
+	Epoch      uint64 // plan epoch the node has applied
+	Watermark  int64  // highest event time fully processed
+	Events     uint64 // events ingested since start
+	Slices     uint64 // slices closed since start
+	Windows    uint64 // windows emitted since start
+	Reconnects uint64 // uplink reconnects performed
+	ReplayLen  uint32 // frames currently held in the replay ring
+}
+
+// Wire encoding. Snapshots and digests ride inside message frames; the
+// format is varint-based (names length-prefixed, maps sorted by name so
+// encoding is deterministic) and decodes defensively: a truncated or
+// corrupt buffer yields an error, never a panic or an over-allocation.
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+type wireReader struct {
+	buf []byte
+	err error
+}
+
+func (r *wireReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		r.err = fmt.Errorf("telemetry: short or corrupt uvarint")
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
+func (r *wireReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf)
+	if n <= 0 {
+		r.err = fmt.Errorf("telemetry: short or corrupt varint")
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
+func (r *wireReader) string() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.buf)) {
+		r.err = fmt.Errorf("telemetry: string length %d exceeds remaining %d bytes", n, len(r.buf))
+		return ""
+	}
+	s := string(r.buf[:n])
+	r.buf = r.buf[n:]
+	return s
+}
+
+// AppendSnapshot appends the wire form of s to buf.
+func AppendSnapshot(buf []byte, s *Snapshot) []byte {
+	if s == nil {
+		s = NewSnapshot()
+	}
+	names := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	buf = binary.AppendUvarint(buf, uint64(len(names)))
+	for _, k := range names {
+		buf = appendString(buf, k)
+		buf = binary.AppendUvarint(buf, s.Counters[k])
+	}
+	names = names[:0]
+	for k := range s.Gauges {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	buf = binary.AppendUvarint(buf, uint64(len(names)))
+	for _, k := range names {
+		buf = appendString(buf, k)
+		buf = binary.AppendVarint(buf, s.Gauges[k])
+	}
+	names = names[:0]
+	for k := range s.Hists {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	buf = binary.AppendUvarint(buf, uint64(len(names)))
+	for _, k := range names {
+		h := s.Hists[k]
+		buf = appendString(buf, k)
+		buf = binary.AppendUvarint(buf, h.Count)
+		buf = binary.AppendVarint(buf, int64(h.Sum))
+		buf = binary.AppendVarint(buf, int64(h.Max))
+		buf = binary.AppendUvarint(buf, uint64(len(h.Buckets)))
+		for _, b := range h.Buckets {
+			buf = binary.AppendUvarint(buf, uint64(b.Index))
+			buf = binary.AppendUvarint(buf, b.N)
+		}
+	}
+	return buf
+}
+
+// DecodeSnapshot decodes a snapshot from the front of buf, returning the
+// remaining bytes.
+func DecodeSnapshot(buf []byte) (*Snapshot, []byte, error) {
+	r := &wireReader{buf: buf}
+	s := NewSnapshot()
+	n := r.uvarint()
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		k := r.string()
+		s.Counters[k] = r.uvarint()
+	}
+	n = r.uvarint()
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		k := r.string()
+		s.Gauges[k] = r.varint()
+	}
+	n = r.uvarint()
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		k := r.string()
+		var h metrics.HistogramData
+		h.Count = r.uvarint()
+		h.Sum = time.Duration(r.varint())
+		h.Max = time.Duration(r.varint())
+		nb := r.uvarint()
+		// Bound the bucket count before allocating: a histogram cannot
+		// have more distinct buckets than the geometry allows.
+		if r.err == nil && nb > metrics.NumBuckets {
+			r.err = fmt.Errorf("telemetry: %d histogram buckets exceeds %d", nb, metrics.NumBuckets)
+		}
+		for j := uint64(0); j < nb && r.err == nil; j++ {
+			idx := r.uvarint()
+			cnt := r.uvarint()
+			h.Buckets = append(h.Buckets, metrics.BucketCount{Index: int(idx), N: cnt})
+		}
+		if r.err == nil {
+			s.Hists[k] = h
+		}
+	}
+	if r.err != nil {
+		return nil, nil, r.err
+	}
+	return s, r.buf, nil
+}
+
+// AppendLoadDigest appends the wire form of d to buf.
+func AppendLoadDigest(buf []byte, d *LoadDigest) []byte {
+	buf = binary.AppendUvarint(buf, d.Epoch)
+	buf = binary.AppendVarint(buf, d.Watermark)
+	buf = binary.AppendUvarint(buf, d.Events)
+	buf = binary.AppendUvarint(buf, d.Slices)
+	buf = binary.AppendUvarint(buf, d.Windows)
+	buf = binary.AppendUvarint(buf, d.Reconnects)
+	buf = binary.AppendUvarint(buf, uint64(d.ReplayLen))
+	return buf
+}
+
+// DecodeLoadDigest decodes a digest from the front of buf, returning the
+// remaining bytes.
+func DecodeLoadDigest(buf []byte) (*LoadDigest, []byte, error) {
+	r := &wireReader{buf: buf}
+	d := &LoadDigest{}
+	d.Epoch = r.uvarint()
+	d.Watermark = r.varint()
+	d.Events = r.uvarint()
+	d.Slices = r.uvarint()
+	d.Windows = r.uvarint()
+	d.Reconnects = r.uvarint()
+	d.ReplayLen = uint32(r.uvarint())
+	if r.err != nil {
+		return nil, nil, r.err
+	}
+	return d, r.buf, nil
+}

@@ -1,0 +1,312 @@
+// Package telemetry is the runtime observability layer of the system: a
+// registry of named, atomic instruments cheap enough to live on the hot
+// path, with a lock-free snapshot API feeding the cluster stats wire
+// (message.KindStatsDump), the -debug-addr HTTP surface, and desis-ctl
+// -stats.
+//
+// Design rules:
+//
+//   - Recording never allocates and never takes a lock — instruments are
+//     plain atomics; the Histogram shadows metrics.Histogram with an
+//     atomic bucket array sharing the same bucket geometry.
+//   - Every method tolerates a nil receiver (no-op / zero), so code can
+//     hold optional instrument pointers and call them unconditionally:
+//     an unattached registry costs one predictable branch per call site.
+//   - Snapshot reads the registry without blocking writers: the
+//     instrument tables are copy-on-write behind an atomic pointer, so
+//     registration (rare, control path) pays the copy and readers never
+//     wait.
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"desis/internal/metrics"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds 1. No-op on nil.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n. No-op on nil.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Load reads the current value; 0 on nil.
+func (c *Counter) Load() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value (occupancy, lag, epoch).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v. No-op on nil.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by delta. No-op on nil.
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Load reads the current value; 0 on nil.
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is the concurrent twin of metrics.Histogram: same logarithmic
+// bucket geometry (metrics.BucketIndex / metrics.BucketValue), but every
+// cell is atomic so shards and goroutines record without coordination.
+// Export converts to metrics.HistogramData, whose merging delegates to
+// metrics.Histogram.Merge.
+type Histogram struct {
+	buckets [metrics.NumBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+// Record adds one duration sample. No-op on nil.
+func (h *Histogram) Record(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.buckets[metrics.BucketIndex(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	for {
+		cur := h.max.Load()
+		if int64(d) <= cur || h.max.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// Count reports the number of samples; 0 on nil.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Export snapshots the histogram into its portable form. The buckets are
+// read one by one while writers may be recording, so the export is a
+// consistent-enough view (each cell individually exact); count/sum/max
+// may trail the bucket totals by in-flight samples, never the reverse,
+// because Record bumps buckets first.
+func (h *Histogram) Export() metrics.HistogramData {
+	if h == nil {
+		return metrics.HistogramData{}
+	}
+	var d metrics.HistogramData
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n != 0 {
+			d.Buckets = append(d.Buckets, metrics.BucketCount{Index: i, N: n})
+		}
+	}
+	d.Count = h.count.Load()
+	d.Sum = time.Duration(h.sum.Load())
+	d.Max = time.Duration(h.max.Load())
+	return d
+}
+
+// instrumentSet is an immutable view of the registry's instruments. A new
+// registration replaces the whole set; snapshots read whichever set was
+// current when they started.
+type instrumentSet struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+var emptySet = &instrumentSet{
+	counters: map[string]*Counter{},
+	gauges:   map[string]*Gauge{},
+	hists:    map[string]*Histogram{},
+}
+
+// Registry is a named instrument table. Get-or-create methods are
+// mutex-serialized (control path); Snapshot is lock-free (copy-on-write).
+// All methods tolerate a nil *Registry, returning nil instruments whose
+// methods are no-ops — "telemetry disabled" needs no branches elsewhere.
+type Registry struct {
+	mu  sync.Mutex
+	set atomic.Pointer[instrumentSet]
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	r := &Registry{}
+	r.set.Store(emptySet)
+	return r
+}
+
+func (r *Registry) load() *instrumentSet {
+	if s := r.set.Load(); s != nil {
+		return s
+	}
+	return emptySet
+}
+
+// Counter returns the counter named name, creating it on first use.
+// Returns nil (a no-op counter) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	if c, ok := r.load().counters[name]; ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.load()
+	if c, ok := old.counters[name]; ok {
+		return c
+	}
+	c := &Counter{}
+	next := old.withCounter(name, c)
+	r.set.Store(next)
+	return c
+}
+
+// Gauge returns the gauge named name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	if g, ok := r.load().gauges[name]; ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.load()
+	if g, ok := old.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{}
+	next := old.withGauge(name, g)
+	r.set.Store(next)
+	return g
+}
+
+// Histogram returns the histogram named name, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if h, ok := r.load().hists[name]; ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.load()
+	if h, ok := old.hists[name]; ok {
+		return h
+	}
+	h := &Histogram{}
+	next := old.withHist(name, h)
+	r.set.Store(next)
+	return h
+}
+
+func (s *instrumentSet) withCounter(name string, c *Counter) *instrumentSet {
+	n := s.clone()
+	n.counters[name] = c
+	return n
+}
+
+func (s *instrumentSet) withGauge(name string, g *Gauge) *instrumentSet {
+	n := s.clone()
+	n.gauges[name] = g
+	return n
+}
+
+func (s *instrumentSet) withHist(name string, h *Histogram) *instrumentSet {
+	n := s.clone()
+	n.hists[name] = h
+	return n
+}
+
+func (s *instrumentSet) clone() *instrumentSet {
+	n := &instrumentSet{
+		counters: make(map[string]*Counter, len(s.counters)+1),
+		gauges:   make(map[string]*Gauge, len(s.gauges)+1),
+		hists:    make(map[string]*Histogram, len(s.hists)+1),
+	}
+	for k, v := range s.counters {
+		n.counters[k] = v
+	}
+	for k, v := range s.gauges {
+		n.gauges[k] = v
+	}
+	for k, v := range s.hists {
+		n.hists[k] = v
+	}
+	return n
+}
+
+// Names reports all registered instrument names, sorted, for tests and
+// debugging.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	s := r.load()
+	names := make([]string, 0, len(s.counters)+len(s.gauges)+len(s.hists))
+	for k := range s.counters {
+		names = append(names, k)
+	}
+	for k := range s.gauges {
+		names = append(names, k)
+	}
+	for k := range s.hists {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot captures every instrument's current value without blocking
+// recorders or registrations. A nil registry snapshots as empty (never
+// nil), so callers can merge/encode it unconditionally.
+func (r *Registry) Snapshot() *Snapshot {
+	s := NewSnapshot()
+	if r == nil {
+		return s
+	}
+	set := r.load()
+	for name, c := range set.counters {
+		s.Counters[name] = c.Load()
+	}
+	for name, g := range set.gauges {
+		s.Gauges[name] = g.Load()
+	}
+	for name, h := range set.hists {
+		s.Hists[name] = h.Export()
+	}
+	return s
+}

@@ -1,0 +1,37 @@
+package telemetry
+
+// TraceEvent names one step of a slice's lifecycle, from the moment a
+// group opens it to the window assembly that consumes it. The stages
+// mirror the paper's §4 data flow: local nodes open/close/ship slices,
+// intermediates and the root merge partials, the root assembles windows.
+type TraceEvent uint8
+
+const (
+	// TraceOpen — a group started a new slice.
+	TraceOpen TraceEvent = iota
+	// TraceClose — a slice reached its end and was sealed into the ring.
+	TraceClose
+	// TraceShip — a sealed slice left the node as a SlicePartial.
+	TraceShip
+	// TraceMerge — a merger folded an inbound partial into its state.
+	TraceMerge
+	// TraceAssemble — the slice range was folded into a window result.
+	TraceAssemble
+)
+
+// String names the event for the trace log.
+func (e TraceEvent) String() string {
+	switch e {
+	case TraceOpen:
+		return "open"
+	case TraceClose:
+		return "close"
+	case TraceShip:
+		return "ship"
+	case TraceMerge:
+		return "merge"
+	case TraceAssemble:
+		return "assemble"
+	}
+	return "unknown"
+}

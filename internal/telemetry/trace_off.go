@@ -1,0 +1,17 @@
+//go:build !desis_trace
+
+package telemetry
+
+import "io"
+
+// TraceEnabled reports whether slice-lifecycle tracing is compiled in.
+// It is a constant so the compiler deletes guarded call sites entirely —
+// tracing costs nothing, not even a branch, in release builds.
+const TraceEnabled = false
+
+// SetTraceWriter is a no-op in release builds.
+func SetTraceWriter(io.Writer) {}
+
+// TraceSlice is a no-op in release builds; guard argument evaluation
+// with `if telemetry.TraceEnabled` at the call site.
+func TraceSlice(ev TraceEvent, node string, group uint64, slice uint64, start, end int64) {}

@@ -1,0 +1,14 @@
+//go:build !desis_trace
+
+package telemetry
+
+import "testing"
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	if TraceEnabled {
+		t.Fatal("TraceEnabled must be false without the desis_trace tag")
+	}
+	// The no-op stubs must be callable.
+	SetTraceWriter(nil)
+	TraceSlice(TraceClose, "local-1", 1, 2, 0, 100)
+}

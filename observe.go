@@ -1,0 +1,49 @@
+package desis
+
+import (
+	"net/http"
+	"strings"
+
+	"desis/internal/telemetry"
+)
+
+// Telemetry is a handle on the runtime observability registry: per-group
+// event/slice/window counters, assembly-latency histograms, reorderer
+// drops. Create one with NewTelemetry, pass it in Options (or attach it
+// to a Reorderer), and read it over HTTP or as text while the engine
+// runs — reads are lock-free and never stall ingestion.
+type Telemetry struct {
+	reg *telemetry.Registry
+}
+
+// NewTelemetry creates an empty registry handle.
+func NewTelemetry() *Telemetry { return &Telemetry{reg: telemetry.NewRegistry()} }
+
+// registry unwraps the handle; nil-safe so Options.Telemetry == nil means
+// "no instrumentation" all the way down.
+func (t *Telemetry) registry() *telemetry.Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
+// Handler serves the instruments over HTTP: /debug/stats (JSON),
+// /debug/stats.txt (text), and net/http/pprof under /debug/pprof/.
+// Mount it on an address of your choosing:
+//
+//	go http.ListenAndServe("localhost:6060", tel.Handler())
+func (t *Telemetry) Handler() http.Handler { return telemetry.DebugMux(t.registry()) }
+
+// Text renders the current instrument values, sorted, one per line.
+func (t *Telemetry) Text() string {
+	var b strings.Builder
+	t.registry().Snapshot().Format(&b)
+	return b.String()
+}
+
+// Counter reads one counter by name (e.g. "group.1.events"); unknown
+// names read 0.
+func (t *Telemetry) Counter(name string) uint64 {
+	return t.registry().Snapshot().Counter(name)
+}

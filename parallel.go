@@ -231,8 +231,10 @@ func (p *ParallelEngine) Results() []Result {
 	return r
 }
 
-// Stats sums the shard engines' counters. Call after Barrier or Close for a
-// consistent view.
+// Stats sums the shard engines' counters. Safe to call concurrently with
+// ingestion — the counters are atomic, so a mid-stream read observes a
+// valid (if slightly stale) value per counter; call after Barrier or
+// Close for a view consistent across counters and shards.
 func (p *ParallelEngine) Stats() Stats {
 	var total Stats
 	for _, sh := range p.shards {

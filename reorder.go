@@ -1,6 +1,10 @@
 package desis
 
-import "container/heap"
+import (
+	"container/heap"
+
+	"desis/internal/telemetry"
+)
 
 // Reorderer turns a bounded-disorder stream into the in-order stream the
 // engine requires. Events are buffered until the maximum observed event
@@ -20,6 +24,24 @@ type Reorderer struct {
 	started  bool
 	released int64 // highest released timestamp: the drop threshold
 	dropped  uint64
+
+	// telDropped/telPending mirror the drop count and buffer occupancy
+	// into a telemetry registry when attached; nil-safe no-ops otherwise.
+	telDropped *telemetry.Counter
+	telPending *telemetry.Gauge
+}
+
+// AttachTelemetry mirrors the reorderer's drop count (reorder.dropped)
+// and buffer occupancy (reorder.pending) into tel's registry, so a
+// silently-dropping disorder bound is visible in -debug-addr and
+// desis-ctl -stats instead of only through Dropped().
+func (r *Reorderer) AttachTelemetry(tel *Telemetry) {
+	reg := tel.registry()
+	if reg == nil {
+		return
+	}
+	r.telDropped = reg.Counter("reorder.dropped")
+	r.telPending = reg.Gauge("reorder.pending")
 }
 
 // NewReorderer buffers up to maxLateness milliseconds of disorder and
@@ -35,6 +57,7 @@ func NewReorderer(maxLateness int64, out func(Event)) *Reorderer {
 func (r *Reorderer) Process(ev Event) {
 	if r.started && ev.Time < r.released {
 		r.dropped++
+		r.telDropped.Inc()
 		return
 	}
 	r.started = true
@@ -44,12 +67,14 @@ func (r *Reorderer) Process(ev Event) {
 		r.maxSeen = ev.Time
 	}
 	r.releaseUpTo(r.maxSeen - r.lateness)
+	r.telPending.Set(int64(r.buf.Len()))
 }
 
 // Flush releases everything still buffered, in order. Call at end of stream
 // before Engine.AdvanceTo.
 func (r *Reorderer) Flush() {
 	r.releaseUpTo(r.maxSeen + 1)
+	r.telPending.Set(0)
 }
 
 func (r *Reorderer) releaseUpTo(t int64) {

@@ -208,3 +208,95 @@ func equalResult(a, b Result) bool {
 	}
 	return true
 }
+
+// TestReordererDifferentialOracle checks the Reorderer against an
+// independent model over seeded randomized disorder. The model restates
+// the contract instead of reusing the implementation: released order is a
+// stable sort of the admitted subset by (time, arrival), and an event is
+// admitted iff, at the moment it arrives, its timestamp has not fallen
+// below the highest timestamp already released (the `released` boundary —
+// not maxSeen-lateness, which would also condemn events the buffer could
+// still reorder). Comparing full events (values are unique per arrival)
+// verifies tie stability, not just timestamp order.
+func TestReordererDifferentialOracle(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 20260805} {
+		for _, lateness := range []int64{0, 1, 25, 200} {
+			rng := rand.New(rand.NewSource(seed))
+			const n = 4000
+			base := int64(1000)
+			evs := make([]Event, 0, n)
+			for i := 0; i < n; i++ {
+				base += int64(rng.Intn(6))
+				// Jitter reaches well past the lateness bound so every
+				// run exercises both reordering and dropping.
+				jitter := int64(rng.Intn(int(3*lateness) + 10))
+				evs = append(evs, Event{Time: base - jitter, Key: uint32(i % 4), Value: float64(i)})
+			}
+			out, r := collectReordered(lateness, evs)
+
+			// Replay the admission contract event by event. `pending`
+			// holds admitted-but-unreleased timestamps sorted ascending;
+			// the released boundary advances to the largest admitted
+			// timestamp at or below maxSeen-lateness.
+			type arrival struct {
+				ev  Event
+				seq int
+			}
+			var admitted []arrival
+			var pending []int64
+			var released, maxSeen int64
+			started := false
+			var wantDropped uint64
+			for i, ev := range evs {
+				if started && ev.Time < released {
+					wantDropped++
+					continue
+				}
+				started = true
+				admitted = append(admitted, arrival{ev, i})
+				j := sort.Search(len(pending), func(k int) bool { return pending[k] > ev.Time })
+				pending = append(pending, 0)
+				copy(pending[j+1:], pending[j:])
+				pending[j] = ev.Time
+				if ev.Time > maxSeen {
+					maxSeen = ev.Time
+				}
+				thr := maxSeen - lateness
+				cut := sort.Search(len(pending), func(k int) bool { return pending[k] > thr })
+				if cut > 0 {
+					if pending[cut-1] > released {
+						released = pending[cut-1]
+					}
+					pending = pending[cut:]
+				}
+			}
+			sort.SliceStable(admitted, func(a, b int) bool {
+				return admitted[a].ev.Time < admitted[b].ev.Time
+			})
+
+			if r.Dropped() != wantDropped {
+				t.Fatalf("seed=%d lateness=%d: Dropped = %d, oracle dropped %d",
+					seed, lateness, r.Dropped(), wantDropped)
+			}
+			if uint64(len(out))+r.Dropped() != n {
+				t.Fatalf("seed=%d lateness=%d: %d released + %d dropped != %d fed",
+					seed, lateness, len(out), r.Dropped(), n)
+			}
+			if len(out) != len(admitted) {
+				t.Fatalf("seed=%d lateness=%d: released %d events, oracle admitted %d",
+					seed, lateness, len(out), len(admitted))
+			}
+			for i := range out {
+				want := admitted[i].ev
+				if out[i] != want {
+					t.Fatalf("seed=%d lateness=%d: event %d released as %+v, oracle says %+v",
+						seed, lateness, i, out[i], want)
+				}
+				if i > 0 && out[i].Time < out[i-1].Time {
+					t.Fatalf("seed=%d lateness=%d: emission out of order at %d: %d after %d",
+						seed, lateness, i, out[i].Time, out[i-1].Time)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package desis_test
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"desis"
+)
+
+// TestParallelEngineStatsConcurrentReaders is the regression test for the
+// Stats data race: shard engines mutate their counters from shard
+// goroutines while Stats() sums them from the caller's. Before the
+// counters went atomic this was a bona fide race (-race flagged it); now
+// concurrent reads must be defined and the post-Barrier totals exact.
+func TestParallelEngineStatsConcurrentReaders(t *testing.T) {
+	queries := []desis.Query{
+		desis.MustParseQuery("tumbling(100ms) sum,count key=0"),
+		desis.MustParseQuery("sliding(1s,200ms) max key=1"),
+		desis.MustParseQuery("tumbling(50ms) average key=2"),
+	}
+	tel := desis.NewTelemetry()
+	par, err := desis.NewParallelEngine(queries, 3, desis.Options{
+		OnResult:  func(desis.Result) {},
+		Telemetry: tel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const nEvents = 30_000
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			var last uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := par.Stats()
+				if s.Events < last {
+					t.Errorf("events went backwards: %d after %d", s.Events, last)
+					return
+				}
+				last = s.Events
+				_ = tel.Text() // registry snapshots race-free alongside
+			}
+		}()
+	}
+
+	for i := 0; i < nEvents; i++ {
+		par.Process(desis.Event{Time: int64(i), Key: uint32(i % 3), Value: float64(i)})
+	}
+	par.Barrier()
+	close(stop)
+	readers.Wait()
+
+	s := par.Stats()
+	if s.Events != nEvents {
+		t.Errorf("events = %d, want %d", s.Events, nEvents)
+	}
+	if s.Slices == 0 || s.Windows == 0 {
+		t.Errorf("stats look dead: %+v", s)
+	}
+	// The per-group telemetry counters must agree with the engine totals.
+	var telEvents uint64
+	for _, line := range strings.Split(tel.Text(), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && strings.HasPrefix(fields[0], "group.") && strings.HasSuffix(fields[0], ".events") {
+			n, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				t.Fatalf("bad stats line %q: %v", line, err)
+			}
+			telEvents += n
+		}
+	}
+	if telEvents != s.Events {
+		t.Errorf("telemetry per-group events sum %d, engine counted %d", telEvents, s.Events)
+	}
+	par.Close()
+}
