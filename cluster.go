@@ -26,6 +26,12 @@ type ClusterOptions struct {
 	// BandwidthBytesPerSec throttles every link, modelling constrained
 	// networks; zero is unlimited.
 	BandwidthBytesPerSec float64
+	// Batch coalesces each upward link's partials and watermarks into
+	// columnar batch frames sized by the link's observed drain rate — the
+	// knob that lets a throttled uplink ship events instead of frame
+	// headers (DESIGN.md §8). Fast links keep a cut-through path whose
+	// wire is byte-identical to the unbatched protocol.
+	Batch bool
 }
 
 // Cluster is an in-process decentralized Desis topology: local nodes slice
@@ -60,6 +66,7 @@ func NewCluster(queries []Query, opts ClusterOptions) (*Cluster, error) {
 		Intermediates: opts.Intermediates,
 		Codec:         codec,
 		Bandwidth:     opts.BandwidthBytesPerSec,
+		Batch:         opts.Batch,
 		OnResult:      onResult,
 	})}, nil
 }

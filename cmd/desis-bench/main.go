@@ -69,8 +69,20 @@ func main() {
 						p.DeltaResyncBytes, p.FullPlanBytes, p.ResendRatio)
 				}
 			}
+		case "wire":
+			var r *bench.WireReport
+			if r, err = bench.RunWireReport(cfg); err == nil {
+				rep = r
+				for _, p := range r.Points {
+					fmt.Printf("bw=%.3gMbps unbatched=%.0f ev/s batched=%.0f ev/s gain=%.2fx bytes %d -> %d\n",
+						p.BandwidthMbps, p.UnbatchedEventsPerSec, p.BatchedEventsPerSec,
+						p.Gain, p.UnbatchedLocalBytes, p.BatchedLocalBytes)
+				}
+				fmt.Printf("latency p99 unbatched=%.1fus batched=%.1fus overhead=%.1f%%\n",
+					r.Latency.UnbatchedP99Usec, r.Latency.BatchedP99Usec, 100*r.Latency.P99Overhead)
+			}
 		default:
-			fmt.Fprintln(os.Stderr, "desis-bench: -out only applies to -exp ablation-assembly or plan-churn")
+			fmt.Fprintln(os.Stderr, "desis-bench: -out only applies to -exp ablation-assembly, plan-churn, or wire")
 			os.Exit(2)
 		}
 		if err != nil {

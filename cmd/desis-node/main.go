@@ -56,6 +56,10 @@ func main() {
 	heartbeat := flag.Duration("heartbeat", node.HeartbeatInterval, "idle-uplink heartbeat period (intermediate, local); negative disables")
 	retries := flag.Int("reconnect-retries", 8, "uplink reconnect attempts before giving up (intermediate, local)")
 	replay := flag.Int("replay-depth", 0, "partial/watermark frames replayed after a reconnect; 0 selects the default, negative disables (intermediate, local)")
+	batch := flag.Bool("batch", false, "coalesce uplink partials/watermarks into adaptive columnar batch frames (intermediate, local)")
+	batchBytes := flag.Int("batch-bytes", 0, "approximate cap on one batch frame's body in bytes; 0 selects the default (with -batch)")
+	batchFrames := flag.Int("batch-frames", 0, "cap on frames coalesced into one batch; 0 selects the default (with -batch)")
+	batchCompress := flag.String("batch-compress", "off", "batch body compression: off | on | auto (auto probes the link and backs off when incompressible)")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/stats and /debug/pprof/ over HTTP at this address (any role); empty disables")
 	var queries queryList
 	flag.Var(&queries, "query", "query in the textual language (repeatable, root only)")
@@ -70,6 +74,19 @@ func main() {
 	// DialOptions) and the debug server; the root's registry lives in its
 	// server, so runRoot wires its own debug endpoint.
 	opts := dialOpts(codec, *heartbeat, *retries, *replay)
+	if *batch {
+		mode, err := parseCompressMode(*batchCompress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "desis-node:", err)
+			os.Exit(1)
+		}
+		opts.Batch = true
+		opts.BatchOptions = message.BatcherOptions{
+			MaxBytes:  *batchBytes,
+			MaxFrames: *batchFrames,
+			Compress:  mode,
+		}
+	}
 	if *debugAddr != "" && *role != "root" {
 		opts.Telemetry = telemetry.NewRegistry()
 		serveDebug(*debugAddr, opts.Telemetry)
@@ -134,6 +151,19 @@ func runRoot(listen string, queries []query.Query, children int, timeout time.Du
 	}
 	fmt.Fprintf(os.Stderr, "root done: %d windows answered\n", windows)
 	return nil
+}
+
+// parseCompressMode maps the -batch-compress flag to a message.CompressMode.
+func parseCompressMode(s string) (message.CompressMode, error) {
+	switch s {
+	case "off":
+		return message.CompressOff, nil
+	case "on":
+		return message.CompressOn, nil
+	case "auto":
+		return message.CompressAuto, nil
+	}
+	return 0, fmt.Errorf("unknown -batch-compress %q (want off, on, or auto)", s)
 }
 
 // dialOpts assembles the supervised-uplink configuration shared by

@@ -68,6 +68,7 @@ var Experiments = []Experiment{
 	{"ablation-shardedroot", "single vs key-sharded root engines", one(AblationShardedRoot)},
 	{"ablation-assembly", "amortized window assembly vs per-window slice re-fold", one(AblationAssembly)},
 	{"plan-churn", "plan-delta add/remove throughput and reconnect resync bytes", one(PlanChurn)},
+	{"wire", "adaptive uplink batching: throttled-link efficiency and fast-link latency", one(Wire)},
 }
 
 // Run executes the experiment with the given id and prints its tables.

@@ -72,6 +72,9 @@ func NewFromPlan(p *plan.Plan, cfg Config) *Engine {
 	if e.pruneThreshold <= 0 {
 		e.pruneThreshold = DefaultPruneThreshold
 	}
+	// Warm the catalog index now: the first runtime delta should pay its own
+	// cost, not the O(catalog) lazy index build.
+	p.Warm()
 	e.syncPlan()
 	if cfg.Telemetry != nil {
 		e.AttachTelemetry(cfg.Telemetry)
@@ -151,7 +154,12 @@ func (e *Engine) Apply(d plan.Delta) error {
 		}
 		e.tmplKeys[d.Key] = true
 	}
-	e.syncPlan()
+	// Only the groups the delta mutated need reconciling; every other group
+	// was reconciled when it last changed, so delta application stays O(1)
+	// in the catalog size.
+	for _, g := range e.plan.Touched() {
+		e.syncGroup(g)
+	}
 	return nil
 }
 
@@ -173,6 +181,7 @@ func (e *Engine) ResyncPlan(p *plan.Plan) error {
 		}
 	}
 	e.plan = p
+	p.Warm()
 	e.syncPlan()
 	return nil
 }

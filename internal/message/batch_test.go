@@ -1,0 +1,496 @@
+package message
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"desis/internal/core"
+	"desis/internal/operator"
+	"desis/internal/telemetry"
+)
+
+// randomBatch builds a batch resembling a local node's uplink stream:
+// monotone slice ids and times per group, interleaved watermarks.
+func randomBatch(rng *rand.Rand, nFrames int) *Batch {
+	b := &Batch{}
+	groups := 1 + rng.Intn(3)
+	ids := make([]uint64, groups)
+	tm := rng.Int63n(1 << 40)
+	wm := tm
+	for i := 0; i < nFrames; i++ {
+		if rng.Intn(5) == 0 {
+			wm += int64(rng.Intn(1000))
+			b.Frames = append(b.Frames, &Message{Kind: KindWatermark, Watermark: wm})
+			continue
+		}
+		g := rng.Intn(groups)
+		ids[g]++
+		tm += int64(rng.Intn(500))
+		ops := operator.OpCount | operator.OpSum
+		if rng.Intn(2) == 0 {
+			ops |= operator.OpDSort
+		}
+		if rng.Intn(4) == 0 {
+			ops |= operator.OpNDSort | operator.OpMult
+		}
+		nCtx := 1 + rng.Intn(2)
+		p := &core.SlicePartial{
+			Group: uint32(g), ID: ids[g],
+			Start: tm, End: tm + int64(rng.Intn(500)) + 1,
+			LastEvent: tm + int64(rng.Intn(400)),
+			Ingested:  int64(rng.Intn(100)),
+		}
+		for c := 0; c < nCtx; c++ {
+			a := operator.NewAgg(ops)
+			for e := rng.Intn(6); e > 0; e-- {
+				a.Add(rng.NormFloat64() * 100)
+			}
+			a.Finish()
+			p.Aggs = append(p.Aggs, a)
+		}
+		if rng.Intn(6) == 0 {
+			p.EPs = append(p.EPs, core.EP{
+				QueryIdx: int32(rng.Intn(4)),
+				Start:    tm - 1000, End: tm,
+				GapStart: tm - int64(rng.Intn(100)),
+			})
+		}
+		b.Frames = append(b.Frames, &Message{Kind: KindPartial, Partial: p})
+	}
+	return b
+}
+
+// TestBatchCrossCodec is the cross-codec property test: the same batch
+// encoded by Binary, Compact and Text must decode to identical frame
+// sequences under every codec, compressed or not.
+func TestBatchCrossCodec(t *testing.T) {
+	codecs := []Codec{Binary{}, Compact{}, Text{}}
+	f := func(seed int64, n uint8, compress bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		batch := randomBatch(rng, int(n)%40)
+		m := &Message{Kind: KindBatch, From: rng.Uint32(), Batch: batch}
+		m.Batch.Compress = compress
+		var decoded []*Message
+		for _, c := range codecs {
+			buf, err := c.Append(nil, m)
+			if err != nil {
+				t.Logf("%s: append: %v", c.Name(), err)
+				return false
+			}
+			got, err := c.Decode(buf)
+			if err != nil {
+				t.Logf("%s: decode: %v", c.Name(), err)
+				return false
+			}
+			if got.Kind != KindBatch || got.From != m.From || got.Batch == nil {
+				return false
+			}
+			if len(got.Batch.Frames) != len(batch.Frames) {
+				return false
+			}
+			for i, fr := range got.Batch.Frames {
+				// Decoded frames carry the batch sender id.
+				want := *batch.Frames[i]
+				want.From = m.From
+				if !messagesEqual(fr, &want) {
+					t.Logf("%s: frame %d mismatch:\n got %+v\nwant %+v", c.Name(), i, fr, &want)
+					return false
+				}
+			}
+			decoded = append(decoded, got.Batch.Frames...)
+		}
+		// All codecs agree with each other frame by frame.
+		per := len(batch.Frames)
+		for i := 0; i < per; i++ {
+			for c := 1; c < len(codecs); c++ {
+				if !messagesEqual(decoded[i], decoded[c*per+i]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBatchColumnarSmaller checks that the columnar layout beats the
+// concatenation of individual Compact frames on a realistic uplink run, and
+// that deflate shrinks it further.
+func TestBatchColumnarSmaller(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	batch := randomBatch(rng, 256)
+	m := &Message{Kind: KindBatch, From: 1, Batch: batch}
+	batched, err := Compact{}.Append(nil, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var single int
+	for _, f := range batch.Frames {
+		fm := *f
+		fm.From = 1
+		buf, err := Compact{}.Append(nil, &fm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		single += len(buf) + 4 // plus the transport's length framing
+	}
+	if len(batched) >= single {
+		t.Errorf("columnar batch %d bytes, individual frames %d", len(batched), single)
+	}
+	m.Batch.Compress = true
+	compressed, err := Compact{}.Append(nil, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(compressed) >= len(batched) {
+		t.Errorf("deflated batch %d bytes, raw columnar %d", len(compressed), len(batched))
+	}
+	t.Logf("individual=%d columnar=%d deflated=%d", single, len(batched), len(compressed))
+}
+
+// TestBatchRejectsUnbatchable verifies control frames cannot ride in a batch.
+func TestBatchRejectsUnbatchable(t *testing.T) {
+	m := &Message{Kind: KindBatch, From: 1, Batch: &Batch{Frames: []*Message{
+		{Kind: KindHello, From: 1},
+	}}}
+	for _, c := range []Codec{Binary{}, Compact{}, Text{}} {
+		if _, err := c.Append(nil, m); err == nil {
+			t.Errorf("%s: encoding a batch with a control frame succeeded", c.Name())
+		}
+	}
+}
+
+// TestBatcherAdaptiveFill drives a batcher over a blocking link and checks
+// the self-clocking behavior: a slow link amortizes many frames per flush,
+// a fast link stays near one frame per flush.
+func TestBatcherAdaptiveFill(t *testing.T) {
+	makePartial := func(id uint64) *core.SlicePartial {
+		a := operator.NewAgg(operator.OpCount | operator.OpSum)
+		a.Add(float64(id))
+		a.Finish()
+		return &core.SlicePartial{Group: 0, ID: id, Start: int64(id) * 100, End: int64(id+1) * 100, Aggs: []operator.Agg{a}}
+	}
+
+	t.Run("slow link amortizes", func(t *testing.T) {
+		var mu sync.Mutex
+		var sends []int
+		slow := func(m *Message) error {
+			mu.Lock()
+			if m.Kind == KindBatch {
+				sends = append(sends, len(m.Batch.Frames))
+			} else {
+				sends = append(sends, 1)
+			}
+			mu.Unlock()
+			time.Sleep(5 * time.Millisecond)
+			return nil
+		}
+		b := NewBatcher(slow, 1, BatcherOptions{})
+		for i := 0; i < 200; i++ {
+			if err := b.Send(&Message{Kind: KindPartial, From: 1, Partial: makePartial(uint64(i))}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := b.Close(); err != nil {
+			t.Fatal(err)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		var total int
+		for _, n := range sends {
+			total += n
+		}
+		if total != 200 {
+			t.Fatalf("sent %d frames, want 200 (%v)", total, sends)
+		}
+		if len(sends) > 100 {
+			t.Errorf("slow link produced %d flushes for 200 frames — no amortization", len(sends))
+		}
+	})
+
+	t.Run("fast link stays immediate", func(t *testing.T) {
+		var mu sync.Mutex
+		var sends []int
+		fast := func(m *Message) error {
+			mu.Lock()
+			if m.Kind == KindBatch {
+				sends = append(sends, len(m.Batch.Frames))
+			} else {
+				sends = append(sends, 1)
+			}
+			mu.Unlock()
+			return nil
+		}
+		b := NewBatcher(fast, 1, BatcherOptions{})
+		for i := 0; i < 100; i++ {
+			if err := b.Send(&Message{Kind: KindPartial, From: 1, Partial: makePartial(uint64(i))}); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Flush(); err != nil { // producer paced slower than the link
+				t.Fatal(err)
+			}
+		}
+		if err := b.Close(); err != nil {
+			t.Fatal(err)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		for i, n := range sends {
+			if n != 1 {
+				t.Errorf("flush %d carried %d frames on an idle link, want 1", i, n)
+			}
+		}
+	})
+}
+
+// TestBatcherControlFlushesFirst checks that a non-batchable frame flushes
+// the queued data frames before travelling itself, preserving order. The
+// first transmission is held open (on its own goroutine — an idle batcher
+// sends cut-through on the caller's thread) so later frames queue behind it.
+func TestBatcherControlFlushesFirst(t *testing.T) {
+	var mu sync.Mutex
+	var order []Kind
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	first := true
+	send := func(m *Message) error {
+		mu.Lock()
+		hold := first
+		first = false
+		mu.Unlock()
+		if hold {
+			close(entered)
+			<-gate // hold the first transmission so frames queue behind it
+		}
+		mu.Lock()
+		if m.Kind == KindBatch {
+			for _, f := range m.Batch.Frames {
+				order = append(order, f.Kind)
+			}
+		} else {
+			order = append(order, m.Kind)
+		}
+		mu.Unlock()
+		return nil
+	}
+	b := NewBatcher(send, 1, BatcherOptions{})
+	p := samplePartial()
+	firstDone := make(chan error, 1)
+	go func() { firstDone <- b.Send(&Message{Kind: KindPartial, From: 1, Partial: p}) }()
+	<-entered // the partial owns the link now
+	if err := b.Send(&Message{Kind: KindWatermark, From: 1, Watermark: 5}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- b.Send(&Message{Kind: KindGoodbye, From: 1}) }()
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+	if err := <-firstDone; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []Kind{KindPartial, KindWatermark, KindGoodbye}
+	if len(order) != len(want) {
+		t.Fatalf("order %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestBatcherStickyError checks an asynchronous transmission failure
+// surfaces on later Sends and Flushes.
+func TestBatcherStickyError(t *testing.T) {
+	boom := errors.New("boom")
+	b := NewBatcher(func(*Message) error { return boom }, 1, BatcherOptions{})
+	_ = b.Send(&Message{Kind: KindWatermark, From: 1, Watermark: 1})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := b.Flush(); err != nil {
+			if !errors.Is(err, boom) {
+				t.Fatalf("sticky error %v, want %v", err, boom)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("error never became sticky")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := b.Send(&Message{Kind: KindWatermark, From: 1, Watermark: 2}); !errors.Is(err, boom) {
+		t.Fatalf("Send after failure = %v, want %v", err, boom)
+	}
+	_ = b.Close()
+}
+
+// TestBatcherClonesPartials checks the Conn contract: the caller may
+// recycle a partial as soon as Send returns, even when transmission is
+// deferred. A held watermark occupies the link first so the partial takes
+// the queued (asynchronous) path.
+func TestBatcherClonesPartials(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	var mu sync.Mutex
+	var got *core.SlicePartial
+	send := func(m *Message) error {
+		if m.Kind == KindWatermark {
+			close(entered)
+			<-release
+			return nil
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if m.Kind == KindBatch {
+			got = m.Batch.Frames[0].Partial
+		} else {
+			got = m.Partial
+		}
+		return nil
+	}
+	b := NewBatcher(send, 1, BatcherOptions{})
+	wmDone := make(chan error, 1)
+	go func() { wmDone <- b.Send(&Message{Kind: KindWatermark, From: 1, Watermark: 1}) }()
+	<-entered
+	p := samplePartial()
+	if err := b.Send(&Message{Kind: KindPartial, From: 1, Partial: p}); err != nil {
+		t.Fatal(err)
+	}
+	// Caller recycles immediately after Send returned, while the frame is
+	// still queued behind the held watermark.
+	p.ID = 999999
+	p.Aggs[0].SumV = -1
+	close(release)
+	if err := <-wmDone; err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if got == nil {
+		t.Fatal("nothing transmitted")
+	}
+	if got.ID == 999999 || got.Aggs[0].SumV == -1 {
+		t.Error("batcher transmitted the caller's storage, not a clone")
+	}
+}
+
+// TestBatcherCompressionProbe checks CompressAuto backs off on
+// incompressible payloads and engages on compressible ones.
+func TestBatcherCompressionProbe(t *testing.T) {
+	p := newCompressProbe(CompressAuto)
+	if !p.shouldTry() {
+		t.Fatal("fresh auto probe must try once")
+	}
+	p.observe(1000, 990) // incompressible
+	tried := 0
+	for i := 0; i < probeInterval; i++ {
+		if p.shouldTry() {
+			tried++
+		}
+	}
+	if tried != 0 {
+		t.Errorf("probe tried %d times during backoff", tried)
+	}
+	if !p.shouldTry() {
+		t.Error("probe never re-probed after backoff")
+	}
+	p.observe(1000, 400) // compressible now
+	if !p.shouldTry() {
+		t.Error("probe inactive despite winning ratio")
+	}
+	if r := p.ratioMilli.Load(); r != 400 {
+		t.Errorf("ratio %d, want 400", r)
+	}
+}
+
+// TestBatcherTelemetry checks the instruments move.
+func TestBatcherTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	b := NewBatcher(func(*Message) error { return nil }, 1, BatcherOptions{})
+	b.AttachTelemetry(reg)
+	for i := 0; i < 10; i++ {
+		if err := b.Send(&Message{Kind: KindWatermark, From: 1, Watermark: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Send(&Message{Kind: KindHeartbeat, From: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s := reg.Snapshot()
+	if s.Counters["batch.frames"] != 10 {
+		t.Errorf("batch.frames = %d, want 10", s.Counters["batch.frames"])
+	}
+	if s.Counters["batch.flushes"] == 0 {
+		t.Error("batch.flushes never moved")
+	}
+	if s.Counters["batch.flush.control"] != 1 {
+		t.Errorf("batch.flush.control = %d, want 1", s.Counters["batch.flush.control"])
+	}
+}
+
+// FuzzDecodeBatch throws arbitrary bytes at the columnar batch decoder:
+// hostile input must error, never panic or balloon memory, and whatever
+// decodes must re-encode and re-decode to the same frames.
+func FuzzDecodeBatch(f *testing.F) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{0, 1, 5, 40} {
+		b := randomBatch(rng, n)
+		m := &Message{Kind: KindBatch, From: 7, Batch: b}
+		buf, err := Binary{}.Append(nil, m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf[5:]) // the batch body without the kind/from header
+		m.Batch.Compress = true
+		buf, err = Binary{}.Append(nil, m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf[5:])
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0, 0xff, 0xff, 0xff, 0xff, 0x0f}) // huge claimed frame count
+	f.Add([]byte{batchFlagDeflate, 0x01})          // broken flate stream
+	f.Fuzz(func(t *testing.T, body []byte) {
+		b, err := decodeBatchBody(body, 7)
+		if err != nil {
+			return
+		}
+		enc, err := appendBatchBody(nil, b)
+		if err != nil {
+			t.Fatalf("re-encode of decoded batch failed: %v", err)
+		}
+		b2, err := decodeBatchBody(enc, 7)
+		if err != nil {
+			t.Fatalf("re-decode of own encoding failed: %v", err)
+		}
+		if len(b2.Frames) != len(b.Frames) {
+			t.Fatalf("re-decode has %d frames, want %d", len(b2.Frames), len(b.Frames))
+		}
+		for i := range b.Frames {
+			if !messagesEqual(b.Frames[i], b2.Frames[i]) {
+				t.Fatalf("frame %d changed across re-encode", i)
+			}
+		}
+	})
+}

@@ -49,6 +49,11 @@ func (Binary) Append(buf []byte, m *Message) ([]byte, error) {
 		buf = appendPartial(buf, m.Partial)
 	case KindWatermark:
 		buf = appendU64(buf, uint64(m.Watermark))
+	case KindBatch:
+		var err error
+		if buf, err = appendBatchBody(buf, m.Batch); err != nil {
+			return nil, err
+		}
 	case KindAddQuery:
 		buf = appendU32(buf, uint32(len(m.Queries)))
 		for _, q := range m.Queries {
@@ -109,6 +114,14 @@ func (Binary) Decode(buf []byte) (*Message, error) {
 		m.Partial = r.partial()
 	case KindWatermark:
 		m.Watermark = int64(r.u64())
+	case KindBatch:
+		if r.err == nil {
+			b, err := decodeBatchBody(r.buf, m.From)
+			if err != nil {
+				return nil, err
+			}
+			m.Batch, r.buf = b, nil
+		}
 	case KindAddQuery:
 		n := r.u32()
 		for i := uint32(0); i < n && r.err == nil; i++ {

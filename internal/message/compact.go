@@ -33,7 +33,7 @@ const compactFallback = 0xff
 // Append implements Codec.
 func (Compact) Append(buf []byte, m *Message) ([]byte, error) {
 	switch m.Kind {
-	case KindEventBatch, KindPartial, KindWatermark, KindHello, KindHeartbeat, KindGoodbye:
+	case KindEventBatch, KindPartial, KindWatermark, KindHello, KindHeartbeat, KindGoodbye, KindBatch:
 	default:
 		// Control plane: envelope the Binary encoding.
 		buf = append(buf, compactFallback)
@@ -83,6 +83,13 @@ func (Compact) Append(buf []byte, m *Message) ([]byte, error) {
 			buf = binary.AppendVarint(buf, ep.Start)
 			buf = binary.AppendVarint(buf, ep.End-ep.Start)
 			buf = binary.AppendVarint(buf, ep.GapStart)
+		}
+	case KindBatch:
+		// The columnar batch body is already varint/delta-coded; Binary and
+		// Compact share it verbatim.
+		var err error
+		if buf, err = appendBatchBody(buf, m.Batch); err != nil {
+			return nil, err
 		}
 	}
 	return buf, nil
@@ -172,6 +179,14 @@ func (Compact) Decode(buf []byte) (*Message, error) {
 			p.EPs = append(p.EPs, ep)
 		}
 		m.Partial = p
+	case KindBatch:
+		if r.err == nil {
+			b, err := decodeBatchBody(r.buf, m.From)
+			if err != nil {
+				return nil, err
+			}
+			m.Batch, r.buf = b, nil
+		}
 	default:
 		return nil, fmt.Errorf("message: compact codec cannot decode kind %d", m.Kind)
 	}

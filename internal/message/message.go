@@ -66,6 +66,13 @@ const (
 	// snapshot; the reply carries the responder's (merged) snapshot in
 	// Stats.
 	KindStatsDump
+	// KindBatch coalesces several KindPartial/KindWatermark frames from one
+	// sender into a single wire frame with a columnar body (see batch.go):
+	// per-frame codec/framing overhead is paid once per batch, which is what
+	// makes a constrained uplink (§6.5.2) carry events instead of headers.
+	// Receivers unbatch and handle the frames in order, so the semantics are
+	// exactly those of the individual messages.
+	KindBatch
 )
 
 // NoEpoch is the plan epoch a fresh child reports in its hello: it is newer
@@ -104,6 +111,9 @@ type Message struct {
 	// Load is an optional compact load digest piggybacked on KindHeartbeat,
 	// letting the parent track per-child lag between stats pulls.
 	Load *telemetry.LoadDigest
+	// Batch is the payload of KindBatch: an ordered run of partial/watermark
+	// frames from the same sender.
+	Batch *Batch
 }
 
 // Codec serialises messages. Implementations must be inverses:

@@ -192,6 +192,19 @@ func messagesEqual(a, b *Message) bool {
 	if a.Load != nil && *a.Load != *b.Load {
 		return false
 	}
+	if (a.Batch == nil) != (b.Batch == nil) {
+		return false
+	}
+	if a.Batch != nil {
+		if len(a.Batch.Frames) != len(b.Batch.Frames) {
+			return false
+		}
+		for i := range a.Batch.Frames {
+			if !messagesEqual(a.Batch.Frames[i], b.Batch.Frames[i]) {
+				return false
+			}
+		}
+	}
 	return true
 }
 

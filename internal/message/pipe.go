@@ -88,15 +88,31 @@ type Throttle struct {
 	burst float64
 }
 
+// throttleMaxFrame is the burst floor: one maximum-size data frame (the
+// batcher's MaxBytes default) must always be instantly admittable, so the
+// bucket never models a link slower than its largest frame.
+const throttleMaxFrame = 256 << 10
+
 // NewThrottle returns a limiter admitting bytesPerSecond on average with a
-// burst of one megabyte.
+// burst of ~100ms of the rate (floored at one maximum frame). A fixed burst
+// independent of the rate would let a slow link admit many seconds of
+// traffic instantly and skew every bandwidth measurement against it.
 func NewThrottle(bytesPerSecond float64) *Throttle {
-	return &Throttle{rate: bytesPerSecond, last: time.Now(), burst: 1 << 20}
+	burst := bytesPerSecond / 10
+	if burst < throttleMaxFrame {
+		burst = throttleMaxFrame
+	}
+	return &Throttle{rate: bytesPerSecond, last: time.Now(), burst: burst}
 }
 
-// Take blocks until n bytes of bandwidth are available.
+// Take blocks until n bytes of bandwidth are available. A non-positive rate
+// means unlimited.
 func (t *Throttle) Take(n int) {
 	t.mu.Lock()
+	if t.rate <= 0 {
+		t.mu.Unlock()
+		return
+	}
 	now := time.Now()
 	t.avail += now.Sub(t.last).Seconds() * t.rate
 	t.last = now

@@ -60,6 +60,24 @@ func (Text) Append(buf []byte, m *Message) ([]byte, error) {
 		for _, ep := range p.EPs {
 			fmt.Fprintf(&sb, "%d,%d,%d,%d;", ep.QueryIdx, ep.Start, ep.End, ep.GapStart)
 		}
+	case KindBatch:
+		// Disco-style batch: the nested frames' own text encodings separated
+		// by newlines, which no frame encoding contains.
+		for i, f := range m.Batch.Frames {
+			if !Batchable(f.Kind) {
+				return nil, fmt.Errorf("message: batch frame %d: kind %d is not batchable", i, f.Kind)
+			}
+			nested := *f
+			nested.From = m.From
+			enc, err := Text{}.Append(nil, &nested)
+			if err != nil {
+				return nil, err
+			}
+			if i > 0 {
+				sb.WriteByte('\n')
+			}
+			sb.Write(enc)
+		}
 	default:
 		return nil, fmt.Errorf("message: text codec cannot encode kind %d", m.Kind)
 	}
@@ -255,6 +273,28 @@ func (Text) Decode(buf []byte) (*Message, error) {
 			p.EPs = append(p.EPs, ep)
 		}
 		m.Partial = p
+	case KindBatch:
+		b := &Batch{}
+		if rest != "" {
+			nestedBatch := fmt.Sprintf("%d|", KindBatch)
+			for _, line := range strings.Split(rest, "\n") {
+				// Reject nested batches before recursing, so hostile input
+				// cannot stack batch-in-batch arbitrarily deep.
+				if strings.HasPrefix(line, nestedBatch) {
+					return nil, fmt.Errorf("message: text batch nests a batch")
+				}
+				f, err := Text{}.Decode([]byte(line))
+				if err != nil {
+					return nil, err
+				}
+				if !Batchable(f.Kind) {
+					return nil, fmt.Errorf("message: text batch carries kind %d", f.Kind)
+				}
+				f.From = m.From
+				b.Frames = append(b.Frames, f)
+			}
+		}
+		m.Batch = b
 	default:
 		return nil, fmt.Errorf("message: text codec cannot decode kind %d", m.Kind)
 	}

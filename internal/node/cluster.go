@@ -28,6 +28,12 @@ type ClusterConfig struct {
 	Buffer int
 	// BatchSize coalesces forwarded raw events (default 256).
 	BatchSize int
+	// Batch wraps every upward link in a message.Batcher: partials and
+	// watermarks coalesce into columnar KindBatch frames sized by the link's
+	// observed drain rate (§4-style uplink amortisation). BatchOptions tunes
+	// the caps; the zero value uses the batcher defaults.
+	Batch        bool
+	BatchOptions message.BatcherOptions
 	// OnResult receives final window results; nil accumulates them for
 	// Results.
 	OnResult func(core.Result)
@@ -97,6 +103,16 @@ func NewCluster(groups []*query.Group, cfg ClusterConfig) *Cluster {
 	localID := func(i int) uint32 { return uint32(1 + i) }
 	interID := func(i int) uint32 { return uint32(1001 + i) }
 
+	// upLink optionally wraps an upward pipe end in the adaptive batcher; the
+	// wrapper passes Recv/BytesSent through, so downward control traffic and
+	// byte accounting are unaffected.
+	upLink := func(conn message.Conn, id uint32) message.Conn {
+		if !cfg.Batch {
+			return conn
+		}
+		return message.NewBatchingConn(conn, id, cfg.BatchOptions)
+	}
+
 	// Root's children: the intermediates, or the locals when there are none.
 	var rootChildren []uint32
 	if cfg.Intermediates > 0 {
@@ -111,18 +127,17 @@ func NewCluster(groups []*query.Group, cfg ClusterConfig) *Cluster {
 	c.root = NewRoot(groups, rootChildren, collect)
 
 	// Intermediates and their upward links.
-	interUp := make([]*message.Pipe, cfg.Intermediates)
 	for i := 0; i < cfg.Intermediates; i++ {
 		up, rootSide := newPipe()
-		interUp[i] = up
-		c.interConns = append(c.interConns, up)
+		upConn := upLink(up, interID(i))
+		c.interConns = append(c.interConns, upConn)
 		var children []uint32
 		for j := 0; j < cfg.Locals; j++ {
 			if j%cfg.Intermediates == i {
 				children = append(children, localID(j))
 			}
 		}
-		inter := NewIntermediate(interID(i), children, up)
+		inter := NewIntermediate(interID(i), children, upConn)
 		c.inters = append(c.inters, inter)
 		c.interPumps = append(c.interPumps, &sync.WaitGroup{})
 		c.pumpToRoot(rootSide)
@@ -131,8 +146,9 @@ func NewCluster(groups []*query.Group, cfg ClusterConfig) *Cluster {
 	// Locals and their upward links.
 	for i := 0; i < cfg.Locals; i++ {
 		up, parentSide := newPipe()
-		c.localConns = append(c.localConns, up)
-		c.locals = append(c.locals, NewLocal(localID(i), groups, up, cfg.BatchSize))
+		upConn := upLink(up, localID(i))
+		c.localConns = append(c.localConns, upConn)
+		c.locals = append(c.locals, NewLocal(localID(i), groups, upConn, cfg.BatchSize))
 		if cfg.Intermediates > 0 {
 			c.pumpToIntermediate(i%cfg.Intermediates, parentSide)
 		} else {

@@ -57,6 +57,14 @@ func (n *Intermediate) Handle(m *message.Message) error {
 		n.merger.HandleWatermark(m.From, m.Watermark)
 	case message.KindEventBatch:
 		n.merger.HandleEvents(m.From, m.Events)
+	case message.KindBatch:
+		// Unbatch in order under the same (caller-held) lock; the merged
+		// output re-batches on this node's own uplink if it is batching too.
+		for _, f := range m.Batch.Frames {
+			if err := n.Handle(f); err != nil {
+				return err
+			}
+		}
 	case message.KindHello, message.KindHeartbeat, message.KindGoodbye:
 	default:
 		return fmt.Errorf("node: intermediate cannot handle message kind %d", m.Kind)

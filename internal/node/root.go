@@ -84,6 +84,15 @@ func (r *Root) Handle(m *message.Message) error {
 		r.merger.HandleWatermark(m.From, m.Watermark)
 	case message.KindEventBatch:
 		r.evBuf[m.From] = append(r.evBuf[m.From], m.Events...)
+	case message.KindBatch:
+		// Unbatch in order: the producer emits a partial strictly before any
+		// watermark covering it, so in-order delivery of the frames is
+		// indistinguishable from the unbatched wire.
+		for _, f := range m.Batch.Frames {
+			if err := r.Handle(f); err != nil {
+				return err
+			}
+		}
 	case message.KindHello, message.KindHeartbeat, message.KindGoodbye:
 	case message.KindAddQuery:
 		for _, q := range m.Queries {

@@ -68,6 +68,15 @@ type DialOptions struct {
 	ReplayDepth int
 	// HandshakeTimeout bounds the hello/query-set exchange (default 5s).
 	HandshakeTimeout time.Duration
+	// Batch enables adaptive uplink batching: outgoing partial/watermark
+	// frames coalesce into columnar KindBatch frames whose size follows the
+	// link's backpressure (message.Batcher). Control traffic flushes the
+	// open batch and travels unbatched, so ordering and heartbeat liveness
+	// are unaffected.
+	Batch bool
+	// BatchOptions shapes the batcher when Batch is set; the zero value
+	// uses the message package defaults.
+	BatchOptions message.BatcherOptions
 	// Telemetry, when non-nil, is the registry this node registers its
 	// instruments in (engine counters, uplink reconnects, merge latency).
 	// Nil means the node creates a private registry — stats dumps always
@@ -134,11 +143,18 @@ type uplink struct {
 	// order with ordinary control traffic.
 	pending []*message.Message
 	// replay is a bounded ring of deep-copied recent partial/watermark
-	// frames. A dying socket can accept frames into kernel buffers and then
-	// lose them without an error ever surfacing; retransmitting the tail on
-	// reconnect closes that silent-loss window, and the parent's merger
-	// drops the duplicated overlap.
+	// frames (whole KindBatch frames when batching). A dying socket can
+	// accept frames into kernel buffers and then lose them without an error
+	// ever surfacing; retransmitting the tail on reconnect closes that
+	// silent-loss window, and the parent's merger drops the duplicated
+	// overlap — per contained partial, when a replayed frame is a batch.
 	replay []*message.Message
+
+	// batcher, when batching is enabled, sits between Send and the raw
+	// connection: data frames are cloned into its queue and transmitted by
+	// its pump through sendDirect, so everything reaching the wire (and the
+	// replay ring) is batcher-owned memory.
+	batcher *message.Batcher
 
 	closeCh chan struct{}
 	hbDone  chan struct{}
@@ -179,6 +195,9 @@ func dialUplink(addr string, id uint32, opts DialOptions) (*uplink, *plan.Plan, 
 		return nil, nil, fmt.Errorf("node: handshake with %s: expected full plan for a fresh child, got kind %d", addr, resync.Kind)
 	}
 	u.conn = conn
+	if u.opts.Batch {
+		u.batcher = message.NewBatcher(u.sendDirect, id, u.opts.BatchOptions)
+	}
 	return u, resync.Plan, nil
 }
 
@@ -192,7 +211,8 @@ func (u *uplink) SetEpochFn(fn func() uint64) {
 }
 
 // AttachTelemetry mirrors the uplink's reconnect count and replay-ring
-// occupancy into reg (uplink.reconnects, uplink.replay_occupancy).
+// occupancy into reg (uplink.reconnects, uplink.replay_occupancy), plus the
+// batcher's fill/flush/compression instruments when batching is enabled.
 func (u *uplink) AttachTelemetry(reg *telemetry.Registry) {
 	if reg == nil {
 		return
@@ -200,7 +220,11 @@ func (u *uplink) AttachTelemetry(reg *telemetry.Registry) {
 	u.mu.Lock()
 	u.telReconnects = reg.Counter("uplink.reconnects")
 	u.telReplay = reg.Gauge("uplink.replay_occupancy")
+	b := u.batcher
 	u.mu.Unlock()
+	if b != nil {
+		b.AttachTelemetry(reg)
+	}
 }
 
 // SetDigestFn installs the callback building the node-level part of the
@@ -378,16 +402,19 @@ func (u *uplink) sendReplay(conn *message.TCPConn) error {
 	return nil
 }
 
-// record clones a data frame into the replay ring. Only partials and
-// watermarks are retained: they are idempotent at the parent, raw event
-// batches are not. Clones share no memory with m — the caller is free to
-// recycle it as soon as Send returns (the Conn contract).
+// record retains a data frame in the replay ring. Only partials, watermarks
+// and their batches are retained: they are idempotent at the parent, raw
+// event batches are not. Lone partial frames are deep-cloned so the caller
+// can recycle their buffers (the Conn contract — the batcher's cut-through
+// path forwards the caller's frame untouched). A KindBatch frame is always
+// assembled by the batcher's pump from clones it made at enqueue time and is
+// never touched again, so it is retained as-is.
 func (u *uplink) record(m *message.Message) {
 	if u.opts.ReplayDepth <= 0 {
 		return
 	}
 	switch m.Kind {
-	case message.KindPartial, message.KindWatermark:
+	case message.KindPartial, message.KindWatermark, message.KindBatch:
 	default:
 		return
 	}
@@ -417,7 +444,19 @@ func (u *uplink) accountRetired(c *message.TCPConn) {
 
 // Send implements message.Conn: it transmits m, transparently reconnecting
 // and retransmitting on link failure until the retry budget is exhausted.
+// With batching enabled, data frames detour through the batcher's queue and
+// reach the wire via sendDirect on the batcher's pump; control frames flush
+// the open batch first and stay synchronous.
 func (u *uplink) Send(m *message.Message) error {
+	if u.batcher != nil {
+		return u.batcher.Send(m)
+	}
+	return u.sendDirect(m)
+}
+
+// sendDirect is the supervised transmission path under the batcher (or the
+// whole path when batching is off).
+func (u *uplink) sendDirect(m *message.Message) error {
 	conn, gen, err := u.current()
 	if err != nil {
 		return err
@@ -482,6 +521,12 @@ func (u *uplink) Close() error {
 		// Close the socket before waiting for the heartbeat loop: a
 		// heartbeat Send blocked on a stalled peer is released by the close.
 		err = conn.Close()
+	}
+	if u.batcher != nil {
+		// A graceful shutdown (goodbye through Send) already flushed the
+		// queue; this only stops the pump, whose in-flight transmission, if
+		// any, was just released by the socket close.
+		_ = u.batcher.Close()
 	}
 	if u.hbDone != nil {
 		<-u.hbDone

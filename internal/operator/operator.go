@@ -154,7 +154,15 @@ func OperatorsOf(f Func) Op {
 // non-decomposable sort, min and max piggyback on it and their decomposable
 // sort is dropped (the sorted values answer min/max for free).
 func Union(specs []FuncSpec) Op {
-	var o Op
+	return UnionFuncs(0, specs)
+}
+
+// UnionFuncs folds one query's function specs into an existing union,
+// re-applying the §4.2.2 sharing rule. The rule is idempotent and
+// associative over folds (dropping OpDSort is re-checked against the merged
+// mask), so accumulating per-query masks yields exactly Union over the
+// concatenated specs — without materialising a combined spec slice.
+func UnionFuncs(o Op, specs []FuncSpec) Op {
 	for _, s := range specs {
 		o |= OperatorsOf(s.Func)
 	}

@@ -16,8 +16,10 @@ type History struct {
 	max  int
 }
 
-// NewHistory wraps a plan, taking ownership of it.
+// NewHistory wraps a plan, taking ownership of it. The plan's catalog index
+// is warmed here: a history exists to absorb runtime deltas.
 func NewHistory(p *Plan) *History {
+	p.Warm()
 	return &History{plan: p, max: DefaultRetention}
 }
 
@@ -47,10 +49,16 @@ func (h *History) Apply(d Delta) error {
 	return nil
 }
 
+// trim compacts the log once it reaches twice the retention bound, keeping
+// the newest max entries. Running to 2×max before copying makes Apply's cost
+// amortized O(1) instead of an O(max) copy on every Apply at the bound;
+// between compactions the log simply reaches a little further back (Since
+// serves whatever suffix is present).
 func (h *History) trim() {
-	if len(h.log) > h.max {
-		h.log = append(h.log[:0:0], h.log[len(h.log)-h.max:]...)
+	if len(h.log) < 2*h.max {
+		return
 	}
+	h.log = append(h.log[:0:0], h.log[len(h.log)-h.max:]...)
 }
 
 // Since returns the deltas that advance a plan holder from epoch to the

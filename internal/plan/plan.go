@@ -68,7 +68,118 @@ type Plan struct {
 	// Instances lists the (template, key) pairs instantiated so far, in
 	// admission order.
 	Instances []Instance
+
+	// idx is the lazily built catalog index (see catalogIndex). It is pure
+	// derived state: never serialized, dropped by Clone, and rebuilt from the
+	// exported fields on first use, so a plan decoded off the wire or built
+	// by hand behaves identically to one that kept its index warm.
+	idx *catalogIndex
+	// touched lists the groups the most recent successful Apply mutated; see
+	// Touched.
+	touched []*query.Group
 }
+
+// bucketKey identifies one placement bucket: queries can only share a group
+// when they agree on key and placement.
+type bucketKey struct {
+	key       uint32
+	placement query.Placement
+}
+
+// catalogIndex accelerates the catalog operations that would otherwise scan
+// every group on every delta (admission buckets, id lookups, duplicate
+// checks), making delta application cost independent of catalog size. All
+// entries are derivable from the plan's exported fields; the delta appliers
+// keep a built index coherent instead of rebuilding it.
+type catalogIndex struct {
+	// buckets holds, per (key, placement) and in catalog order, the groups a
+	// new query of that bucket may join — the exact candidate set Place
+	// would gather by scanning.
+	buckets map[bucketKey][]*query.Group
+	// nextGroup is one past the largest group id in the catalog.
+	nextGroup uint32
+	// byID maps group id to group.
+	byID map[uint32]*query.Group
+	// hosts maps a query id to the groups holding a live (non-tombstoned)
+	// member with that id — one group for a concrete query, one per
+	// instantiated key for a template.
+	hosts map[uint64][]*query.Group
+	// templates holds the ids of registered templates.
+	templates map[uint64]bool
+	// maxQuery is the largest query or template id in the catalog, tombstones
+	// included (retired ids stay reserved).
+	maxQuery uint64
+	// instances marks the (template, key) pairs already materialised.
+	instances map[Instance]bool
+}
+
+// index returns the plan's catalog index, building it when the plan was just
+// constructed, cloned, or decoded.
+func (p *Plan) index() *catalogIndex {
+	if p.idx != nil {
+		return p.idx
+	}
+	ix := &catalogIndex{
+		buckets:   make(map[bucketKey][]*query.Group),
+		byID:      make(map[uint32]*query.Group),
+		hosts:     make(map[uint64][]*query.Group),
+		templates: make(map[uint64]bool),
+		instances: make(map[Instance]bool),
+	}
+	for _, g := range p.Groups {
+		if g.ID >= ix.nextGroup {
+			ix.nextGroup = g.ID + 1
+		}
+		bk := bucketKey{key: g.Key, placement: g.Placement}
+		ix.buckets[bk] = append(ix.buckets[bk], g)
+		ix.byID[g.ID] = g
+		for _, gq := range g.Queries {
+			if gq.ID > ix.maxQuery {
+				ix.maxQuery = gq.ID
+			}
+			if !gq.Removed {
+				ix.hosts[gq.ID] = appendHost(ix.hosts[gq.ID], g)
+			}
+		}
+	}
+	for _, t := range p.Templates {
+		ix.templates[t.ID] = true
+		if t.ID > ix.maxQuery {
+			ix.maxQuery = t.ID
+		}
+	}
+	for _, in := range p.Instances {
+		ix.instances[in] = true
+	}
+	p.idx = ix
+	return ix
+}
+
+// appendHost records g as a host of some query id, keeping the list
+// duplicate-free (a group holds at most one live member per id, so the list
+// stays as long as the id's live placements).
+func appendHost(hosts []*query.Group, g *query.Group) []*query.Group {
+	for _, h := range hosts {
+		if h == g {
+			return hosts
+		}
+	}
+	return append(hosts, g)
+}
+
+// Warm builds the catalog index eagerly. Plan holders that will serve
+// runtime deltas or lookups (engines installing a plan, a root's history)
+// call it at installation time, so the first delta after a clone or a wire
+// decode doesn't pay the O(catalog) lazy build inside its latency budget.
+func (p *Plan) Warm() { p.index() }
+
+// Touched returns the groups the most recent successful Apply mutated: the
+// joined (or created) group of an add or instantiate, every group that had a
+// member tombstoned by a remove, and nothing for a template registration.
+// Plan holders that mirror the catalog into runtime state (core.Engine) use
+// it to reconcile only what a delta changed. The slice is owned by the plan
+// and only valid until the next Apply; callers must not mutate or retain it.
+func (p *Plan) Touched() []*query.Group { return p.touched }
 
 // New analyzes queries into a fresh plan at epoch 0. AnyKey queries register
 // as templates; concrete queries are placed into groups by folding the same
@@ -224,6 +335,8 @@ func (p *Plan) applyAdd(q query.Query) error {
 	if p.knowsID(q.ID) {
 		return fmt.Errorf("plan: query id %d already in the catalog", q.ID)
 	}
+	ix := p.index()
+	p.touched = p.touched[:0]
 	if q.AnyKey {
 		probe := q
 		probe.AnyKey = false
@@ -231,19 +344,45 @@ func (p *Plan) applyAdd(q query.Query) error {
 			return err
 		}
 		p.Templates = append(p.Templates, q)
+		ix.templates[q.ID] = true
+		if q.ID > ix.maxQuery {
+			ix.maxQuery = q.ID
+		}
 		return nil
 	}
-	g, _, created, err := query.Place(p.Groups, q, p.queryOpts())
+	g, err := p.placeIndexed(q)
 	if err != nil {
 		return err
 	}
-	if created {
-		p.Groups = append(p.Groups, g)
+	ix.hosts[q.ID] = appendHost(ix.hosts[q.ID], g)
+	if q.ID > ix.maxQuery {
+		ix.maxQuery = q.ID
 	}
+	p.touched = append(p.touched, g)
 	return nil
 }
 
+// placeIndexed admits q into the catalog through the index's candidate
+// bucket instead of a full scan, appending a created group to the catalog
+// and the index. It produces exactly the groups query.Place would.
+func (p *Plan) placeIndexed(q query.Query) (*query.Group, error) {
+	ix := p.index()
+	bk := bucketKey{key: q.Key, placement: query.PlacementOf(q, p.queryOpts())}
+	g, _, created, err := query.PlaceIn(ix.buckets[bk], ix.nextGroup, q, p.queryOpts())
+	if err != nil {
+		return nil, err
+	}
+	if created {
+		p.Groups = append(p.Groups, g)
+		ix.buckets[bk] = append(ix.buckets[bk], g)
+		ix.byID[g.ID] = g
+		ix.nextGroup = g.ID + 1
+	}
+	return g, nil
+}
+
 func (p *Plan) applyRemove(id uint64) error {
+	ix := p.index()
 	removed := false
 	for ti := len(p.Templates) - 1; ti >= 0; ti-- {
 		if p.Templates[ti].ID == id {
@@ -254,26 +393,55 @@ func (p *Plan) applyRemove(id uint64) error {
 	if removed {
 		// Forget the template's instantiation records; its per-key instance
 		// members (same query id) are tombstoned below.
+		delete(ix.templates, id)
 		kept := p.Instances[:0]
 		for _, in := range p.Instances {
 			if in.TemplateID != id {
 				kept = append(kept, in)
+			} else {
+				delete(ix.instances, in)
 			}
 		}
 		p.Instances = kept
+		// A never-instantiated template leaves no tombstone behind, so its id
+		// is genuinely forgotten; re-derive the reservation ceiling.
+		ix.maxQuery = maxCatalogID(p)
 	}
-	for _, g := range p.Groups {
+	p.touched = p.touched[:0]
+	for _, g := range ix.hosts[id] {
 		for i := range g.Queries {
 			if g.Queries[i].ID == id && !g.Queries[i].Removed {
 				g.Queries[i].Removed = true
 				removed = true
 			}
 		}
+		p.touched = append(p.touched, g)
 	}
+	delete(ix.hosts, id)
 	if !removed {
 		return fmt.Errorf("plan: no running query with id %d", id)
 	}
 	return nil
+}
+
+// maxCatalogID scans the whole catalog for the largest query or template id,
+// tombstones included; only template removal needs it (member removal leaves
+// a tombstone that keeps the id reserved).
+func maxCatalogID(p *Plan) uint64 {
+	var max uint64
+	for _, g := range p.Groups {
+		for _, gq := range g.Queries {
+			if gq.ID > max {
+				max = gq.ID
+			}
+		}
+	}
+	for _, t := range p.Templates {
+		if t.ID > max {
+			max = t.ID
+		}
+	}
+	return max
 }
 
 func (p *Plan) applyInstantiate(tid uint64, key uint32) error {
@@ -290,33 +458,28 @@ func (p *Plan) applyInstantiate(tid uint64, key uint32) error {
 	if !p.Owns(key) {
 		return fmt.Errorf("plan: shard %d does not own key %d (shard %d does)", p.Shard, key, p.ShardOf(key))
 	}
-	for _, in := range p.Instances {
-		if in.TemplateID == tid && in.Key == key {
-			return fmt.Errorf("plan: template %d already instantiated for key %d", tid, key)
-		}
+	ix := p.index()
+	if ix.instances[Instance{TemplateID: tid, Key: key}] {
+		return fmt.Errorf("plan: template %d already instantiated for key %d", tid, key)
 	}
 	inst := *tmpl
 	inst.AnyKey = false
 	inst.Key = key
-	g, _, created, err := query.Place(p.Groups, inst, p.queryOpts())
+	p.touched = p.touched[:0]
+	g, err := p.placeIndexed(inst)
 	if err != nil {
 		return err
 	}
-	if created {
-		p.Groups = append(p.Groups, g)
-	}
+	ix.hosts[tid] = appendHost(ix.hosts[tid], g)
 	p.Instances = append(p.Instances, Instance{TemplateID: tid, Key: key})
+	ix.instances[Instance{TemplateID: tid, Key: key}] = true
+	p.touched = append(p.touched, g)
 	return nil
 }
 
 // Instantiated reports whether template tid already materialised for key.
 func (p *Plan) Instantiated(tid uint64, key uint32) bool {
-	for _, in := range p.Instances {
-		if in.TemplateID == tid && in.Key == key {
-			return true
-		}
-	}
-	return false
+	return p.index().instances[Instance{TemplateID: tid, Key: key}]
 }
 
 // knowsID reports whether id names a live query or template in the catalog.
@@ -324,39 +487,40 @@ func (p *Plan) Instantiated(tid uint64, key uint32) bool {
 // their id, but neither blocks re-admission checks — only live distinct
 // queries do.
 func (p *Plan) knowsID(id uint64) bool {
-	for _, t := range p.Templates {
-		if t.ID == id {
-			return true
-		}
-	}
-	for _, g := range p.Groups {
-		for _, gq := range g.Queries {
-			if gq.ID == id && !gq.Removed {
-				return true
-			}
-		}
-	}
-	return false
+	ix := p.index()
+	return ix.templates[id] || len(ix.hosts[id]) > 0
 }
 
-// Lookup finds the live query with id and the group hosting it.
+// Lookup finds the live query with id and the group hosting it. When a
+// template id lives in several groups (one per instantiated key), the group
+// earliest in the catalog answers, like a catalog scan would.
 func (p *Plan) Lookup(id uint64) (*query.Group, int, bool) {
-	return query.Lookup(p.Groups, id)
+	var g *query.Group
+	for _, h := range p.index().hosts[id] {
+		if g == nil || h.ID < g.ID {
+			g = h
+		}
+	}
+	if g == nil {
+		return nil, 0, false
+	}
+	for i, gq := range g.Queries {
+		if gq.ID == id && !gq.Removed {
+			return g, i, true
+		}
+	}
+	return nil, 0, false
 }
 
 // NextQueryID returns an id one larger than any query or template in the
 // catalog (tombstones included — retired ids are never reused).
 func (p *Plan) NextQueryID() uint64 {
-	next := query.NextID(p.Groups)
-	for _, t := range p.Templates {
-		if t.ID >= next {
-			next = t.ID + 1
-		}
-	}
-	return next
+	return p.index().maxQuery + 1
 }
 
-// Clone returns a deep copy sharing no mutable memory with p.
+// Clone returns a deep copy sharing no mutable memory with p. The catalog
+// index is not carried over (it holds pointers into p's groups); the clone
+// rebuilds its own on first use.
 func (p *Plan) Clone() *Plan {
 	c := *p
 	c.Groups = make([]*query.Group, len(p.Groups))
@@ -365,6 +529,8 @@ func (p *Plan) Clone() *Plan {
 	}
 	c.Templates = append([]query.Query(nil), p.Templates...)
 	c.Instances = append([]Instance(nil), p.Instances...)
+	c.idx = nil
+	c.touched = nil
 	return &c
 }
 
@@ -401,12 +567,7 @@ func (p *Plan) Restrict(shard int) *Plan {
 
 // GroupByID finds a group in the catalog.
 func (p *Plan) GroupByID(id uint32) *query.Group {
-	for _, g := range p.Groups {
-		if g.ID == id {
-			return g
-		}
-	}
-	return nil
+	return p.index().byID[id]
 }
 
 // LiveQueries counts catalog members that are not tombstoned (template
@@ -459,12 +620,10 @@ func (p *Plan) Describe() string {
 // opsOf recomputes the operator union of a group's live members; kept here
 // so wire decoding can cross-check a received catalog.
 func opsOf(g *query.Group) (logical, ops operator.Op) {
-	var specs []operator.FuncSpec
 	for _, gq := range g.Queries {
 		if !gq.Removed {
-			specs = append(specs, gq.Funcs...)
+			logical = operator.UnionFuncs(logical, gq.Funcs)
 		}
 	}
-	logical = operator.Union(specs)
 	return logical, logical | operator.OpCount
 }

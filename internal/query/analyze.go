@@ -149,6 +149,17 @@ func Split(queries []Query) (concrete, templates []Query) {
 	return concrete, templates
 }
 
+// PlacementOf returns where q's windows run under opts (§5.2): count-based
+// windows land on the root of a decentralized topology, everything else is
+// distributed. It is the bucket key Place groups candidates by, exposed so
+// indexed callers (plan.Plan) can select the bucket without a catalog scan.
+func PlacementOf(q Query, opts Options) Placement {
+	if opts.Decentralized && q.Measure == Count {
+		return RootOnly
+	}
+	return Distributed
+}
+
 // Place adds a query to an existing group set at runtime, following the same
 // rules as Analyze. It mutates the set deterministically — every node of a
 // topology applying the same Place calls in the same order derives identical
@@ -157,29 +168,36 @@ func Split(queries []Query) (concrete, templates []Query) {
 // it, and whether a new group was created. The new group, if any, must be
 // appended to the caller's set.
 func Place(groups []*Group, q Query, opts Options) (g *Group, member int, created bool, err error) {
-	if err := q.Validate(); err != nil {
-		return nil, 0, false, err
-	}
-	placement := Distributed
-	if opts.Decentralized && q.Measure == Count {
-		placement = RootOnly
-	}
+	placement := PlacementOf(q, opts)
 	var bucket []*Group
-	var maxID uint32
+	var nextID uint32
 	for _, cand := range groups {
-		if cand.ID >= maxID {
-			maxID = cand.ID + 1
+		if cand.ID >= nextID {
+			nextID = cand.ID + 1
 		}
 		if cand.Key == q.Key && cand.Placement == placement {
 			bucket = append(bucket, cand)
 		}
 	}
+	return PlaceIn(bucket, nextID, q, opts)
+}
+
+// PlaceIn is Place with the candidate scan hoisted out: bucket must hold, in
+// catalog order, exactly the groups matching (q.Key, PlacementOf(q, opts)),
+// and nextGroupID must be one past the largest group id in the whole set.
+// Callers that maintain an index over their catalog (plan.Plan) use it to
+// make admission cost independent of catalog size; the produced groups are
+// identical to Place's.
+func PlaceIn(bucket []*Group, nextGroupID uint32, q Query, opts Options) (g *Group, member int, created bool, err error) {
+	if err := q.Validate(); err != nil {
+		return nil, 0, false, err
+	}
 	g, ctx := place(bucket, q.Pred)
 	if g == nil {
 		g = &Group{
-			ID:        maxID,
+			ID:        nextGroupID,
 			Key:       q.Key,
-			Placement: placement,
+			Placement: PlacementOf(q, opts),
 			Contexts:  []Predicate{q.Pred},
 			Dedup:     opts.Dedup,
 		}
@@ -187,14 +205,14 @@ func Place(groups []*Group, q Query, opts Options) (g *Group, member int, create
 		created = true
 	}
 	g.Queries = append(g.Queries, GroupQuery{Query: q, Ctx: ctx})
-	var specs []operator.FuncSpec
+	var ops operator.Op
 	for _, gq := range g.Queries {
 		if gq.Removed {
 			continue
 		}
-		specs = append(specs, gq.Funcs...)
+		ops = operator.UnionFuncs(ops, gq.Funcs)
 	}
-	g.LogicalOps = operator.Union(specs)
+	g.LogicalOps = ops
 	g.Ops = g.LogicalOps | operator.OpCount
 	return g, len(g.Queries) - 1, created, nil
 }
