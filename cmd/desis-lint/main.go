@@ -1,26 +1,39 @@
 // Command desis-lint checks the Desis tree against the engine's ownership,
-// locking, and slicing contracts with three project-specific analyzers:
+// locking, slicing, concurrency, wire-protocol, and hot-path contracts with
+// seven project-specific analyzers:
 //
-//	noretain        pooled values must not be used after release, and
-//	                Conn.Send implementations must not retain the message
-//	lockorder       lock-order cycles, re-entrant locking, and blocking
-//	                operations under a mutex
-//	sliceinvariant  slice/window state is written only at its documented
-//	                mutation points; slice ids stay monotone
+//	noretain         pooled values must not be used after release, and
+//	                 Conn.Send implementations must not retain the message
+//	lockorder        lock-order cycles, re-entrant locking, and blocking
+//	                 operations under a mutex
+//	sliceinvariant   slice/window state is written only at its documented
+//	                 mutation points; slice ids stay monotone
+//	atomiccoherence  atomic struct fields are accessed atomically at every
+//	                 site; lock/atomic-bearing values are never copied
+//	wirekind         every message.Kind constant is handled in every codec,
+//	                 replay, and batching classifier
+//	hotalloc         //desis:hotpath functions must not allocate, directly
+//	                 or through any statically-resolved callee
+//	goroutinelife    every go statement has a provable join/stop edge
 //
 // Standalone use (patterns default to ./...):
 //
 //	go run ./cmd/desis-lint ./...
+//	go run ./cmd/desis-lint -json ./...   # one JSON object per diagnostic
 //
 // As a vet tool (runs per package under cmd/go, results cached like vet's):
 //
 //	go build -o desis-lint ./cmd/desis-lint
 //	go vet -vettool=./desis-lint ./...
 //
+// Deliberate violations are excused inline with
+// `//lint:ignore <analyzer> <reason>`; the reason is mandatory.
+//
 // Exit status 2 when any diagnostic is reported, 1 on operational errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"go/token"
@@ -28,9 +41,13 @@ import (
 	"strings"
 
 	"desis/internal/lint"
+	"desis/internal/lint/atomiccoherence"
+	"desis/internal/lint/goroutinelife"
+	"desis/internal/lint/hotalloc"
 	"desis/internal/lint/lockorder"
 	"desis/internal/lint/noretain"
 	"desis/internal/lint/sliceinvariant"
+	"desis/internal/lint/wirekind"
 )
 
 func analyzers() []*lint.Analyzer {
@@ -38,6 +55,10 @@ func analyzers() []*lint.Analyzer {
 		noretain.Analyzer,
 		lockorder.Analyzer,
 		sliceinvariant.Analyzer,
+		atomiccoherence.Analyzer,
+		wirekind.Analyzer,
+		hotalloc.Analyzer,
+		goroutinelife.Analyzer,
 	}
 }
 
@@ -48,8 +69,9 @@ func main() {
 			lint.UnitcheckerMain(a, analyzers())
 		}
 	}
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON lines (file/line/col/analyzer/message)")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: desis-lint [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: desis-lint [-json] [packages]\n\n")
 		for _, a := range analyzers() {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-15s %s\n", a.Name, a.Doc)
 		}
@@ -59,10 +81,20 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	os.Exit(run(patterns))
+	os.Exit(run(patterns, *jsonOut))
 }
 
-func run(patterns []string) int {
+// jsonDiagnostic is the -json line format, one object per finding, stable
+// for CI annotation tooling.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func run(patterns []string, jsonOut bool) int {
 	cwd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "desis-lint: %v\n", err)
@@ -79,8 +111,17 @@ func run(patterns []string) int {
 		fmt.Fprintf(os.Stderr, "desis-lint: %v\n", err)
 		return 1
 	}
+	enc := json.NewEncoder(os.Stdout)
 	for _, d := range diags {
-		fmt.Printf("%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+		pos := fset.Position(d.Pos)
+		if jsonOut {
+			_ = enc.Encode(jsonDiagnostic{
+				File: pos.Filename, Line: pos.Line, Col: pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+			continue
+		}
+		fmt.Printf("%s: [%s] %s\n", pos, d.Analyzer, d.Message)
 	}
 	if len(diags) > 0 {
 		return 2

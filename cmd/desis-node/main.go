@@ -113,6 +113,7 @@ func main() {
 // Debug serving is best-effort: a bind failure is reported but never takes
 // the node down.
 func serveDebug(addr string, reg *telemetry.Registry) {
+	//lint:ignore goroutinelife the debug server deliberately lives for the process; the node has no reconfiguration that would need it stopped
 	go func() {
 		if err := http.ListenAndServe(addr, telemetry.DebugMux(reg)); err != nil {
 			fmt.Fprintln(os.Stderr, "desis-node: debug server:", err)

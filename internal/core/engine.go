@@ -131,8 +131,11 @@ func (e *Engine) install(gs *groupState) {
 // Process ingests one event, routing it to every group of its key. The
 // first event of an unseen key instantiates any registered group-by
 // templates for it.
+//
+//desis:hotpath
 func (e *Engine) Process(ev event.Event) {
 	if len(e.plan.Templates) > 0 && !e.tmplKeys[ev.Key] {
+		//lint:ignore hotalloc cold path: template instantiation runs once per unseen key, through the full plan-delta machinery
 		e.instantiateTemplates(ev.Key)
 	}
 	for _, gs := range e.byKey[ev.Key] {
@@ -335,6 +338,8 @@ func (e *Engine) RemoveQuery(id uint64) error {
 }
 
 // ProcessBatch ingests a batch of events in order.
+//
+//desis:hotpath
 func (e *Engine) ProcessBatch(evs []event.Event) {
 	for _, ev := range evs {
 		e.Process(ev)

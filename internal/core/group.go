@@ -87,6 +87,16 @@ type groupState struct {
 	// dropped. nil when the group does not request deduplication.
 	dedup map[dedupKey]struct{}
 
+	// Bound punctuation callbacks: constructed once so the ingest path hands
+	// the trackers preallocated closures instead of allocating one per event
+	// or punctuation (the hotalloc contract on process/advanceTime).
+	onTimeEnd   func(idx int, start int64)
+	onCountEnd  func(idx int, start int64)
+	onSessEnd   func(idx int, start, end int64)
+	onMarkerEnd func(idx int, start, end int64)
+	onUDOpen    func(idx int)
+	curBound    int64 // time boundary being punctuated, read by onTimeEnd
+
 	// Per-group instruments, nil until Engine.AttachTelemetry: their
 	// methods no-op on nil, so the hot path calls them unconditionally and
 	// an unattached engine pays one branch, zero allocations.
@@ -113,6 +123,13 @@ func newGroupState(e *Engine, g *query.Group) *groupState {
 	if g.Dedup {
 		gs.dedup = make(map[dedupKey]struct{})
 	}
+	// The callbacks close over gs once; per-punctuation state (the current
+	// boundary) travels through gs fields rather than fresh captures.
+	gs.onTimeEnd = func(idx int, start int64) { gs.assembleTime(idx, start, gs.curBound) }
+	gs.onCountEnd = func(idx int, start int64) { gs.assembleCount(idx, start, gs.count) }
+	gs.onSessEnd = func(idx int, start, end int64) { gs.endDynamic(idx, start, end, gs.sessions.LastEvent()) }
+	gs.onMarkerEnd = func(idx int, start, end int64) { gs.endDynamic(idx, start, end, 0) }
+	gs.onUDOpen = func(idx int) { gs.members[idx].udOpenSeq = gs.nextSliceID }
 	for _, gq := range g.Queries {
 		gs.addMember(gq)
 	}
@@ -193,6 +210,7 @@ func (g *groupState) newAggs() []operator.Agg {
 			return aggs
 		}
 	}
+	//lint:ignore hotalloc pool-miss growth path: steady state recycles rows via recycleAggs, so this runs only while the pool warms up
 	aggs := make([]operator.Agg, len(g.contexts))
 	for i := range aggs {
 		aggs[i].Reset(g.ops)
@@ -218,6 +236,8 @@ func (g *groupState) useIndex() bool {
 // process routes one event through the group: punctuations first (window
 // ends exclude the boundary event), then incremental aggregation, then
 // count-axis punctuations.
+//
+//desis:hotpath
 func (g *groupState) process(ev event.Event) {
 	if !g.started {
 		g.start(ev.Time)
@@ -254,9 +274,7 @@ func (g *groupState) process(ev event.Event) {
 	if !g.ud.Empty() {
 		// Windows opened by this event start with the slice that will
 		// contain it.
-		g.ud.ObserveOpened(ev.Time, func(idx int) {
-			g.members[idx].udOpenSeq = g.nextSliceID
-		})
+		g.ud.ObserveOpened(ev.Time, g.onUDOpen)
 	}
 	g.lastEventTime = ev.Time
 	g.cur.lastEvent = ev.Time
@@ -271,6 +289,8 @@ func (g *groupState) process(ev event.Event) {
 
 // advanceTime fires every time-axis punctuation (fixed boundaries and
 // session gap expiries) at or before t, in order.
+//
+//desis:hotpath
 func (g *groupState) advanceTime(t int64) {
 	if !g.started {
 		return
@@ -290,13 +310,10 @@ func (g *groupState) advanceTime(t int64) {
 		}
 		g.closeSlice(b)
 		if g.e.cfg.OnSlice == nil {
-			g.cal.EndsAt(b, func(idx int, start int64) {
-				g.assembleTime(idx, start, b)
-			})
+			g.curBound = b
+			g.cal.EndsAt(b, g.onTimeEnd)
 		}
-		g.sessions.ExpireBefore(b, func(idx int, start, end int64) {
-			g.endDynamic(idx, start, end, g.sessions.LastEvent())
-		})
+		g.sessions.ExpireBefore(b, g.onSessEnd)
 		g.flushPending()
 		if b >= g.nextTimeBound {
 			g.nextTimeBound = g.cal.NextBoundary(b)
@@ -311,9 +328,7 @@ func (g *groupState) handleMarker(t int64) {
 		return
 	}
 	g.closeSlice(t)
-	g.ud.Marker(t, func(idx int, start, end int64) {
-		g.endDynamic(idx, start, end, 0)
-	})
+	g.ud.Marker(t, g.onMarkerEnd)
 	// The next window of every user-defined member starts with the next
 	// slice; the one just cut holds pre-marker events.
 	for i := range g.members {
@@ -330,9 +345,7 @@ func (g *groupState) handleMarker(t int64) {
 func (g *groupState) punctuateCount(t int64) {
 	g.closeSlice(t)
 	if g.e.cfg.OnSlice == nil {
-		g.countCal.EndsAt(g.count, func(idx int, start int64) {
-			g.assembleCount(idx, start, g.count)
-		})
+		g.countCal.EndsAt(g.count, g.onCountEnd)
 	}
 	g.flushPending()
 	g.prune()
@@ -357,6 +370,8 @@ func (g *groupState) endDynamic(idx int, start, end, gapStart int64) {
 // closeSlice terminates the open slice at time-axis position b (no-op when
 // the slice is empty on both axes), stores or stages it, and opens the next
 // one.
+//
+//desis:hotpath
 func (g *groupState) closeSlice(b int64) {
 	if g.count == g.cur.startCount {
 		// No events since the last punctuation: slide the open slice
@@ -382,15 +397,8 @@ func (g *groupState) closeSlice(b int64) {
 	} else {
 		g.closed = append(g.closed, g.cur)
 		if invariant.Enabled {
-			if n := len(g.closed); n >= 2 {
-				a, rec := &g.closed[n-2], &g.closed[n-1]
-				invariant.Assertf(a.end <= rec.start,
-					"slice ring overlap: seq %d ends at %d, seq %d starts at %d", a.seq, a.end, rec.seq, rec.start)
-				invariant.Assertf(a.seq < rec.seq,
-					"slice ring seq not monotone: %d then %d", a.seq, rec.seq)
-				invariant.Assertf(a.endCount <= rec.startCount,
-					"slice ring count overlap: seq %d ends at count %d, seq %d starts at count %d", a.seq, a.endCount, rec.seq, rec.startCount)
-			}
+			//lint:ignore hotalloc debug-build verification: the ring invariants box their Assertf args, and invariant.Enabled compiles this call out of release builds
+			g.checkRing()
 		}
 		if g.useIndex() {
 			g.idx.configure(len(g.contexts), g.ops&^operator.OpNDSort, len(g.closed)-1)
@@ -404,8 +412,25 @@ func (g *groupState) closeSlice(b int64) {
 	}
 	if g.dedup != nil && len(g.dedup) > 0 {
 		// Deduplication is slice-scoped: the context resets with the slice.
-		g.dedup = make(map[dedupKey]struct{})
+		// clear keeps the map's buckets, so steady-state slices reuse them.
+		clear(g.dedup)
 	}
+}
+
+// checkRing asserts the closed-slice ring stays disjoint and monotone on
+// both axes after an append. Debug builds only (desis_invariants).
+func (g *groupState) checkRing() {
+	n := len(g.closed)
+	if n < 2 {
+		return
+	}
+	a, rec := &g.closed[n-2], &g.closed[n-1]
+	invariant.Assertf(a.end <= rec.start,
+		"slice ring overlap: seq %d ends at %d, seq %d starts at %d", a.seq, a.end, rec.seq, rec.start)
+	invariant.Assertf(a.seq < rec.seq,
+		"slice ring seq not monotone: %d then %d", a.seq, rec.seq)
+	invariant.Assertf(a.endCount <= rec.startCount,
+		"slice ring count overlap: seq %d ends at count %d, seq %d starts at count %d", a.seq, a.endCount, rec.seq, rec.startCount)
 }
 
 // stagePartial converts the closed slice into an outgoing SlicePartial; EPs
@@ -450,6 +475,7 @@ func (g *groupState) getPartial() *SlicePartial {
 		p.EPs = p.EPs[:0]
 		return p
 	}
+	//lint:ignore hotalloc pool-miss growth path: shipped partials come back through Engine.RecyclePartial, so this runs only while the pool warms up
 	return &SlicePartial{Group: g.id}
 }
 

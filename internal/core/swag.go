@@ -179,6 +179,11 @@ func (x *sliceIndex) check(closed []sliceRec) {
 	if !invariant.Enabled {
 		return
 	}
+	//lint:ignore hotalloc debug-build verification: invariant.Enabled is a build constant, so release builds compile this call away
+	x.checkSlow(closed)
+}
+
+func (x *sliceIndex) checkSlow(closed []sliceRec) {
 	invariant.Assertf(0 <= x.s0 && x.s0 <= x.f1 && x.f1 <= x.n,
 		"slice index flip points out of order: s0=%d f1=%d n=%d", x.s0, x.f1, x.n)
 	invariant.Assertf(len(x.suffix) == (x.f1-x.s0)*x.nctx,

@@ -1,0 +1,308 @@
+// Package atomiccoherence enforces coherent access to shared atomic state,
+// the contract whose violation caused the PR 5 Engine.Stats data race: a
+// counter bumped through sync/atomic on the hot path but read with a plain
+// load in the stats snapshot. The race detector only catches that shape
+// when a test happens to overlap the two sites; this analyzer catches it
+// structurally.
+//
+// Two rules:
+//
+//  1. Mixed access. A struct field that is passed to any sync/atomic
+//     function (atomic.AddUint64(&s.n, 1), ...) anywhere in the package is
+//     atomic state everywhere: every other selection of that field must
+//     take its address (feeding another atomic call), never read or write
+//     it plainly — including "init-only" or "single-writer" paths, which
+//     is exactly where the Engine.Stats race hid. Composite-literal
+//     initialization before the value is shared is permitted.
+//
+//  2. No copies. A value whose type transitively contains a sync lock
+//     (Mutex, RWMutex, WaitGroup, Once, Cond, Map, Pool), a typed atomic
+//     (atomic.Uint64 family, atomic.Value, atomic.Pointer), or a field
+//     found atomic by rule 1 must not be copied: not by assignment, not as
+//     a call argument, not by value receiver or parameter, not by range,
+//     not by return. A copy forks the synchronization state itself, so
+//     both halves race from then on.
+//
+// Analysis is per package, matching where such fields live (they are
+// unexported); both drivers behave identically.
+package atomiccoherence
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"desis/internal/lint"
+)
+
+// Analyzer is the package-level atomiccoherence pass.
+var Analyzer = &lint.Analyzer{
+	Name: "atomiccoherence",
+	Doc:  "atomic struct fields are accessed atomically at every site, and lock/atomic-bearing values are never copied",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) (any, error) {
+	c := &checker{
+		pass:         pass,
+		atomicFields: map[*types.Var]bool{},
+		addrTaken:    map[*ast.SelectorExpr]bool{},
+		nocopyCache:  map[types.Type]string{},
+	}
+	// Pass 1: find the fields used with sync/atomic functions, and every
+	// selector already in address-of position.
+	for _, f := range pass.Files {
+		ast.Inspect(f, c.collect)
+	}
+	// Pass 2: report plain accesses and copies.
+	for _, f := range pass.Files {
+		c.checkAccess(f)
+		ast.Inspect(f, c.checkCopies)
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass *lint.Pass
+	// atomicFields are struct fields passed by address to a sync/atomic
+	// function somewhere in this package.
+	atomicFields map[*types.Var]bool
+	// addrTaken marks selectors appearing as &x.f; taking the address is
+	// not an access, and it is how atomic call sites name the field.
+	addrTaken map[*ast.SelectorExpr]bool
+	// nocopyCache memoizes containsNoCopy, "" for copyable types.
+	nocopyCache map[types.Type]string
+}
+
+// collect records atomic-function operands and address-of selectors.
+func (c *checker) collect(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.UnaryExpr:
+		if n.Op.String() == "&" {
+			if sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok {
+				c.addrTaken[sel] = true
+			}
+		}
+	case *ast.CallExpr:
+		full := lint.CalleeFullName(c.pass.TypesInfo, n)
+		if !strings.HasPrefix(full, "sync/atomic.") {
+			return true
+		}
+		for _, arg := range n.Args {
+			u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+			if !ok || u.Op.String() != "&" {
+				continue
+			}
+			sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			if fld := c.fieldOf(sel); fld != nil {
+				c.atomicFields[fld] = true
+			}
+		}
+	}
+	return true
+}
+
+// fieldOf resolves sel to the struct field it selects, or nil.
+func (c *checker) fieldOf(sel *ast.SelectorExpr) *types.Var {
+	s, ok := c.pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// checkAccess reports every plain (non-address-of) selection of an atomic
+// field.
+func (c *checker) checkAccess(f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fld := c.fieldOf(sel)
+		if fld == nil || !c.atomicFields[fld] || c.addrTaken[sel] {
+			return true
+		}
+		owner := lint.TypeFullName(c.pass.TypesInfo.Types[sel.X].Type)
+		if owner == "" {
+			owner = "struct"
+		}
+		c.pass.Reportf(sel.Sel.Pos(),
+			"%s.%s is accessed with sync/atomic elsewhere in this package; this plain access races with it (use the atomic API here too)",
+			owner, fld.Name())
+		return true
+	})
+}
+
+// checkCopies reports by-value copies of lock/atomic-bearing values.
+func (c *checker) checkCopies(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for i, rhs := range n.Rhs {
+			// Discarding into the blank identifier copies nothing.
+			if len(n.Lhs) == len(n.Rhs) {
+				if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+					continue
+				}
+			}
+			c.checkCopiedExpr(rhs, "assignment")
+		}
+	case *ast.CallExpr:
+		if isConversion(c.pass.TypesInfo, n) {
+			return true
+		}
+		for _, arg := range n.Args {
+			c.checkCopiedExpr(arg, "call argument")
+		}
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			c.checkCopiedExpr(r, "return")
+		}
+	case *ast.RangeStmt:
+		if t := c.rangeValueType(n.Value); t != nil {
+			if carrier := c.containsNoCopy(t); carrier != "" {
+				c.pass.Reportf(n.Value.Pos(),
+					"range copies a value containing %s; iterate by index or store pointers", carrier)
+			}
+		}
+	case *ast.FuncDecl:
+		if n.Recv != nil {
+			for _, fld := range n.Recv.List {
+				c.checkFieldDecl(fld, "value receiver")
+			}
+		}
+		if n.Type.Params != nil {
+			for _, fld := range n.Type.Params.List {
+				c.checkFieldDecl(fld, "parameter")
+			}
+		}
+	}
+	return true
+}
+
+// rangeValueType resolves the type of a range statement's value variable
+// (a definition in `:=` mode, a use in `=` mode), nil when absent or blank.
+func (c *checker) rangeValueType(value ast.Expr) types.Type {
+	if value == nil {
+		return nil
+	}
+	if id, ok := value.(*ast.Ident); ok {
+		if id.Name == "_" {
+			return nil
+		}
+		if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := c.pass.TypesInfo.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	if t := c.pass.TypesInfo.Types[value]; t.Type != nil {
+		return t.Type
+	}
+	return nil
+}
+
+// checkCopiedExpr flags expr when evaluating it copies a lock/atomic-
+// bearing value out of existing storage: dereferences and variable or
+// field reads, not composite literals (construction) or call results
+// (the copy is inside the callee).
+func (c *checker) checkCopiedExpr(expr ast.Expr, what string) {
+	switch ast.Unparen(expr).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+	default:
+		return
+	}
+	t := c.pass.TypesInfo.Types[expr].Type
+	if t == nil {
+		return
+	}
+	if carrier := c.containsNoCopy(t); carrier != "" {
+		c.pass.Reportf(expr.Pos(),
+			"%s copies a value containing %s; both copies race from here on (pass a pointer)", what, carrier)
+	}
+}
+
+// checkFieldDecl flags receivers/parameters declared by value with a
+// nocopy type.
+func (c *checker) checkFieldDecl(fld *ast.Field, what string) {
+	t := c.pass.TypesInfo.Types[fld.Type].Type
+	if t == nil {
+		return
+	}
+	if _, isPtr := types.Unalias(t).(*types.Pointer); isPtr {
+		return
+	}
+	if carrier := c.containsNoCopy(t); carrier != "" {
+		c.pass.Reportf(fld.Type.Pos(),
+			"%s copies a value containing %s; both copies race from here on (use a pointer)", what, carrier)
+	}
+}
+
+// nocopyCarriers are the sync and sync/atomic types whose values must not
+// be copied after first use.
+var nocopyCarriers = map[string]bool{
+	"sync.Mutex": true, "sync.RWMutex": true, "sync.WaitGroup": true,
+	"sync.Once": true, "sync.Cond": true, "sync.Map": true, "sync.Pool": true,
+	"sync/atomic.Value": true, "sync/atomic.Bool": true,
+	"sync/atomic.Int32": true, "sync/atomic.Int64": true,
+	"sync/atomic.Uint32": true, "sync/atomic.Uint64": true,
+	"sync/atomic.Uintptr": true, "sync/atomic.Pointer": true,
+}
+
+// containsNoCopy reports the name of the lock/atomic carrier t transitively
+// contains by value, or "".
+func (c *checker) containsNoCopy(t types.Type) string {
+	if carrier, ok := c.nocopyCache[t]; ok {
+		return carrier
+	}
+	c.nocopyCache[t] = "" // breaks recursive types; refined below
+	carrier := c.findCarrier(t)
+	c.nocopyCache[t] = carrier
+	return carrier
+}
+
+func (c *checker) findCarrier(t types.Type) string {
+	t = types.Unalias(t)
+	if named := lint.NamedOf(t); named != nil {
+		if _, isPtr := t.(*types.Pointer); isPtr {
+			return "" // pointing at a carrier is the correct usage
+		}
+		full := lint.TypeFullName(named)
+		// atomic.Pointer[T] renders with type arguments; match the base.
+		if base, _, ok := strings.Cut(full, "["); ok {
+			full = base
+		}
+		if nocopyCarriers[full] {
+			return full
+		}
+		return c.containsNoCopy(named.Underlying())
+	}
+	switch t := t.(type) {
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			fld := t.Field(i)
+			if c.atomicFields[fld] {
+				return fmt.Sprintf("atomically accessed field %s", fld.Name())
+			}
+			if carrier := c.containsNoCopy(fld.Type()); carrier != "" {
+				return carrier
+			}
+		}
+	case *types.Array:
+		return c.containsNoCopy(t.Elem())
+	}
+	return ""
+}
+
+// isConversion reports whether call is a type conversion, not a function
+// call.
+func isConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}

@@ -1,0 +1,19 @@
+package atomiccoherence_test
+
+import (
+	"testing"
+
+	"desis/internal/lint/atomiccoherence"
+	"desis/internal/lint/linttest"
+)
+
+func TestAtomicCoherence(t *testing.T) {
+	linttest.Run(t, atomiccoherence.Analyzer, "a")
+}
+
+// TestEngineStatsRegression pins the PR 5 Engine.Stats race shape: atomic
+// writes on the ingest path, plain reads and a struct copy in the
+// snapshot. The analyzer must flag every racing site.
+func TestEngineStatsRegression(t *testing.T) {
+	linttest.Run(t, atomiccoherence.Analyzer, "enginestats")
+}

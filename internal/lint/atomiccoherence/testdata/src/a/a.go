@@ -1,0 +1,94 @@
+// Package a exercises both atomiccoherence rules: mixed atomic/plain
+// access to a field, and by-value copies of lock- or atomic-bearing
+// values.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// counters has one field under sync/atomic and one plain field.
+type counters struct {
+	hits uint64 // accessed via atomic.AddUint64: atomic everywhere
+	cold uint64 // never touched atomically: plain access is fine
+}
+
+func (c *counters) bump() {
+	atomic.AddUint64(&c.hits, 1)
+	c.cold++
+}
+
+func (c *counters) read() (uint64, uint64) {
+	h := atomic.LoadUint64(&c.hits)
+	return h, c.cold
+}
+
+// snapshotRace is the race shape: a plain read of an atomically written
+// field, hidden on a path that "only runs at shutdown".
+func (c *counters) snapshotRace() uint64 {
+	return c.hits // want `counters\.hits is accessed with sync/atomic elsewhere`
+}
+
+func (c *counters) resetRace() {
+	c.hits = 0 // want `counters\.hits is accessed with sync/atomic elsewhere`
+	c.cold = 0
+}
+
+// addrEscape takes the address without accessing; permitted (it is how
+// atomic call sites name the field).
+func (c *counters) addrEscape() *uint64 { return &c.hits }
+
+// guarded mixes a mutex with data; copying it forks the lock.
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// typedStats carries a typed atomic; copying it forks the counter.
+type typedStats struct {
+	events atomic.Uint64
+}
+
+func (t *typedStats) inc() { t.events.Add(1) }
+
+func copies(g *guarded, ts *typedStats) {
+	snap := *g // want `assignment copies a value containing sync\.Mutex`
+	_ = snap
+	dup := *ts // want `assignment copies a value containing sync/atomic\.Uint64`
+	_ = dup
+}
+
+func byArg(g guarded) int { // want `parameter copies a value containing sync\.Mutex`
+	return g.n
+}
+
+func (t typedStats) byRecv() {} // want `value receiver copies a value containing sync/atomic\.Uint64`
+
+func byReturn(g *guarded) guarded {
+	return *g // want `return copies a value containing sync\.Mutex`
+}
+
+func byRange(all []guarded) int {
+	n := 0
+	for _, g := range all { // want `range copies a value containing sync\.Mutex`
+		n += g.n
+	}
+	for i := range all { // iterate by index: fine
+		n += all[i].n
+	}
+	return n
+}
+
+// construction and pointer flow are not copies.
+func fine() *guarded {
+	g := &guarded{n: 1}
+	p := g
+	_ = p
+	var ts typedStats
+	ts.inc()
+	use(&ts)
+	return g
+}
+
+func use(*typedStats) {}

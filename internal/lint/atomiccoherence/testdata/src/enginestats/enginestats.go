@@ -1,0 +1,54 @@
+// Package enginestats reproduces the PR 5 Engine.Stats data race shape as
+// a regression fixture: per-event counters bumped through sync/atomic on
+// the ingest path, then read plainly (and copied wholesale) by the stats
+// snapshot. atomiccoherence must catch both sites.
+package enginestats
+
+import "sync/atomic"
+
+type engineStats struct {
+	events       uint64
+	calculations uint64
+	windows      uint64
+}
+
+type Engine struct {
+	stats engineStats
+}
+
+type Stats struct {
+	Events       uint64
+	Calculations uint64
+	Windows      uint64
+}
+
+// Process is the hot path: counters move only through sync/atomic.
+func (e *Engine) Process(nCalc, nWin int) {
+	atomic.AddUint64(&e.stats.events, 1)
+	atomic.AddUint64(&e.stats.calculations, uint64(nCalc))
+	atomic.AddUint64(&e.stats.windows, uint64(nWin))
+}
+
+// Stats is the pre-PR-5 snapshot: plain loads racing with Process.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Events:       e.stats.events,       // want `engineStats\.events is accessed with sync/atomic elsewhere`
+		Calculations: e.stats.calculations, // want `engineStats\.calculations is accessed with sync/atomic elsewhere`
+		Windows:      e.stats.windows,      // want `engineStats\.windows is accessed with sync/atomic elsewhere`
+	}
+}
+
+// snapshot copies the whole stats struct: rule 1 would miss it (no field
+// selection of an atomic field), rule 2 catches the forked counters.
+func (e *Engine) snapshot() engineStats {
+	return e.stats // want `return copies a value containing atomically accessed field events`
+}
+
+// StatsFixed is the PR 5 shape after the fix: atomic loads only.
+func (e *Engine) StatsFixed() Stats {
+	return Stats{
+		Events:       atomic.LoadUint64(&e.stats.events),
+		Calculations: atomic.LoadUint64(&e.stats.calculations),
+		Windows:      atomic.LoadUint64(&e.stats.windows),
+	}
+}

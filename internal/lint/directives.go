@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Comment directives understood by the framework and its analyzers:
+//
+//	//lint:ignore <analyzer>[,<analyzer>] <reason>
+//	    Suppresses the named analyzers' diagnostics on the marker's own
+//	    line and on the line directly below it (so the marker can trail
+//	    the offending expression or sit on its own line above it). The
+//	    reason is mandatory: a suppression without a written-down
+//	    justification is itself reported.
+//
+//	//desis:hotpath
+//	    Marks a function as part of the zero-allocation contract checked
+//	    by the hotalloc analyzer.
+//
+//	//desis:wirekind
+//	    Marks a function as a Kind classifier that must handle every
+//	    constant of the switched enum type (wirekind analyzer); the
+//	    shipping codec entry points are additionally pinned by wirekind's
+//	    built-in rules table.
+
+// suppression records one //lint:ignore marker.
+type suppression struct {
+	analyzers []string
+	line      int
+}
+
+// SuppressionIndex maps filenames to their //lint:ignore markers.
+type SuppressionIndex map[string][]suppression
+
+// CollectSuppressions scans the comments of files for //lint:ignore
+// markers, merging them into idx (pass nil to start one). Malformed
+// markers (missing analyzer list or missing reason) go to report, when
+// non-nil, so they cannot silently suppress nothing.
+func CollectSuppressions(fset *token.FileSet, files []*ast.File, idx SuppressionIndex, report func(Diagnostic)) SuppressionIndex {
+	if idx == nil {
+		idx = SuppressionIndex{}
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					if report != nil {
+						report(Diagnostic{
+							Pos:      c.Pos(),
+							Analyzer: "lint",
+							Message:  "malformed //lint:ignore: need an analyzer list and a reason",
+						})
+					}
+					continue
+				}
+				idx[pos.Filename] = append(idx[pos.Filename], suppression{
+					analyzers: strings.Split(fields[0], ","),
+					line:      pos.Line,
+				})
+			}
+		}
+	}
+	return idx
+}
+
+// Covers reports whether an //lint:ignore marker for analyzer sits on
+// pos's line or the line above.
+func (idx SuppressionIndex) Covers(fset *token.FileSet, analyzer string, pos token.Pos) bool {
+	p := fset.Position(pos)
+	for _, s := range idx[p.Filename] {
+		if p.Line != s.line && p.Line != s.line+1 {
+			continue
+		}
+		for _, a := range s.analyzers {
+			if a == analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// HasDirective reports whether doc contains the comment directive name (for
+// example "//desis:hotpath") on a line of its own.
+func HasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == name || strings.HasPrefix(text, name+" ") {
+			return true
+		}
+	}
+	return false
+}

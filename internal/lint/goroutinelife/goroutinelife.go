@@ -1,0 +1,166 @@
+// Package goroutinelife demands a provable lifetime for every goroutine:
+// each `go` statement's body must carry a join or stop edge, so nothing in
+// the tree can outlive its owner silently. The uplink pump, heartbeat, and
+// stats-pull goroutines (PRs 3-6) are all supervised through exactly these
+// edges; a goroutine without one leaks on reconfiguration and keeps stale
+// state alive across plan epochs.
+//
+// Accepted edges, anywhere in the spawned body (including defers and
+// nested literals), or in a same-package callee up to two calls deep:
+//
+//   - a (*sync.WaitGroup).Done call — the owner joins via Wait — or a
+//     (*sync.WaitGroup).Wait call — the goroutine's own life is bounded
+//     by the group draining (the closer-goroutine pattern);
+//   - close(ch) or a channel send — completion is signalled;
+//   - a channel receive (<-ch, select receive, for-range over a channel) —
+//     the goroutine subscribes to a stop/work channel, which covers
+//     context cancellation (<-ctx.Done()) too;
+//   - an endpoint-bounded loop: a call to a method named Recv, RecvTimeout,
+//     Accept, or AcceptTCP, or to io.Copy — the owner stops the goroutine
+//     by closing the endpoint, which makes the blocking call fail.
+//
+// Goroutines whose target cannot be resolved statically (func-typed
+// variables, cross-package functions) are reported: if the lifetime is
+// managed somewhere the analyzer cannot see, say so with a justified
+// //lint:ignore marker at the spawn site.
+package goroutinelife
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"desis/internal/lint"
+)
+
+// Analyzer is the goroutine-lifetime pass.
+var Analyzer = &lint.Analyzer{
+	Name: "goroutinelife",
+	Doc:  "every go statement has a provable join/stop edge (WaitGroup, channel close/send/receive, endpoint-bounded loop)",
+	Run:  run,
+}
+
+// callDepth limits the same-package call chain searched for an edge.
+const callDepth = 2
+
+func run(pass *lint.Pass) (any, error) {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+	c := &checker{pass: pass, decls: decls}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				c.checkGo(g)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass  *lint.Pass
+	decls map[*types.Func]*ast.FuncDecl
+}
+
+func (c *checker) checkGo(g *ast.GoStmt) {
+	var body *ast.BlockStmt
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		body = lit.Body
+	} else if fn := lint.Callee(c.pass.TypesInfo, g.Call); fn != nil {
+		fd, ok := c.decls[fn]
+		if !ok {
+			c.pass.Reportf(g.Pos(),
+				"goroutine runs %s from another package; its join/stop edge cannot be checked here (move the spawn next to the lifecycle owner, or justify with //lint:ignore)", fn.Name())
+			return
+		}
+		body = fd.Body
+	} else {
+		c.pass.Reportf(g.Pos(),
+			"goroutine target is dynamic; no join/stop edge is provable (spawn a named function, or justify with //lint:ignore)")
+		return
+	}
+	if body == nil || !c.hasStopEdge(body, callDepth, map[*ast.BlockStmt]bool{}) {
+		c.pass.Reportf(g.Pos(),
+			"goroutine has no provable join or stop edge (WaitGroup.Done, channel close/send/receive, or an endpoint-bounded Recv/Accept loop)")
+	}
+}
+
+// boundedCalls are method names whose blocking failure is the documented
+// stop edge: the owner closes the endpoint and the loop's next call errors
+// out.
+var boundedCalls = map[string]bool{
+	"Recv": true, "RecvTimeout": true, "Accept": true, "AcceptTCP": true,
+}
+
+// edgeFuncs are fully-named calls accepted as join/stop edges.
+var edgeFuncs = map[string]bool{
+	"(*sync.WaitGroup).Done": true,
+	"(*sync.WaitGroup).Wait": true,
+	"io.Copy":                true,
+}
+
+// hasStopEdge walks body for any accepted edge, following same-package
+// callees up to depth.
+func (c *checker) hasStopEdge(body *ast.BlockStmt, depth int, seen map[*ast.BlockStmt]bool) bool {
+	if seen[body] {
+		return false
+	}
+	seen[body] = true
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := c.pass.TypesInfo.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if c.callIsEdge(n, depth, seen) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func (c *checker) callIsEdge(call *ast.CallExpr, depth int, seen map[*ast.BlockStmt]bool) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := c.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+			return id.Name == "close"
+		}
+	}
+	fn := lint.Callee(c.pass.TypesInfo, call)
+	if fn == nil {
+		return false
+	}
+	if edgeFuncs[fn.FullName()] {
+		return true
+	}
+	if fn.Signature().Recv() != nil && boundedCalls[fn.Name()] {
+		return true
+	}
+	if fd, ok := c.decls[fn]; ok && depth > 0 && fd.Body != nil {
+		return c.hasStopEdge(fd.Body, depth-1, seen)
+	}
+	return false
+}

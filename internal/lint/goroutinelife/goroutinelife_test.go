@@ -1,0 +1,12 @@
+package goroutinelife_test
+
+import (
+	"testing"
+
+	"desis/internal/lint/goroutinelife"
+	"desis/internal/lint/linttest"
+)
+
+func TestGoroutineLife(t *testing.T) {
+	linttest.Run(t, goroutinelife.Analyzer, "a")
+}

@@ -1,0 +1,113 @@
+// Package a exercises the goroutine-lifetime contract: every accepted
+// join/stop edge, edge discovery through same-package callees, and the
+// leak shapes that must be reported.
+package a
+
+import "sync"
+
+type conn struct{}
+
+func (conn) Recv() (int, error)        { return 0, nil }
+func (conn) RecvTimeout() (int, error) { return 0, nil }
+
+func spawns(c conn, f func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // joined via WaitGroup
+		defer wg.Done()
+	}()
+
+	done := make(chan struct{})
+	go func() { // completion signalled by close
+		defer close(done)
+		work()
+	}()
+
+	res := make(chan int)
+	go func() { res <- 1 }() // completion signalled by send
+
+	stop := make(chan struct{})
+	go func() { // subscribed to a stop channel
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+
+	go func() { // drains a work channel until it closes
+		for range res {
+		}
+	}()
+
+	go func() { // endpoint-bounded: owner closes c, Recv fails, loop exits
+		for {
+			if _, err := c.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+
+	var pumps sync.WaitGroup
+	closer := conn{}
+	go func() { // closer pattern: life bounded by the group draining
+		pumps.Wait()
+		_, _ = closer.Recv()
+	}()
+
+	go pump(c) // edge (RecvTimeout) found in the named callee
+
+	go supervised(stop) // edge found two calls deep
+
+	go spin() // want `goroutine has no provable join or stop edge`
+
+	go func() { // want `goroutine has no provable join or stop edge`
+		for {
+			work()
+		}
+	}()
+
+	go f() // want `goroutine target is dynamic; no join/stop edge is provable`
+
+	//lint:ignore goroutinelife fixture: lifetime owned by the test harness
+	go spin() // justified suppression: no diagnostic
+
+	wg.Wait()
+	<-done
+}
+
+func work() {}
+
+func spin() {
+	for {
+		work()
+	}
+}
+
+func pump(c conn) {
+	for {
+		if _, err := c.RecvTimeout(); err != nil {
+			return
+		}
+	}
+}
+
+func supervised(stop chan struct{}) {
+	for {
+		if stopped(stop) {
+			return
+		}
+	}
+}
+
+func stopped(stop chan struct{}) bool {
+	select {
+	case <-stop:
+		return true
+	default:
+		return false
+	}
+}

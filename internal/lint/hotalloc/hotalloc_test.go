@@ -1,0 +1,15 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"desis/internal/lint/hotalloc"
+	"desis/internal/lint/linttest"
+)
+
+// dep is loaded first so hot can import it: the facts computed for dep's
+// helpers must surface at hot's annotated call sites (cross-package
+// propagation, which the standalone driver and linttest both provide).
+func TestHotAlloc(t *testing.T) {
+	linttest.Run(t, hotalloc.Analyzer, "dep", "hot")
+}

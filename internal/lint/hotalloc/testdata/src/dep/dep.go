@@ -1,0 +1,35 @@
+// Package dep provides helpers for the cross-package fact-propagation
+// fixture: none are annotated, so nothing is reported here, but their
+// allocation facts flow to the hot package's call sites.
+package dep
+
+// Alloc allocates; hotpath callers are reported at their call site with
+// this function named as the root cause.
+func Alloc() []int {
+	return []int{1, 2, 3}
+}
+
+// Deep allocates only through Alloc: the chain is followed.
+func Deep() []int {
+	return Alloc()
+}
+
+// Clean only appends into the caller's buffer.
+func Clean(buf []byte, b byte) []byte {
+	return append(buf, b)
+}
+
+// Excused grows a pool on miss; the justified marker keeps the allocation
+// out of propagation so hotpath callers stay clean.
+func Excused(n int) []int {
+	//lint:ignore hotalloc fixture: pool-miss growth path, amortized to zero in steady state
+	return make([]int, n)
+}
+
+// ExcusedCall excuses a call rather than an allocation site: the marker
+// vouches for everything behind Deep, so the Alloc chain propagates neither
+// here nor to hotpath callers of ExcusedCall.
+func ExcusedCall() []int {
+	//lint:ignore hotalloc fixture: debug-only verification, compiled out of release builds
+	return Deep()
+}

@@ -1,0 +1,75 @@
+// Package hot exercises the //desis:hotpath zero-allocation contract:
+// every flagged construct, the allowed ones, and call-site reporting for
+// allocating callees both in-package and across packages.
+package hot
+
+import "dep"
+
+type sample struct {
+	key uint32
+	val float64
+}
+
+func sink(v any) {}
+
+func note(s string) {}
+
+// Record is the canonical hot path: appends, arithmetic, calls to clean
+// helpers, and index writes into preallocated state are all fine.
+//
+//desis:hotpath
+func Record(buf []byte, counts map[uint32]int, s sample) []byte {
+	buf = append(buf, byte(s.key))
+	buf = dep.Clean(buf, byte(s.key>>8))
+	counts[s.key]++
+	return buf
+}
+
+// Offenders trips every direct rule.
+//
+//desis:hotpath
+func Offenders(k uint32, name string, ps *[]sample) {
+	ids := []uint32{k}          // want `slice literal on //desis:hotpath function hot\.Offenders`
+	idx := map[uint32]int{}     // want `map literal on //desis:hotpath function hot\.Offenders`
+	scratch := make([]byte, 16) // want `make on //desis:hotpath function hot\.Offenders`
+	one := new(sample)          // want `new on //desis:hotpath function hot\.Offenders`
+	two := &sample{key: k}      // want `heap-allocated composite literal on //desis:hotpath function hot\.Offenders`
+	cb := func() { sink(nil) }  // want `function literal \(closure capture\) on //desis:hotpath function hot\.Offenders`
+	go helper()                 // want `go statement \(new goroutine\) on //desis:hotpath function hot\.Offenders`
+	tag := "k=" + name          // want `string concatenation on //desis:hotpath function hot\.Offenders`
+	raw := []byte(name)         // want `string conversion \(copies the bytes\) on //desis:hotpath function hot\.Offenders`
+	sink(k)                     // want `interface boxing of a non-pointer value on //desis:hotpath function hot\.Offenders`
+	note(string(rune(k)) + tag) // want `string concatenation on //desis:hotpath function hot\.Offenders`
+	_, _, _, _, _, _, _ = ids, idx, scratch, one, two, cb, raw
+}
+
+// helper is clean (append only), so calling it is fine.
+func helper() {}
+
+// allocHelper allocates; unannotated, so it is only reported through its
+// hotpath callers.
+func allocHelper() map[int]int {
+	return map[int]int{}
+}
+
+// Callers shows call-site attribution: in-package, cross-package, and a
+// two-deep chain, each naming the root cause; clean and excused callees
+// pass.
+//
+//desis:hotpath
+func Callers(buf []byte) []byte {
+	_ = allocHelper()       // want `call on //desis:hotpath function hot\.Callers allocates: map literal in hot\.allocHelper at .*hot\.go`
+	_ = dep.Alloc()         // want `call on //desis:hotpath function hot\.Callers allocates: slice literal in dep\.Alloc at .*dep\.go`
+	_ = dep.Deep()          // want `call on //desis:hotpath function hot\.Callers allocates: slice literal in dep\.Alloc at .*dep\.go`
+	_ = dep.Excused(4)      // excused at the source: no finding here
+	_ = dep.ExcusedCall()   // excused one call deep: the marker is transitive
+	buf = dep.Clean(buf, 1) // clean callee
+	return Record(buf, nil, sample{})
+}
+
+// cold allocates freely: no annotation, no findings.
+func cold() *sample {
+	all := make([]sample, 0, 8)
+	_ = all
+	return &sample{}
+}

@@ -67,10 +67,15 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 }
 
 // RunAnalyzers applies every analyzer to every package (then the Finish
-// hooks) and returns the diagnostics sorted by position. Analyzer errors
-// abort the run.
+// hooks) and returns the diagnostics, minus any covered by a justified
+// //lint:ignore marker, sorted by file position. Analyzer errors abort the
+// run.
 func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
+	ignores := SuppressionIndex{}
+	for _, pkg := range pkgs {
+		ignores = CollectSuppressions(fset, pkg.Files, ignores, func(d Diagnostic) { diags = append(diags, d) })
+	}
 	for _, a := range analyzers {
 		var results []any
 		for _, pkg := range pkgs {
@@ -97,9 +102,29 @@ func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) (
 			})
 		}
 	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !ignores.Covers(fset, d.Analyzer, d.Pos) {
+			kept = append(kept, d)
+		}
+	}
+	diags = kept
+	// Sort by resolved position, not raw token.Pos: token offsets depend on
+	// file-registration order in the FileSet, which varies between drivers,
+	// while filename/line/column is stable for CI diffing.
 	sort.Slice(diags, func(i, j int) bool {
-		if diags[i].Pos != diags[j].Pos {
-			return diags[i].Pos < diags[j].Pos
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		if diags[i].Analyzer != diags[j].Analyzer {
+			return diags[i].Analyzer < diags[j].Analyzer
 		}
 		return diags[i].Message < diags[j].Message
 	})

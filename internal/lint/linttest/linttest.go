@@ -20,6 +20,7 @@ package linttest
 import (
 	"fmt"
 	"go/token"
+	"go/types"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -43,14 +44,19 @@ func Run(t *testing.T, a *lint.Analyzer, pkgs ...string) {
 	t.Helper()
 	moduleRoot := findModuleRoot(t)
 	// The module's own packages and their dependencies provide the export
-	// data the fixtures' imports resolve against.
-	x, err := lint.LoadExportIndex(moduleRoot, "./...")
+	// data the fixtures' imports resolve against. The index is cached
+	// process-wide, so the many analyzer tests in one binary share a single
+	// `go list` run.
+	x, err := lint.CachedExportIndex(moduleRoot, "./...")
 	if err != nil {
 		t.Fatalf("loading export index: %v", err)
 	}
 
 	fset := token.NewFileSet()
 	var loaded []*lint.Package
+	// Fixtures loaded earlier in pkgs are importable by later ones (by their
+	// bare fixture name), so a fixture can exercise cross-package analysis.
+	deps := map[string]*types.Package{}
 	for _, name := range pkgs {
 		dir := filepath.Join("testdata", "src", name)
 		entries, err := os.ReadDir(dir)
@@ -66,10 +72,11 @@ func Run(t *testing.T, a *lint.Analyzer, pkgs ...string) {
 		if len(files) == 0 {
 			t.Fatalf("no Go files in fixture %s", dir)
 		}
-		pkg, err := lint.CheckPackage(fset, name, dir, files, x)
+		pkg, err := lint.CheckPackageDeps(fset, name, dir, files, x, deps)
 		if err != nil {
 			t.Fatalf("type-checking fixture %s: %v", name, err)
 		}
+		deps[name] = pkg.Types
 		loaded = append(loaded, pkg)
 	}
 

@@ -13,6 +13,8 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
+	"sync"
 )
 
 // Package is one loaded, type-checked package.
@@ -107,6 +109,30 @@ func LoadExportIndex(dir string, patterns ...string) (*ExportIndex, error) {
 	return x, nil
 }
 
+var (
+	indexMu    sync.Mutex
+	indexCache = map[string]*ExportIndex{}
+)
+
+// CachedExportIndex is LoadExportIndex behind a process-wide cache keyed on
+// dir and patterns, so every analyzer test in one binary shares a single `go
+// list -export -deps` invocation instead of re-listing the module per
+// analyzer. The index only names build-cache files, which outlive the call.
+func CachedExportIndex(dir string, patterns ...string) (*ExportIndex, error) {
+	key := dir + "\x00" + strings.Join(patterns, "\x00")
+	indexMu.Lock()
+	defer indexMu.Unlock()
+	if x, ok := indexCache[key]; ok {
+		return x, nil
+	}
+	x, err := LoadExportIndex(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	indexCache[key] = x
+	return x, nil
+}
+
 // Load lists patterns relative to dir, type-checks every non-dependency
 // match from source against the build cache's export data, and returns the
 // loaded packages in load order. All packages share fset.
@@ -149,6 +175,15 @@ func Load(fset *token.FileSet, dir string, patterns ...string) ([]*Package, erro
 // CheckPackage parses and type-checks one package from the given source
 // files, resolving imports through the export index.
 func CheckPackage(fset *token.FileSet, path, dir string, filenames []string, x *ExportIndex) (*Package, error) {
+	return CheckPackageDeps(fset, path, dir, filenames, x, nil)
+}
+
+// CheckPackageDeps is CheckPackage with an extra set of already-checked
+// source packages that imports may resolve against before the export index.
+// linttest uses it to let one fixture package import another (hotalloc's
+// cross-package fact propagation), which the build cache knows nothing
+// about.
+func CheckPackageDeps(fset *token.FileSet, path, dir string, filenames []string, x *ExportIndex, deps map[string]*types.Package) (*Package, error) {
 	var files []*ast.File
 	for _, name := range filenames {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
@@ -163,10 +198,38 @@ func CheckPackage(fset *token.FileSet, path, dir string, filenames []string, x *
 		Uses:       map[*ast.Ident]types.Object{},
 		Selections: map[*ast.SelectorExpr]*types.Selection{},
 	}
-	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", x.Lookup)}
+	imp := types.Importer(importer.ForCompiler(fset, "gc", x.Lookup))
+	if len(deps) > 0 {
+		imp = &chainImporter{first: deps, rest: imp}
+	}
+	conf := types.Config{Importer: imp}
 	tpkg, err := conf.Check(path, fset, files, info)
 	if err != nil {
 		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
 	}
 	return &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// chainImporter resolves imports from an in-memory package map first, then
+// falls back to the export-data importer.
+type chainImporter struct {
+	first map[string]*types.Package
+	rest  types.Importer
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if p, ok := c.first[path]; ok {
+		return p, nil
+	}
+	return c.rest.Import(path)
+}
+
+func (c *chainImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := c.first[path]; ok {
+		return p, nil
+	}
+	if from, ok := c.rest.(types.ImporterFrom); ok {
+		return from.ImportFrom(path, dir, mode)
+	}
+	return c.rest.Import(path)
 }

@@ -1,0 +1,81 @@
+// Package a exercises the wirekind exhaustiveness contract over its own
+// three-constant enum: tabled classifiers, //desis:wirekind-annotated
+// classifiers, and the table existence check.
+package a // want `wirekind rules table names a\.gone, which no longer exists in a`
+
+// Kind mimics message.Kind: a small enum the wire branches on.
+type Kind uint8
+
+const (
+	KHello Kind = iota + 1
+	KData
+	KClose
+)
+
+// kDebug is unexported and therefore outside the wire contract.
+const kDebug Kind = 99
+
+// Mode has a single exported constant, so it is not an enum and the
+// contract does not attach to functions mentioning it.
+type Mode uint8
+
+const ModeDefault Mode = 0
+
+// Encode handles every kind; tabled by the test, reports nothing.
+func Encode(k Kind) byte {
+	switch k {
+	case KHello:
+		return 1
+	case KData:
+		return 2
+	case KClose:
+		return 3
+	}
+	return 0
+}
+
+// Missing is tabled but lacks a KClose arm.
+func Missing(k Kind) byte { // want `Missing does not handle a\.Kind constant KClose`
+	switch k {
+	case KHello, KData:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// classify is annotated but only compares one of three kinds.
+//
+//desis:wirekind
+func classify(k Kind) bool { // want `classify does not handle a\.Kind constants KClose, KHello`
+	return k == KData
+}
+
+// classifyAll mentions every exported Kind (an explicit not-handled arm
+// counts as handling) plus a lone-constant type and an unexported kind,
+// neither of which widens the required set.
+//
+//desis:wirekind
+func classifyAll(k Kind, m Mode) bool {
+	if m == ModeDefault && k == kDebug {
+		return false
+	}
+	switch k {
+	case KHello, KData:
+		return true
+	case KClose: // deliberately unbatched
+		return false
+	}
+	return false
+}
+
+// opaque is annotated but branches without naming any constant, so the
+// contract cannot attach.
+//
+//desis:wirekind
+func opaque(k Kind) bool { // want `opaque is a wire-kind classifier but mentions no enum constants`
+	return k > 5
+}
+
+// free is neither tabled nor annotated: no exhaustiveness demanded.
+func free(k Kind) bool { return k == KData }

@@ -1,0 +1,21 @@
+package wirekind_test
+
+import (
+	"testing"
+
+	"desis/internal/lint/linttest"
+	"desis/internal/lint/wirekind"
+)
+
+// The shipping table pins codec entry points by full name; the fixture
+// installs a table over its own functions (plus one stale entry) to
+// exercise the mention-based exhaustiveness check, the //desis:wirekind
+// directive, and the existence check.
+func TestWireKind(t *testing.T) {
+	rules := map[string]string{
+		"a.Encode":  "a",
+		"a.Missing": "a",
+		"a.gone":    "a",
+	}
+	linttest.Run(t, wirekind.NewAnalyzer(rules), "a")
+}

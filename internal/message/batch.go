@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 
 	"desis/internal/core"
 	"desis/internal/invariant"
@@ -53,11 +54,34 @@ const maxBatchPayload = 64 << 20
 // attempted — tiny batches cannot amortize the flate header.
 const minDeflateSize = 256
 
+// batchScratch holds the encoder's reusable state: the staging payload,
+// the partial/dictionary work lists, and the deflate machinery (a
+// flate.Writer is ~600 KiB of window state — reallocating it per batch
+// dwarfed the batch itself). Scratches recycle through a sync.Pool rather
+// than living on the Batcher because replayed KindBatch frames are
+// re-encoded by whichever goroutine is reconnecting, concurrently with the
+// pump encoding fresh batches.
+type batchScratch struct {
+	payload  []byte
+	partials []*core.SlicePartial
+	dict     []uint32
+	comp     bytes.Buffer
+	fw       *flate.Writer
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
 // appendBatchBody appends the columnar encoding of b (flags byte plus
-// payload) shared by the Binary and Compact codecs.
+// payload) shared by the Binary and Compact codecs. Steady-state it
+// allocates nothing: all staging space comes from the scratch pool.
+//
+//desis:hotpath
 func appendBatchBody(buf []byte, b *Batch) ([]byte, error) {
-	payload, err := appendBatchPayload(nil, b)
+	s := scratchPool.Get().(*batchScratch)
+	payload, err := appendBatchPayload(s.payload[:0], s, b)
+	s.payload = payload // keep the grown buffer for the next batch
 	if err != nil {
+		scratchPool.Put(s)
 		return nil, err
 	}
 	try := b.Compress
@@ -65,7 +89,7 @@ func appendBatchBody(buf []byte, b *Batch) ([]byte, error) {
 		try = b.probe.shouldTry()
 	}
 	if try && len(payload) >= minDeflateSize {
-		comp := deflateBytes(payload)
+		comp := s.deflate(payload)
 		if b.probe != nil {
 			b.probe.observe(len(payload), len(comp))
 		}
@@ -73,11 +97,15 @@ func appendBatchBody(buf []byte, b *Batch) ([]byte, error) {
 		// saving is not worth the receiver's inflate pass.
 		if len(comp) < len(payload)*15/16 {
 			buf = append(buf, batchFlagDeflate)
-			return append(buf, comp...), nil
+			buf = append(buf, comp...)
+			scratchPool.Put(s)
+			return buf, nil
 		}
 	}
 	buf = append(buf, 0)
-	return append(buf, payload...), nil
+	buf = append(buf, payload...)
+	scratchPool.Put(s)
+	return buf, nil
 }
 
 // decodeBatchBody parses a columnar batch body (flags byte plus payload),
@@ -100,12 +128,20 @@ func decodeBatchBody(buf []byte, from uint32) (*Batch, error) {
 	return decodeBatchPayload(payload, from)
 }
 
-func deflateBytes(p []byte) []byte {
-	var out bytes.Buffer
-	w, _ := flate.NewWriter(&out, flate.BestSpeed)
-	w.Write(p)
-	w.Close()
-	return out.Bytes()
+// deflate compresses p into the scratch's reused buffer and window state;
+// the returned slice is valid until the scratch's next deflate.
+//
+//desis:hotpath
+func (s *batchScratch) deflate(p []byte) []byte {
+	s.comp.Reset()
+	if s.fw == nil {
+		s.fw, _ = flate.NewWriter(&s.comp, flate.BestSpeed)
+	} else {
+		s.fw.Reset(&s.comp)
+	}
+	s.fw.Write(p)
+	s.fw.Close()
+	return s.comp.Bytes()
 }
 
 func inflateBytes(p []byte) ([]byte, error) {
@@ -135,25 +171,35 @@ func inflateBytes(p []byte) ([]byte, error) {
 //	  per-operator state columns: counts, sums, products, min/max pairs,
 //	  retained-value runs — each contiguous over all aggs that carry the op
 //	  EP count per partial (uvarint), then the EP field columns
-func appendBatchPayload(buf []byte, b *Batch) ([]byte, error) {
+//
+//desis:hotpath
+func appendBatchPayload(buf []byte, s *batchScratch, b *Batch) ([]byte, error) {
 	buf = binary.AppendUvarint(buf, uint64(len(b.Frames)))
-	var partials []*core.SlicePartial
-	bitmap := make([]byte, (len(b.Frames)+7)/8)
+	partials := s.partials[:0]
+	// The kind bitmap is built in place inside buf: zeroed bytes first, then
+	// bits set as the frames classify, so no staging slice is needed.
+	bitmapOff := len(buf)
+	for i := 0; i < (len(b.Frames)+7)/8; i++ {
+		buf = append(buf, 0)
+	}
 	for i, f := range b.Frames {
 		switch f.Kind {
 		case KindPartial:
 			if f.Partial == nil {
+				s.stashPartials(partials)
+				//lint:ignore hotalloc cold path: reachable only on a local invariant violation, after which the frame is dropped
 				return nil, fmt.Errorf("message: batch frame %d: partial frame without payload", i)
 			}
 			invariant.AssertPartialLive(f.Partial)
 			partials = append(partials, f.Partial)
 		case KindWatermark:
-			bitmap[i/8] |= 1 << (i % 8)
+			buf[bitmapOff+i/8] |= 1 << (i % 8)
 		default:
+			s.stashPartials(partials)
+			//lint:ignore hotalloc cold path: the Batcher only enqueues Batchable kinds, so this is a local invariant violation
 			return nil, fmt.Errorf("message: batch frame %d: kind %d is not batchable", i, f.Kind)
 		}
 	}
-	buf = append(buf, bitmap...)
 
 	// Watermark column.
 	prevW := int64(0)
@@ -165,25 +211,27 @@ func appendBatchPayload(buf []byte, b *Batch) ([]byte, error) {
 	}
 
 	if len(partials) == 0 {
+		s.stashPartials(partials)
 		return buf, nil
 	}
 
 	// Group dictionary: first-appearance order, so the common one-group
-	// stream pays one dictionary entry and an all-zero index column.
-	var dict []uint32
-	dictIdx := make(map[uint32]int, 4)
+	// stream pays one dictionary entry and an all-zero index column. A
+	// linear scan replaces the old map: batches carry a handful of groups,
+	// and the scan keeps the dictionary allocation-free.
+	dict := s.dict[:0]
 	for _, p := range partials {
-		if _, ok := dictIdx[p.Group]; !ok {
-			dictIdx[p.Group] = len(dict)
+		if dictFind(dict, p.Group) < 0 {
 			dict = append(dict, p.Group)
 		}
 	}
+	s.dict = dict // dictionary is complete; keep the grown slice
 	buf = binary.AppendUvarint(buf, uint64(len(dict)))
 	for _, g := range dict {
 		buf = binary.AppendUvarint(buf, uint64(g))
 	}
 	for _, p := range partials {
-		buf = binary.AppendUvarint(buf, uint64(dictIdx[p.Group]))
+		buf = binary.AppendUvarint(buf, uint64(dictFind(dict, p.Group)))
 	}
 
 	// Slice id and time columns, delta-coded against the previous partial.
@@ -281,7 +329,28 @@ func appendBatchPayload(buf []byte, b *Batch) ([]byte, error) {
 			buf = binary.AppendVarint(buf, ep.GapStart)
 		}
 	}
+	s.stashPartials(partials)
 	return buf, nil
+}
+
+// stashPartials zeroes and stores back the partial work list so a pooled
+// scratch does not pin a batch's worth of partials between batches.
+//
+//desis:hotpath
+func (s *batchScratch) stashPartials(partials []*core.SlicePartial) {
+	clear(partials)
+	s.partials = partials[:0]
+}
+
+// dictFind returns the index of g in dict, or -1. Batches carry a handful
+// of groups at most, so a linear scan beats a map and allocates nothing.
+func dictFind(dict []uint32, g uint32) int {
+	for i, d := range dict {
+		if d == g {
+			return i
+		}
+	}
+	return -1
 }
 
 func decodeBatchPayload(payload []byte, from uint32) (*Batch, error) {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"desis/internal/core"
+	"desis/internal/invariant"
 	"desis/internal/operator"
 	"desis/internal/telemetry"
 )
@@ -493,4 +494,29 @@ func FuzzDecodeBatch(f *testing.F) {
 			}
 		}
 	})
+}
+
+// TestAppendBatchBodySteadyStateAllocs enforces the //desis:hotpath contract
+// dynamically: once the scratch pool is warm and the destination buffer has
+// its capacity, encoding a batch performs zero heap allocations.
+func TestAppendBatchBodySteadyStateAllocs(t *testing.T) {
+	if invariant.Enabled {
+		t.Skip("desis_invariants builds trade allocations for verification")
+	}
+	rng := rand.New(rand.NewSource(7))
+	b := randomBatch(rng, 40)
+	buf, err := appendBatchBody(nil, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf = buf[:0]
+	if avg := testing.AllocsPerRun(100, func() {
+		var err error
+		buf, err = appendBatchBody(buf[:0], b)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("appendBatchBody allocates %.1f times per batch in steady state, want 0", avg)
+	}
 }

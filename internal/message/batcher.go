@@ -219,7 +219,22 @@ func (b *Batcher) AttachTelemetry(reg *telemetry.Registry) {
 }
 
 // Batchable reports whether a message kind may ride inside a KindBatch.
-func Batchable(k Kind) bool { return k == KindPartial || k == KindWatermark }
+// Every kind decides explicitly (wirekind): partials and watermarks are
+// idempotent at the parent and may be coalesced; everything else is either
+// control plane (ordering matters relative to the frames around it), raw
+// events (not idempotent across a replayed reconnect), or a batch itself.
+func Batchable(k Kind) bool {
+	switch k {
+	case KindPartial, KindWatermark:
+		return true
+	case KindHello, KindPlanState, KindEventBatch, KindResult,
+		KindAddQuery, KindRemoveQuery, KindHeartbeat, KindGoodbye,
+		KindPlanDelta, KindPlanDump, KindStatsDump, KindBatch:
+		return false
+	default:
+		return false
+	}
+}
 
 // cutThroughNanos is the send-time EWMA above which the batcher abandons the
 // synchronous cut-through path and queues frames behind the pump instead. A

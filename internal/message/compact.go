@@ -33,9 +33,11 @@ const compactFallback = 0xff
 // Append implements Codec.
 func (Compact) Append(buf []byte, m *Message) ([]byte, error) {
 	switch m.Kind {
-	case KindEventBatch, KindPartial, KindWatermark, KindHello, KindHeartbeat, KindGoodbye, KindBatch:
-	default:
-		// Control plane: envelope the Binary encoding.
+	case KindPlanState, KindPlanDelta, KindPlanDump, KindAddQuery, KindRemoveQuery, KindResult, KindStatsDump:
+		// Control plane: envelope the Binary encoding. Every kind is named
+		// in exactly one arm of this function (wirekind), so dropping an arm
+		// is a lint failure; a new kind must decide explicitly whether it
+		// earns a compact layout.
 		buf = append(buf, compactFallback)
 		return Binary{}.Append(buf, m)
 	}
@@ -45,6 +47,7 @@ func (Compact) Append(buf []byte, m *Message) ([]byte, error) {
 	case KindHello:
 		buf = binary.AppendUvarint(buf, m.Epoch)
 	case KindGoodbye:
+		// Header only.
 	case KindHeartbeat:
 		if m.Load != nil {
 			buf = append(buf, 1)
@@ -91,6 +94,8 @@ func (Compact) Append(buf []byte, m *Message) ([]byte, error) {
 		if buf, err = appendBatchBody(buf, m.Batch); err != nil {
 			return nil, err
 		}
+	default:
+		return nil, fmt.Errorf("message: compact: unknown kind %d", m.Kind)
 	}
 	return buf, nil
 }
@@ -187,6 +192,10 @@ func (Compact) Decode(buf []byte) (*Message, error) {
 			}
 			m.Batch, r.buf = b, nil
 		}
+	case KindPlanState, KindPlanDelta, KindPlanDump, KindAddQuery, KindRemoveQuery, KindResult, KindStatsDump:
+		// Control kinds travel only inside the compactFallback envelope
+		// handled above; a bare tag is a corrupt frame.
+		return nil, fmt.Errorf("message: compact codec cannot decode bare control kind %d", m.Kind)
 	default:
 		return nil, fmt.Errorf("message: compact codec cannot decode kind %d", m.Kind)
 	}

@@ -157,6 +157,7 @@ func TestRecvTimeoutSemantics(t *testing.T) {
 func TestRecvTimeoutNoGoroutinePerMessage(t *testing.T) {
 	client, server := tcpPair(t)
 	const n = 2000
+	//lint:ignore goroutinelife the sender runs a fixed-count loop and exits on its own; the test measures the receiver's goroutine count
 	go func() {
 		for i := 0; i < n; i++ {
 			if err := client.Send(&Message{Kind: KindWatermark, Watermark: int64(i)}); err != nil {

@@ -141,7 +141,9 @@ func TestStaleEpochReconnectResync(t *testing.T) {
 		})
 	}
 	wg.Add(2)
+	//lint:ignore goroutinelife run defers wg.Done; the func-variable indirection hides the join edge from the analyzer
 	go run(1, root.Addr())
+	//lint:ignore goroutinelife run defers wg.Done (see above)
 	go run(2, proxy.Addr())
 	sessions := []*LocalSession{<-sessCh, <-sessCh}
 

@@ -415,6 +415,15 @@ func (u *uplink) record(m *message.Message) {
 	}
 	switch m.Kind {
 	case message.KindPartial, message.KindWatermark, message.KindBatch:
+	case message.KindHello, message.KindPlanState, message.KindEventBatch,
+		message.KindResult, message.KindAddQuery, message.KindRemoveQuery,
+		message.KindHeartbeat, message.KindGoodbye, message.KindPlanDelta,
+		message.KindPlanDump, message.KindStatsDump:
+		// Named, not replayed (wirekind): control frames are regenerated by
+		// the handshake, heartbeats are ephemeral, and raw event batches
+		// are not idempotent at the parent. A new kind must choose a side
+		// here explicitly.
+		return
 	default:
 		return
 	}

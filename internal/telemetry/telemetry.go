@@ -31,6 +31,8 @@ import (
 type Counter struct{ v atomic.Uint64 }
 
 // Inc adds 1. No-op on nil.
+//
+//desis:hotpath
 func (c *Counter) Inc() {
 	if c != nil {
 		c.v.Add(1)
@@ -38,6 +40,8 @@ func (c *Counter) Inc() {
 }
 
 // Add adds n. No-op on nil.
+//
+//desis:hotpath
 func (c *Counter) Add(n uint64) {
 	if c != nil {
 		c.v.Add(n)
@@ -56,6 +60,8 @@ func (c *Counter) Load() uint64 {
 type Gauge struct{ v atomic.Int64 }
 
 // Set stores v. No-op on nil.
+//
+//desis:hotpath
 func (g *Gauge) Set(v int64) {
 	if g != nil {
 		g.v.Store(v)
@@ -63,6 +69,8 @@ func (g *Gauge) Set(v int64) {
 }
 
 // Add adjusts the gauge by delta. No-op on nil.
+//
+//desis:hotpath
 func (g *Gauge) Add(delta int64) {
 	if g != nil {
 		g.v.Add(delta)
@@ -90,6 +98,8 @@ type Histogram struct {
 }
 
 // Record adds one duration sample. No-op on nil.
+//
+//desis:hotpath
 func (h *Histogram) Record(d time.Duration) {
 	if h == nil {
 		return
