@@ -81,8 +81,19 @@ func main() {
 				fmt.Printf("latency p99 unbatched=%.1fus batched=%.1fus overhead=%.1f%%\n",
 					r.Latency.UnbatchedP99Usec, r.Latency.BatchedP99Usec, 100*r.Latency.P99Overhead)
 			}
+		case "cardinality":
+			var r *bench.CardinalityReport
+			if r, err = bench.RunCardinalityReport(cfg); err == nil {
+				rep = r
+				for _, p := range r.Points {
+					fmt.Printf("keys=%-8d B/idle-key %.0f -> %.0f (%.1fx) parked=%d revived=%d p99 %.1fus vs %.1fus match=%v\n",
+						p.Keys, p.RetainedBytesPerIdleKey, p.EvictedBytesPerIdleKey, p.Reduction,
+						p.ParkedInstances, p.RevivedInstances,
+						p.P99IngestUsecEvicting, p.P99IngestUsecResident, p.ResultsMatch)
+				}
+			}
 		default:
-			fmt.Fprintln(os.Stderr, "desis-bench: -out only applies to -exp ablation-assembly, plan-churn, or wire")
+			fmt.Fprintln(os.Stderr, "desis-bench: -out only applies to -exp ablation-assembly, plan-churn, wire, or cardinality")
 			os.Exit(2)
 		}
 		if err != nil {

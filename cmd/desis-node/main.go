@@ -60,6 +60,8 @@ func main() {
 	batchBytes := flag.Int("batch-bytes", 0, "approximate cap on one batch frame's body in bytes; 0 selects the default (with -batch)")
 	batchFrames := flag.Int("batch-frames", 0, "cap on frames coalesced into one batch; 0 selects the default (with -batch)")
 	batchCompress := flag.String("batch-compress", "off", "batch body compression: off | on | auto (auto probes the link and backs off when incompressible)")
+	instanceTTL := flag.Duration("instance-ttl", 0, "park group instances of keys idle this long in event time; 0 keeps every instance resident (intermediate, local)")
+	instanceShards := flag.Int("instance-shards", 0, "key→instance map shard count; 0 selects the engine default (intermediate, local)")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/stats and /debug/pprof/ over HTTP at this address (any role); empty disables")
 	var queries queryList
 	flag.Var(&queries, "query", "query in the textual language (repeatable, root only)")
@@ -74,6 +76,10 @@ func main() {
 	// DialOptions) and the debug server; the root's registry lives in its
 	// server, so runRoot wires its own debug endpoint.
 	opts := dialOpts(codec, *heartbeat, *retries, *replay)
+	opts.Tuning = node.EngineTuning{
+		InstanceTTL:    instanceTTL.Milliseconds(),
+		InstanceShards: *instanceShards,
+	}
 	if *batch {
 		mode, err := parseCompressMode(*batchCompress)
 		if err != nil {

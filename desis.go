@@ -27,6 +27,7 @@ package desis
 
 import (
 	"fmt"
+	"time"
 
 	"desis/internal/core"
 	"desis/internal/event"
@@ -133,6 +134,16 @@ type Options struct {
 	// before pruning ones no open window can need; 0 selects the default
 	// (64). Stats.Pruned counts what retention dropped.
 	PruneThreshold int
+	// InstanceTTL, when positive, evicts group instances of keys idle for
+	// this long (event time): their state is parked as a compact snapshot
+	// and revived on the key's next event, with window results identical
+	// to a never-evicted run. Zero keeps every instance resident. At
+	// group-by (key=*) cardinality this bounds memory by the active key
+	// set instead of every key ever seen.
+	InstanceTTL time.Duration
+	// InstanceShards is the shard count of the engine's key→instance
+	// maps; 0 selects the default (16).
+	InstanceShards int
 	// Telemetry, when non-nil, instruments the engine with per-group
 	// counters and latency histograms readable while it runs (see
 	// NewTelemetry). Shards of a ParallelEngine share the registry.
@@ -144,6 +155,8 @@ func (o Options) coreConfig() core.Config {
 		OnResult:       o.OnResult,
 		NaiveAssembly:  o.NaiveAssembly,
 		PruneThreshold: o.PruneThreshold,
+		InstanceTTL:    o.InstanceTTL.Milliseconds(),
+		InstanceShards: o.InstanceShards,
 		Telemetry:      o.Telemetry.registry(),
 	}
 }
@@ -234,6 +247,14 @@ type Stats = core.Stats
 // Stats returns the engine's counters (events, operator calculations,
 // slices, windows).
 func (e *Engine) Stats() Stats { return e.e.Stats() }
+
+// InstanceStats reports the key-space tier's lifecycle counters: live
+// (materialised) group instances, instances parked by the idle-TTL
+// eviction, and cumulative revivals. Without InstanceTTL only Live moves.
+type InstanceStats = core.InstanceStats
+
+// InstanceStats returns the engine's instance lifecycle counters.
+func (e *Engine) InstanceStats() InstanceStats { return e.e.InstanceStats() }
 
 // Snapshot serialises the engine's complete state for checkpointing. The
 // engine must be quiescent. Persist the query set alongside; RestoreEngine

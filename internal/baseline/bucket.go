@@ -146,6 +146,9 @@ func (p *perQuery) process(ev event.Event) {
 				kept = append(kept, b)
 			}
 		}
+		// Zero the dead tail so closed buckets do not stay reachable past
+		// len for the stream's lifetime.
+		clear(p.open[len(kept):])
 		p.open = kept
 	}
 }

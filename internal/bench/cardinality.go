@@ -1,0 +1,301 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"runtime"
+	"sort"
+	"time"
+
+	"desis/internal/core"
+	"desis/internal/event"
+	"desis/internal/plan"
+	"desis/internal/query"
+)
+
+// The cardinality experiment measures the key-space tier (core/keyspace.go)
+// at group-by scale: one group instance per observed key, most keys idle.
+// Each point runs the same hot/cold workload twice — instance TTL on and
+// off — and reports the resident bytes an idle key costs in each mode, the
+// ingest-latency tail the amortised sweep and inline revivals add, and an
+// order-independent result hash proving eviction changed nothing.
+
+// cardinalityTTL is the idle horizon of the evicting run: far below the
+// hot-phase span so idle keys park early.
+const cardinalityTTL = 500
+
+// cardinalitySweepEvery spaces sweep steps tightly so a run covers the whole
+// key space a few times over.
+const cardinalitySweepEvery = 256
+
+// CardinalityPoint is one key-count measurement.
+type CardinalityPoint struct {
+	// Keys is the distinct-key count; HotKeys of them stay active through
+	// the hot phase, the rest idle after one initial touch.
+	Keys    int `json:"keys"`
+	HotKeys int `json:"hot_keys"`
+	// HotEvents is the hot-phase event count.
+	HotEvents int `json:"hot_events"`
+	// RetainedBytesPerIdleKey is the heap an idle key holds with the TTL
+	// off (resident instances); EvictedBytesPerIdleKey with the TTL on
+	// (parked snapshots). Reduction is their ratio.
+	RetainedBytesPerIdleKey float64 `json:"retained_bytes_per_idle_key"`
+	EvictedBytesPerIdleKey  float64 `json:"evicted_bytes_per_idle_key"`
+	Reduction               float64 `json:"reduction"`
+	// ParkedInstances and LiveInstances are the evicting engine's instance
+	// census at measurement time; RevivedInstances counts revivals (cold
+	// keys are deliberately re-touched during the hot phase).
+	ParkedInstances  int    `json:"parked_instances"`
+	LiveInstances    int    `json:"live_instances"`
+	RevivedInstances uint64 `json:"revived_instances"`
+	// P99IngestUsec is the tail per-event ingest latency of the hot phase,
+	// sampled every 8th event — the evicting run pays for sweep steps and
+	// inline revivals inside these samples.
+	P99IngestUsecEvicting float64 `json:"p99_ingest_usec_evicting"`
+	P99IngestUsecResident float64 `json:"p99_ingest_usec_resident"`
+	// GCPauseMs is the total stop-the-world pause accumulated over the run.
+	GCPauseMsEvicting float64 `json:"gc_pause_ms_evicting"`
+	GCPauseMsResident float64 `json:"gc_pause_ms_resident"`
+	// ResultsMatch is true when both runs emitted the same window multiset.
+	ResultsMatch bool `json:"results_match"`
+}
+
+// CardinalityReport is the JSON document desis-bench -exp cardinality -out
+// writes (BENCH_cardinality.json in the repo root).
+type CardinalityReport struct {
+	InstanceTTLMs int                `json:"instance_ttl_ms"`
+	SweepEvery    int                `json:"sweep_every"`
+	Points        []CardinalityPoint `json:"points"`
+}
+
+// cardinalityKeyCounts selects the key sweep: the 10k→1M ladder capped at
+// cfg.Keys when the caller raised it, a miniature ladder at the test-default
+// scale.
+func cardinalityKeyCounts(keys int) []int {
+	if keys <= 64 {
+		return []int{1_000, 4_000}
+	}
+	var out []int
+	for _, n := range []int{10_000, 100_000, 1_000_000} {
+		if n <= keys {
+			out = append(out, n)
+		}
+	}
+	if len(out) == 0 || out[len(out)-1] != keys {
+		out = append(out, keys)
+	}
+	return out
+}
+
+// cardRun is the outcome of one engine run over the hot/cold workload.
+type cardRun struct {
+	heapBytes  int64
+	p99Usec    float64
+	gcPauseMs  float64
+	stats      core.InstanceStats
+	resultHash uint64
+	windows    int
+}
+
+// cardinalityResultHash folds one result into an order-independent digest:
+// per-result FNV, combined by wrapping addition so emission order (which the
+// tier keeps deterministic anyway) cannot mask a divergence.
+func cardinalityResultHash(r core.Result) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	put(r.QueryID)
+	put(uint64(r.Key))
+	put(uint64(r.Start))
+	put(uint64(r.End))
+	put(uint64(r.Count))
+	for _, v := range r.Values {
+		put(math.Float64bits(v.Value))
+		if v.OK {
+			put(1)
+		} else {
+			put(0)
+		}
+	}
+	return h.Sum64()
+}
+
+// cardinalityPlan builds the per-point plan: two group-by templates (their
+// per-key instances share one group with two members) pre-instantiated for
+// every key, so the run itself mutates no catalog state and the heap
+// measurement isolates engine-owned bytes.
+func cardinalityPlan(keys int) (*plan.Plan, error) {
+	t1 := query.MustParse("tumbling(1s) sum key=0")
+	t1.AnyKey = true
+	t1.ID = 1
+	t2 := query.MustParse("tumbling(1s) count,average key=0")
+	t2.AnyKey = true
+	t2.ID = 2
+	p, err := plan.New([]query.Query{t1, t2}, plan.Options{})
+	if err != nil {
+		return nil, err
+	}
+	for k := 0; k < keys; k++ {
+		for _, id := range []uint64{1, 2} {
+			if err := p.Apply(p.InstantiateDelta(id, uint32(k))); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return p, nil
+}
+
+// cardinalityRun executes the workload once. Phase 1 touches every key at
+// t=0; phase 2 hammers the hot keys across span event-time ms, re-touching
+// a rotating cold key occasionally so revivals happen under measurement.
+// The heap delta is taken against a baseline read after the plan and sample
+// buffers exist, so it covers engine state only.
+func cardinalityRun(keys, hot, events int, evicting bool) (cardRun, error) {
+	p, err := cardinalityPlan(keys)
+	if err != nil {
+		return cardRun{}, err
+	}
+	lat := make([]int64, 0, events/8+1)
+	var run cardRun
+	onResult := func(r core.Result) {
+		run.resultHash += cardinalityResultHash(r)
+		run.windows++
+	}
+	cfg := core.Config{OnResult: onResult}
+	if evicting {
+		cfg.InstanceTTL = cardinalityTTL
+		cfg.InstanceSweepEvery = cardinalitySweepEvery
+	}
+
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+
+	eng := core.NewFromPlan(p, cfg)
+	for k := 0; k < keys; k++ {
+		eng.Process(event.Event{Time: 0, Key: uint32(k), Value: float64(k % 97)})
+	}
+
+	const span = 5_000 // event-time ms the hot phase covers
+	idle := keys - hot
+	reviveEvery := events / 64
+	if reviveEvery == 0 {
+		reviveEvery = 1
+	}
+	touches := 0
+	for i := 0; i < events; i++ {
+		tm := 1_000 + int64(i)*span/int64(events)
+		ev := event.Event{Time: tm, Key: uint32(i % hot), Value: float64(i % 113)}
+		if i%reviveEvery == reviveEvery-1 {
+			// Re-touch a parked key: the revival cost lands inside the
+			// latency samples and the revived windows inside the hash.
+			ev.Key = uint32(hot + (touches*37)%idle)
+			touches++
+		}
+		if i%8 == 0 {
+			t0 := time.Now()
+			eng.Process(ev)
+			lat = append(lat, time.Since(t0).Nanoseconds())
+		} else {
+			eng.Process(ev)
+		}
+	}
+
+	run.stats = eng.InstanceStats()
+	runtime.GC()
+	runtime.ReadMemStats(&m1)
+	run.heapBytes = int64(m1.HeapAlloc) - int64(m0.HeapAlloc)
+	if run.heapBytes < 0 {
+		run.heapBytes = 0
+	}
+	run.gcPauseMs = float64(m1.PauseTotalNs-m0.PauseTotalNs) / 1e6
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	run.p99Usec = float64(lat[len(lat)*99/100]) / 1e3
+	runtime.KeepAlive(eng)
+	return run, nil
+}
+
+// cardinalityPoint measures one key count with the TTL on and off.
+func cardinalityPoint(keys, events int) (CardinalityPoint, error) {
+	hot := 64
+	if hot > keys/8 {
+		hot = keys / 8
+	}
+	if events < 2*keys {
+		events = 2 * keys // enough sweep steps to cover the key space
+	}
+	evict, err := cardinalityRun(keys, hot, events, true)
+	if err != nil {
+		return CardinalityPoint{}, err
+	}
+	resident, err := cardinalityRun(keys, hot, events, false)
+	if err != nil {
+		return CardinalityPoint{}, err
+	}
+	if evict.stats.Evicted == 0 || evict.stats.Revived == 0 {
+		return CardinalityPoint{}, fmt.Errorf("cardinality: evicting run parked %d and revived %d instances; the comparison is vacuous",
+			evict.stats.Evicted, evict.stats.Revived)
+	}
+	idle := float64(keys - hot)
+	pt := CardinalityPoint{
+		Keys:                    keys,
+		HotKeys:                 hot,
+		HotEvents:               events,
+		RetainedBytesPerIdleKey: float64(resident.heapBytes) / idle,
+		EvictedBytesPerIdleKey:  float64(evict.heapBytes) / idle,
+		ParkedInstances:         evict.stats.Evicted,
+		LiveInstances:           evict.stats.Live,
+		RevivedInstances:        evict.stats.Revived,
+		P99IngestUsecEvicting:   evict.p99Usec,
+		P99IngestUsecResident:   resident.p99Usec,
+		GCPauseMsEvicting:       evict.gcPauseMs,
+		GCPauseMsResident:       resident.gcPauseMs,
+		ResultsMatch:            evict.resultHash == resident.resultHash && evict.windows == resident.windows,
+	}
+	if pt.EvictedBytesPerIdleKey > 0 {
+		pt.Reduction = pt.RetainedBytesPerIdleKey / pt.EvictedBytesPerIdleKey
+	}
+	return pt, nil
+}
+
+// RunCardinalityReport executes the key-count sweep and returns the
+// structured report.
+func RunCardinalityReport(cfg Config) (*CardinalityReport, error) {
+	cfg = cfg.withDefaults()
+	rep := &CardinalityReport{InstanceTTLMs: cardinalityTTL, SweepEvery: cardinalitySweepEvery}
+	for _, n := range cardinalityKeyCounts(cfg.Keys) {
+		pt, err := cardinalityPoint(n, cfg.Events)
+		if err != nil {
+			return nil, err
+		}
+		rep.Points = append(rep.Points, pt)
+	}
+	return rep, nil
+}
+
+// Cardinality renders the cardinality experiment as a table.
+func Cardinality(cfg Config) (*Table, error) {
+	rep, err := RunCardinalityReport(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{ID: "cardinality", Title: "Idle-key cost with and without instance eviction", XLabel: "distinct keys", YLabel: "bytes/idle key | µs | ratio"}
+	for _, p := range rep.Points {
+		t.Add("resident-B/key", float64(p.Keys), p.RetainedBytesPerIdleKey)
+		t.Add("evicted-B/key", float64(p.Keys), p.EvictedBytesPerIdleKey)
+		t.Add("reduction", float64(p.Keys), p.Reduction)
+		t.Add("p99-us-evicting", float64(p.Keys), p.P99IngestUsecEvicting)
+		t.Add("p99-us-resident", float64(p.Keys), p.P99IngestUsecResident)
+		match := 0.0
+		if p.ResultsMatch {
+			match = 1
+		}
+		t.Add("results-match", float64(p.Keys), match)
+	}
+	return t, nil
+}

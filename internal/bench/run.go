@@ -69,6 +69,7 @@ var Experiments = []Experiment{
 	{"ablation-assembly", "amortized window assembly vs per-window slice re-fold", one(AblationAssembly)},
 	{"plan-churn", "plan-delta add/remove throughput and reconnect resync bytes", one(PlanChurn)},
 	{"wire", "adaptive uplink batching: throttled-link efficiency and fast-link latency", one(Wire)},
+	{"cardinality", "idle-key bytes and ingest tail with instance eviction on/off", one(Cardinality)},
 }
 
 // Run executes the experiment with the given id and prints its tables.

@@ -33,7 +33,7 @@ func TestSliceStoreBounded(t *testing.T) {
 		}
 		e.Process(event.Event{Time: tm, Value: rng.Float64()})
 	}
-	gs := e.groups[0]
+	gs := e.orderedGroups()[0]
 	// The widest open window is the 500ms sliding one: at most ~10 slices
 	// of 100ms lie within it, plus the prune hysteresis of 64.
 	if n := len(gs.closed); n > 128 {
@@ -53,7 +53,7 @@ func TestCountSliceStoreBounded(t *testing.T) {
 	for i := 0; i < 100_000; i++ {
 		e.Process(event.Event{Time: int64(i), Value: 1})
 	}
-	if n := len(e.groups[0].closed); n > 128 {
+	if n := len(e.orderedGroups()[0].closed); n > 128 {
 		t.Errorf("count slice store grew to %d entries", n)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"desis/internal/event"
+	"desis/internal/operator"
 	"desis/internal/plan"
 	"desis/internal/query"
 	"desis/internal/telemetry"
@@ -26,18 +27,39 @@ type Engine struct {
 	cfg            Config
 	pruneThreshold int
 	plan           *plan.Plan
-	groups         []*groupState
 	byID           map[uint32]*groupState
-	byKey          map[uint32][]*groupState
 	results        []Result
 	stats          engineStats
 	tmplKeys       map[uint32]bool // keys whose template instantiation ran
 
+	// The key-space tier (keyspace.go): instances live in hash-sharded
+	// per-key maps, idle keys park as snapshot blobs, and ordered caches
+	// the ascending-id iteration order AdvanceTo and Snapshot need.
+	shards       []instShard
+	byIDPeak     int // occupancy byID's buckets were grown for (shrinkIndexes)
+	ordered      []*groupState
+	orderedStale bool
+	now          int64 // engine event clock: max event time / AdvanceTo seen
+	ttl          int64 // idle horizon in event-time ms; 0 disables eviction
+	sweepEvery   uint32
+	sweepTick    uint32
+	sweepCursor  int
+
+	// Engine-level free lists recycling evicted keys' pooled memory into
+	// future installs, and the scratch buffer eviction snapshots reuse.
+	aggFree     [][]operator.Agg
+	partialFree []*SlicePartial
+	snapScratch []byte
+
 	// tel, when attached, receives per-group counters and the assembly
 	// latency histogram. telAsm is cached so the assembly path pays one
-	// nil check, not a registry lookup.
-	tel    *telemetry.Registry
-	telAsm *telemetry.Histogram
+	// nil check, not a registry lookup; the lifecycle gauges are cached
+	// likewise (nil-safe, so an unattached engine pays nothing).
+	tel        *telemetry.Registry
+	telAsm     *telemetry.Histogram
+	telLive    *telemetry.Gauge
+	telEvicted *telemetry.Gauge
+	telRevived *telemetry.Gauge
 }
 
 // engineStats is the engine's work accounting. The counters are atomic
@@ -47,6 +69,9 @@ type Engine struct {
 // increments; atomics only make the cross-goroutine reads defined.
 type engineStats struct {
 	events, calculations, slices, windows, pruned atomic.Uint64
+
+	// Key-space tier lifecycle accounting (see InstanceStats).
+	instLive, instEvicted, instRevived atomic.Int64
 }
 
 // New builds an engine for an analyzed group set, wrapping it into a plan at
@@ -63,14 +88,29 @@ func New(groups []*groupOf, cfg Config) *Engine {
 // deltas reconcile identically on every tier.
 func NewFromPlan(p *plan.Plan, cfg Config) *Engine {
 	e := &Engine{
-		cfg:   cfg,
-		plan:  p,
-		byID:  make(map[uint32]*groupState),
-		byKey: make(map[uint32][]*groupState),
+		cfg:  cfg,
+		plan: p,
+		byID: make(map[uint32]*groupState),
 	}
 	e.pruneThreshold = cfg.PruneThreshold
 	if e.pruneThreshold <= 0 {
 		e.pruneThreshold = DefaultPruneThreshold
+	}
+	nsh := cfg.InstanceShards
+	if nsh <= 0 {
+		nsh = DefaultInstanceShards
+	}
+	e.shards = make([]instShard, nsh)
+	for i := range e.shards {
+		e.shards[i] = instShard{
+			byKey:   make(map[uint32]*keyEntry),
+			evicted: make(map[uint32][]byte),
+		}
+	}
+	e.ttl = cfg.InstanceTTL
+	e.sweepEvery = uint32(cfg.InstanceSweepEvery)
+	if cfg.InstanceSweepEvery <= 0 {
+		e.sweepEvery = DefaultInstanceSweepEvery
 	}
 	// Warm the catalog index now: the first runtime delta should pay its own
 	// cost, not the O(catalog) lazy index build.
@@ -94,7 +134,13 @@ func (e *Engine) AttachTelemetry(reg *telemetry.Registry) {
 	}
 	e.tel = reg
 	e.telAsm = reg.Histogram("engine.assembly_latency")
-	for _, gs := range e.groups {
+	e.telLive = reg.Gauge("engine.instances_live")
+	e.telEvicted = reg.Gauge("engine.instances_evicted")
+	e.telRevived = reg.Gauge("engine.instances_revived")
+	e.telLive.Set(e.stats.instLive.Load())
+	e.telEvicted.Set(e.stats.instEvicted.Load())
+	e.telRevived.Set(e.stats.instRevived.Load())
+	for _, gs := range e.orderedGroups() {
 		gs.attachTelemetry(reg)
 	}
 }
@@ -120,26 +166,64 @@ func (e *Engine) RecyclePartial(p *SlicePartial) {
 }
 
 func (e *Engine) install(gs *groupState) {
-	e.groups = append(e.groups, gs)
 	e.byID[gs.id] = gs
-	e.byKey[gs.key] = append(e.byKey[gs.key], gs)
+	if len(e.byID) > e.byIDPeak {
+		e.byIDPeak = len(e.byID)
+	}
+	sh := &e.shards[e.instShardOf(gs.key)]
+	ent := sh.byKey[gs.key]
+	if ent == nil {
+		ent = &keyEntry{lastTouch: e.now}
+		sh.byKey[gs.key] = ent
+		if len(sh.byKey) > sh.byKeyPeak {
+			sh.byKeyPeak = len(sh.byKey)
+		}
+	}
+	// Installs happen in ascending group-id order (plan construction and
+	// runtime deltas both append monotonically increasing ids; revival
+	// replays blobs in eviction order, which preserved it), so ent.groups
+	// stays sorted without ever sorting.
+	ent.groups = append(ent.groups, gs)
+	e.orderedStale = true
+	e.stats.instLive.Add(1)
+	e.telLive.Add(1)
 	if e.tel != nil {
 		gs.attachTelemetry(e.tel)
 	}
 }
 
-// Process ingests one event, routing it to every group of its key. The
-// first event of an unseen key instantiates any registered group-by
-// templates for it.
+// Process ingests one event, routing it to every group of its key through
+// the sharded instance maps. The first event of an unseen key instantiates
+// any registered group-by templates for it; an event for a parked key
+// revives it first.
 //
 //desis:hotpath
 func (e *Engine) Process(ev event.Event) {
+	if ev.Time > e.now {
+		e.now = ev.Time
+	}
 	if len(e.plan.Templates) > 0 && !e.tmplKeys[ev.Key] {
 		//lint:ignore hotalloc cold path: template instantiation runs once per unseen key, through the full plan-delta machinery
 		e.instantiateTemplates(ev.Key)
 	}
-	for _, gs := range e.byKey[ev.Key] {
+	sh := &e.shards[e.instShardOf(ev.Key)]
+	ent := sh.byKey[ev.Key]
+	if ent == nil {
+		if len(sh.evicted) == 0 {
+			return
+		}
+		//lint:ignore hotalloc cold path: reviving a parked key replays its eviction snapshot, once per idle period
+		ent = e.reviveKey(ev.Key)
+		if ent == nil {
+			return
+		}
+	}
+	ent.lastTouch = e.now
+	for _, gs := range ent.groups {
 		gs.process(ev)
+	}
+	if e.ttl > 0 {
+		e.maybeSweep()
 	}
 }
 
@@ -156,6 +240,13 @@ func (e *Engine) Apply(d plan.Delta) error {
 			e.tmplKeys = make(map[uint32]bool)
 		}
 		e.tmplKeys[d.Key] = true
+	}
+	if d.Kind == plan.DeltaRemoveQuery && len(e.plan.Templates) == 0 {
+		// Removing the last template forgets the seen-key set: the entries
+		// only gate instantiation, and a template registered later must
+		// re-observe its keys (instantiateForSeenKeys over a stale set
+		// would materialise instances for keys the new template never saw).
+		e.tmplKeys = nil
 	}
 	// Only the groups the delta mutated need reconciling; every other group
 	// was reconciled when it last changed, so delta application stays O(1)
@@ -174,7 +265,9 @@ func (e *Engine) ResyncPlan(p *plan.Plan) error {
 	if p.Epoch < e.plan.Epoch {
 		return fmt.Errorf("core: resync plan epoch %d behind engine epoch %d", p.Epoch, e.plan.Epoch)
 	}
-	for _, gs := range e.groups {
+	// Parked keys are not validated here: their snapshots replay against
+	// the new plan on revival, where the same divergence panics.
+	for _, gs := range e.orderedGroups() {
 		g := p.GroupByID(gs.id)
 		if g == nil {
 			return fmt.Errorf("core: resync plan lost group %d", gs.id)
@@ -212,6 +305,15 @@ func (e *Engine) syncPlan() {
 // untouched, so the member indices EPs carry stay stable across the
 // topology.
 func (e *Engine) syncGroup(g *groupOf) {
+	if e.keyParked(g.Key) {
+		// A delta touched a parked key: revive before reconciling, so the
+		// reconciliation below sees the same live state a never-evicted
+		// engine would. reviveKey re-enters syncGroup for each restored
+		// group (with the key no longer parked); the pass below is then
+		// idempotent. A blob never covers a group the delta just created,
+		// so fall through to install those.
+		e.reviveKey(g.Key)
+	}
 	gs := e.byID[g.ID]
 	if gs == nil {
 		// The placement filter selects the tier's share of the plan; the
@@ -351,7 +453,14 @@ func (e *Engine) ProcessBatch(evs []event.Event) {
 // from watermarks (§5.1.2); tests and harnesses use it to drain the final
 // windows of a replayed stream.
 func (e *Engine) AdvanceTo(t int64) {
-	for _, gs := range e.groups {
+	if t > e.now {
+		e.now = t
+	}
+	// Parked keys owe punctuation work too (idle started groups emit empty
+	// windows at every boundary), so a watermark revives the whole key
+	// space; the sweep re-parks what stays idle.
+	e.reviveAll()
+	for _, gs := range e.orderedGroups() {
 		gs.advanceTime(t)
 	}
 }
@@ -396,4 +505,5 @@ func (e *Engine) emit(r Result) {
 
 // NumGroups reports how many query-groups the engine materialised — the
 // quantity the optimization experiments of §6.3 vary across systems.
-func (e *Engine) NumGroups() int { return len(e.groups) }
+// Parked (evicted) instances do not count; see InstanceStats.
+func (e *Engine) NumGroups() int { return len(e.byID) }

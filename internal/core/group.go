@@ -85,7 +85,11 @@ type groupState struct {
 	// dedup implements the deduplication non-aggregate operator (§4.2.3):
 	// events identical in (time, value) within the current slice are
 	// dropped. nil when the group does not request deduplication.
-	dedup map[dedupKey]struct{}
+	// dedupPeak tracks the occupancy the map's buckets were grown for and
+	// dedupLow counts consecutive collapsed slices; see resetDedup.
+	dedup     map[dedupKey]struct{}
+	dedupPeak int
+	dedupLow  int
 
 	// Bound punctuation callbacks: constructed once so the ingest path hands
 	// the trackers preallocated closures instead of allocating one per event
@@ -111,6 +115,17 @@ type dedupKey struct {
 }
 
 func newGroupState(e *Engine, g *query.Group) *groupState {
+	gs := newGroupShell(e, g)
+	for _, gq := range g.Queries {
+		gs.addMember(gq)
+	}
+	return gs
+}
+
+// newGroupShell builds a group's runtime without registering any members:
+// the form revival needs, where the member set (and its registration
+// bookkeeping) comes from the eviction snapshot rather than the catalog.
+func newGroupShell(e *Engine, g *query.Group) *groupState {
 	gs := &groupState{
 		e:          e,
 		id:         g.ID,
@@ -130,9 +145,6 @@ func newGroupState(e *Engine, g *query.Group) *groupState {
 	gs.onSessEnd = func(idx int, start, end int64) { gs.endDynamic(idx, start, end, gs.sessions.LastEvent()) }
 	gs.onMarkerEnd = func(idx int, start, end int64) { gs.endDynamic(idx, start, end, 0) }
 	gs.onUDOpen = func(idx int) { gs.members[idx].udOpenSeq = gs.nextSliceID }
-	for _, gq := range g.Queries {
-		gs.addMember(gq)
-	}
 	return gs
 }
 
@@ -209,6 +221,15 @@ func (g *groupState) newAggs() []operator.Agg {
 			}
 			return aggs
 		}
+	}
+	// Group-pool miss: an evicted key may have parked a row on the engine
+	// free list.
+	if row := g.e.takeAggRow(); cap(row) >= len(g.contexts) {
+		row = row[:len(g.contexts)]
+		for i := range row {
+			row[i].Reset(g.ops)
+		}
+		return row
 	}
 	//lint:ignore hotalloc pool-miss growth path: steady state recycles rows via recycleAggs, so this runs only while the pool warms up
 	aggs := make([]operator.Agg, len(g.contexts))
@@ -410,9 +431,46 @@ func (g *groupState) closeSlice(b int64) {
 	if telemetry.TraceEnabled {
 		telemetry.TraceSlice(telemetry.TraceOpen, g.e.cfg.TraceName, uint64(g.id), g.nextSliceID, b, b)
 	}
-	if g.dedup != nil && len(g.dedup) > 0 {
-		// Deduplication is slice-scoped: the context resets with the slice.
-		// clear keeps the map's buckets, so steady-state slices reuse them.
+	if g.dedup != nil {
+		g.resetDedup()
+	}
+}
+
+// Dedup maps are slice-scoped and reset with clear(), which keeps the
+// buckets so steady-state slices reuse them. Kept unconditionally, a key
+// that once saw a dedup burst would hold peak-sized buckets forever — at
+// group-by cardinality the dominant idle cost — so when occupancy stays
+// collapsed (dedupShrinkRatio× below the peak the buckets were grown for,
+// dedupShrinkAfter slices in a row, and only once the peak passed
+// dedupShrinkMin where bucket memory matters) the map is reallocated at the
+// recent working size.
+const (
+	dedupShrinkMin   = 1024
+	dedupShrinkRatio = 8
+	dedupShrinkAfter = 16
+)
+
+// resetDedup clears the slice-scoped dedup context, shrinking the map when
+// occupancy has collapsed below its bucket sizing for long enough.
+//
+//desis:hotpath
+func (g *groupState) resetDedup() {
+	n := len(g.dedup)
+	if n > g.dedupPeak {
+		g.dedupPeak = n
+	}
+	if g.dedupPeak >= dedupShrinkMin && n*dedupShrinkRatio < g.dedupPeak {
+		if g.dedupLow++; g.dedupLow >= dedupShrinkAfter {
+			//lint:ignore hotalloc shrink path: runs once per sustained occupancy collapse, trading one allocation for peak-sized buckets held forever
+			g.dedup = make(map[dedupKey]struct{}, 2*n)
+			g.dedupPeak = 2 * n
+			g.dedupLow = 0
+			return
+		}
+	} else {
+		g.dedupLow = 0
+	}
+	if n > 0 {
 		clear(g.dedup)
 	}
 }
@@ -473,6 +531,9 @@ func (g *groupState) getPartial() *SlicePartial {
 		}
 		p.Ingested = 0
 		p.EPs = p.EPs[:0]
+		return p
+	}
+	if p := g.e.takePartial(g.id); p != nil {
 		return p
 	}
 	//lint:ignore hotalloc pool-miss growth path: shipped partials come back through Engine.RecyclePartial, so this runs only while the pool warms up

@@ -3,9 +3,12 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
+	"sort"
 
 	"desis/internal/operator"
 	"desis/internal/plan"
+	"desis/internal/query"
 	"desis/internal/window"
 )
 
@@ -23,14 +26,19 @@ type windowDynamicState = window.DynamicState
 const snapshotMagic = 0x44455349 // "DESI"
 
 // snapshotVersion bumps when the layout changes (v2: Stats.Pruned; v3: plan
-// epoch).
-const snapshotVersion = 3
+// epoch; v4: per-group dedup state, which evict/revive must carry or a
+// revived key would re-admit duplicates its slice already saw).
+const snapshotVersion = 4
 
 // Snapshot appends a serialised checkpoint of the engine's complete mutable
 // state to buf. The engine must be quiescent (no concurrent Process). The
 // checkpoint records the plan epoch it was cut at: restoring requires an
-// engine built from the same catalog at the same epoch.
+// engine built from the same catalog at the same epoch. Parked keys are
+// revived first so the checkpoint covers the whole key space in one format;
+// group records appear in ascending id order, which is the install order of
+// a never-evicting engine.
 func (e *Engine) Snapshot(buf []byte) []byte {
+	e.reviveAll()
 	buf = appendU32s(buf, snapshotMagic)
 	buf = appendU32s(buf, snapshotVersion)
 	buf = appendU64s(buf, e.plan.Epoch)
@@ -39,8 +47,9 @@ func (e *Engine) Snapshot(buf []byte) []byte {
 	buf = appendU64s(buf, e.stats.slices.Load())
 	buf = appendU64s(buf, e.stats.windows.Load())
 	buf = appendU64s(buf, e.stats.pruned.Load())
-	buf = appendU32s(buf, uint32(len(e.groups)))
-	for _, gs := range e.groups {
+	ordered := e.orderedGroups()
+	buf = appendU32s(buf, uint32(len(ordered)))
+	for _, gs := range ordered {
 		buf = gs.snapshot(buf)
 	}
 	return buf
@@ -72,6 +81,25 @@ func (g *groupState) snapshot(buf []byte) []byte {
 	buf = appendBool(buf, have)
 	buf = appendDynamic(buf, sess)
 	buf = appendDynamic(buf, g.ud.State())
+	// Dedup state (v4): the open slice's seen set, sorted so identical
+	// engine states serialise to identical bytes.
+	buf = appendU32s(buf, uint32(len(g.dedup)))
+	if len(g.dedup) > 0 {
+		keys := make([]dedupKey, 0, len(g.dedup))
+		for k := range g.dedup {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].t != keys[j].t {
+				return keys[i].t < keys[j].t
+			}
+			return math.Float64bits(keys[i].v) < math.Float64bits(keys[j].v)
+		})
+		for _, k := range keys {
+			buf = appendU64s(buf, uint64(k.t))
+			buf = appendU64s(buf, math.Float64bits(k.v))
+		}
+	}
 	return buf
 }
 
@@ -134,11 +162,12 @@ func restore(e *Engine, snap []byte, checkEpoch bool) (*Engine, error) {
 	e.stats.windows.Store(r.u64())
 	e.stats.pruned.Store(r.u64())
 	n := int(r.u32())
-	if r.err == nil && n != len(e.groups) {
-		return nil, fmt.Errorf("core: snapshot has %d groups, engine has %d", n, len(e.groups))
+	ordered := e.orderedGroups()
+	if r.err == nil && n != len(ordered) {
+		return nil, fmt.Errorf("core: snapshot has %d groups, engine has %d", n, len(ordered))
 	}
 	for i := 0; i < n && r.err == nil; i++ {
-		if err := e.groups[i].restore(r); err != nil {
+		if err := ordered[i].restore(r); err != nil {
 			return nil, err
 		}
 	}
@@ -152,16 +181,36 @@ func (g *groupState) restore(r *snapReader) error {
 	if id := r.u32(); r.err == nil && id != g.id {
 		return fmt.Errorf("core: snapshot group id %d, engine group %d", id, g.id)
 	}
+	return g.restoreBody(r, nil)
+}
+
+// restoreBody replays one group record (everything after the id). With grow
+// nil (full-engine restore) the member count must match exactly; with grow
+// set to the group's catalog queries (revival of an eviction snapshot) the
+// snapshot may know fewer members than the catalog — members admitted while
+// the key was parked — and the missing ones are registered by the caller's
+// subsequent syncGroup, exactly as a live group would have registered them
+// when the delta applied (no events intervened while parked, so the
+// registration positions agree).
+func (g *groupState) restoreBody(r *snapReader, grow []query.GroupQuery) error {
 	g.started = r.bool()
 	g.lastPunct = int64(r.u64())
 	g.count = int64(r.u64())
 	g.lastEventTime = int64(r.u64())
 	g.nextSliceID = r.u64()
 	nm := int(r.u64())
-	if r.err == nil && nm != len(g.members) {
-		return fmt.Errorf("core: snapshot has %d members, group %d has %d", nm, g.id, len(g.members))
+	if r.err == nil {
+		if grow == nil && nm != len(g.members) {
+			return fmt.Errorf("core: snapshot has %d members, group %d has %d", nm, g.id, len(g.members))
+		}
+		if grow != nil && nm > len(grow) {
+			return fmt.Errorf("core: snapshot of group %d has %d members, catalog has %d", g.id, nm, len(grow))
+		}
 	}
 	for i := 0; i < nm && r.err == nil; i++ {
+		if i >= len(g.members) {
+			g.addMember(grow[i])
+		}
 		removed := r.bool()
 		g.members[i].regTime = int64(r.u64())
 		g.members[i].regCount = int64(r.u64())
@@ -185,6 +234,14 @@ func (g *groupState) restore(r *snapReader) error {
 	have := r.bool()
 	g.sessions.SetState(readDynamic(r), lastEv, have)
 	g.ud.SetState(readDynamic(r))
+	nd := int(r.u32())
+	if nd > 0 && g.dedup == nil {
+		g.dedup = make(map[dedupKey]struct{}, nd)
+	}
+	for i := 0; i < nd && r.err == nil; i++ {
+		k := dedupKey{t: int64(r.u64()), v: math.Float64frombits(r.u64())}
+		g.dedup[k] = struct{}{}
+	}
 	if g.started {
 		g.nextTimeBound = g.cal.NextBoundary(g.lastPunct)
 		g.nextCountID = g.countCal.NextBoundary(g.count)

@@ -179,6 +179,20 @@ type Config struct {
 	// DefaultPruneThreshold. Larger values trade memory for fewer
 	// compactions.
 	PruneThreshold int
+	// InstanceTTL, when positive, evicts keys idle for this many
+	// event-time milliseconds: their group instances are serialised into a
+	// compact snapshot and dropped, to be revived on the key's next event
+	// (or plan delta, or AdvanceTo) with windows identical to a
+	// never-evicted run. 0 disables eviction. See keyspace.go.
+	InstanceTTL int64
+	// InstanceShards is the shard count of the engine's key→instance maps;
+	// 0 selects DefaultInstanceShards. More shards shorten TTL sweep steps
+	// at the cost of more (small) maps.
+	InstanceShards int
+	// InstanceSweepEvery is how many ingested events pass between two TTL
+	// sweep steps; 0 selects DefaultInstanceSweepEvery. Only meaningful
+	// with InstanceTTL set.
+	InstanceSweepEvery int
 	// Decentralized applies the decentralized placement rules when queries
 	// are added at runtime (count-based windows are RootOnly, §5.2). Only
 	// consulted by the legacy New constructor when it wraps groups into a

@@ -156,7 +156,7 @@ func (c *checker) callIsEdge(call *ast.CallExpr, depth int, seen map[*ast.BlockS
 	if edgeFuncs[fn.FullName()] {
 		return true
 	}
-	if fn.Signature().Recv() != nil && boundedCalls[fn.Name()] {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && boundedCalls[fn.Name()] {
 		return true
 	}
 	if fd, ok := c.decls[fn]; ok && depth > 0 && fd.Body != nil {

@@ -108,6 +108,9 @@ func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) (
 			kept = append(kept, d)
 		}
 	}
+	// Zero the dead tail so suppressed diagnostics (and their message
+	// strings) do not linger past len.
+	clear(diags[len(kept):])
 	diags = kept
 	// Sort by resolved position, not raw token.Pos: token offsets depend on
 	// file-registration order in the FileSet, which varies between drivers,

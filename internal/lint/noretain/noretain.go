@@ -9,7 +9,17 @@
 //     not taint statements after the enclosing block; uses in sibling
 //     branches of the same if/switch are not "after" the release.
 //
-//  2. Implementation side — message.Conn.Send implementations must not
+//  2. Truncation side — the in-place filter idiom
+//     (`kept := s[:0]; … kept = append(kept, v) …; owner = kept`) publishes
+//     a shortened slice whose backing array still holds every dropped
+//     element between len and the old length. When the elements carry
+//     references (pointers, slices, strings, …) that dead tail pins them
+//     for as long as the shortened slice lives, so the function must
+//     clear() the tail before publishing. Handing the slice to another
+//     function instead of publishing it (a scratch stash that clears on
+//     behalf of the caller) is out of scope.
+//
+//  3. Implementation side — message.Conn.Send implementations must not
 //     retain the message or anything it references after returning (the
 //     documented Conn contract: callers recycle the payload buffers as soon
 //     as Send returns). Inside any `Send(*message.Message) error` method the
@@ -32,7 +42,7 @@ import (
 // Analyzer is the noretain pass.
 var Analyzer = &lint.Analyzer{
 	Name: "noretain",
-	Doc:  "flag uses of pooled values after release and retention inside Conn.Send implementations",
+	Doc:  "flag uses of pooled values after release, uncleared in-place filter tails, and retention inside Conn.Send implementations",
 	Run:  run,
 }
 
@@ -56,6 +66,7 @@ func run(pass *lint.Pass) (any, error) {
 				continue
 			}
 			checkReleases(pass, fd)
+			checkFilterTruncations(pass, fd)
 			if isConnSend(pass.TypesInfo, fd) {
 				checkSendImpl(pass, fd)
 			}
@@ -255,6 +266,165 @@ func pathTo(root ast.Node, pos, end token.Pos) []ast.Node {
 		return false
 	})
 	return path
+}
+
+// --- truncation side: in-place filter dead tails ---------------------------
+
+// checkFilterTruncations flags the completed filter idiom — define
+// `kept := base[:0]`, grow with `kept = append(kept, …)`, publish with
+// `owner = kept` — when base's element type carries references and no
+// clear() rooted at base (or kept) appears in the function. The dropped
+// elements between len(kept) and the old length stay reachable through the
+// published slice's backing array until they are overwritten, which for a
+// shrinking collection is never.
+func checkFilterTruncations(pass *lint.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	type trunc struct {
+		pos     token.Pos
+		obj     types.Object // the kept variable
+		name    string
+		base    string // types.ExprString of the truncated slice
+		grown   bool   // kept = append(kept, …) seen
+		postCap bool   // slicing also reset cap ([:0:0]): old tail unreachable
+	}
+	var truncs []*trunc
+	cleared := map[string]bool{} // ExprString of every clear()ed slice root
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE && len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+				if sl, ok := ast.Unparen(n.Rhs[0]).(*ast.SliceExpr); ok && sl.Low == nil && isZeroLit(sl.High) {
+					id, ok := n.Lhs[0].(*ast.Ident)
+					if !ok {
+						return true
+					}
+					obj := info.Defs[id]
+					st, ok := types.Unalias(info.Types[sl.X].Type).Underlying().(*types.Slice)
+					if obj == nil || !ok || !holdsRefs(st.Elem()) {
+						return true
+					}
+					truncs = append(truncs, &trunc{
+						pos:     n.Pos(),
+						obj:     obj,
+						name:    id.Name,
+						base:    types.ExprString(sl.X),
+						postCap: sl.Max != nil,
+					})
+					return true
+				}
+			}
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					continue
+				}
+				fid, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if b, ok := info.Uses[fid].(*types.Builtin); !ok || b.Name() != "append" {
+					continue
+				}
+				dst, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				for _, t := range truncs {
+					if info.Uses[dst] == t.obj {
+						t.grown = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			fid, ok := ast.Unparen(n.Fun).(*ast.Ident)
+			if !ok || len(n.Args) != 1 {
+				return true
+			}
+			if b, ok := info.Uses[fid].(*types.Builtin); !ok || b.Name() != "clear" {
+				return true
+			}
+			arg := ast.Unparen(n.Args[0])
+			if sl, ok := arg.(*ast.SliceExpr); ok {
+				arg = ast.Unparen(sl.X)
+			}
+			cleared[types.ExprString(arg)] = true
+		}
+		return true
+	})
+	for _, t := range truncs {
+		if !t.grown || t.postCap || cleared[t.base] || cleared[t.name] {
+			continue
+		}
+		if !publishes(info, fd, t.obj) {
+			continue // handed off (e.g. a stash that clears for the caller)
+		}
+		pass.Reportf(t.pos, "in-place filter of %s publishes a shortened slice without clearing the dead tail; the dropped elements stay reachable past len — clear(%s[len(%s):]) before the final assignment", t.base, t.base, t.name)
+	}
+}
+
+// publishes reports whether kept is assigned to anything other than itself
+// after the truncation — the step that makes the shortened slice (and its
+// dead tail) outlive the filter loop.
+func publishes(info *types.Info, fd *ast.FuncDecl, kept types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) {
+				break
+			}
+			rid, ok := ast.Unparen(rhs).(*ast.Ident)
+			if !ok || info.Uses[rid] != kept {
+				continue
+			}
+			if lid, ok := as.Lhs[i].(*ast.Ident); ok && info.Uses[lid] == kept {
+				continue // kept = kept — not a publication
+			}
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isZeroLit(e ast.Expr) bool {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	return ok && lit.Kind == token.INT && lit.Value == "0"
+}
+
+// holdsRefs reports whether values of type t keep other heap objects alive:
+// pointers, slices, maps, channels, funcs, interfaces, strings, or any
+// aggregate containing one.
+func holdsRefs(t types.Type) bool {
+	return holdsRefsDepth(t, 0)
+}
+
+func holdsRefsDepth(t types.Type, depth int) bool {
+	if depth > 8 {
+		return true // deep aggregate: assume the worst
+	}
+	switch u := types.Unalias(t).Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsString != 0
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if holdsRefsDepth(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+		return false
+	case *types.Array:
+		return holdsRefsDepth(u.Elem(), depth+1)
+	}
+	return false
 }
 
 // --- implementation side: Conn.Send retention ------------------------------

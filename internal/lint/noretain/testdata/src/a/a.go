@@ -56,6 +56,68 @@ func earlyReturnOK(e *core.Engine, p *core.SlicePartial, done bool) uint64 {
 	return p.ID // ok: unreachable once the release branch returns
 }
 
+// --- truncation side: in-place filter dead tails ---------------------------
+
+type box struct{ p *int }
+
+type keeper struct {
+	boxes []*box
+	vals  []int
+}
+
+func (k *keeper) dropBad() {
+	kept := k.boxes[:0] // want `in-place filter of k\.boxes publishes a shortened slice without clearing the dead tail`
+	for _, b := range k.boxes {
+		if b.p != nil {
+			kept = append(kept, b)
+		}
+	}
+	k.boxes = kept
+}
+
+func (k *keeper) dropFixed() {
+	kept := k.boxes[:0]
+	for _, b := range k.boxes {
+		if b.p != nil {
+			kept = append(kept, b)
+		}
+	}
+	clear(k.boxes[len(kept):]) // ok: dead tail zeroed before publishing
+	k.boxes = kept
+}
+
+func (k *keeper) dropFixedViaAlias() {
+	all := k.boxes
+	kept := all[:0]
+	for _, b := range all {
+		if b.p != nil {
+			kept = append(kept, b)
+		}
+	}
+	clear(all[len(kept):]) // ok: cleared through the loop's own base
+	k.boxes = kept
+}
+
+func (k *keeper) dropValues() {
+	kept := k.vals[:0] // ok: int elements hold no references
+	for _, v := range k.vals {
+		if v != 0 {
+			kept = append(kept, v)
+		}
+	}
+	k.vals = kept
+}
+
+func (k *keeper) stash(save func([]*box)) {
+	kept := k.boxes[:0] // ok: handed off, never published by this function
+	for _, b := range k.boxes {
+		if b.p != nil {
+			kept = append(kept, b)
+		}
+	}
+	save(kept)
+}
+
 // --- implementation side: Conn.Send retention ------------------------------
 
 type fieldConn struct {

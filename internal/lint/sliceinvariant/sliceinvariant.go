@@ -4,9 +4,14 @@
 // confined to the documented mutation points. The analyzer guards the state
 // fields of core.groupState, core.sliceRec, core.sliceIndex, the identity
 // fields of core.SlicePartial, the shared query.Group descriptor, and the
-// epoch-versioned plan.Plan catalog: every assignment, compound assignment,
-// increment/decrement, or address-taking of a guarded field outside its
-// allow-listed writer functions is reported.
+// epoch-versioned plan.Plan catalog, and the key-space tier's sharded
+// instance maps and free lists (internal/core/keyspace.go): every
+// assignment, compound assignment, increment/decrement, or address-taking of
+// a guarded field outside its allow-listed writer functions is reported.
+// Writes *through* a guarded map or slice field — `x.m[k] = v`,
+// `delete(x.m, k)`, `x.s[i]++` — count as writes to the field; taking the
+// address of an element (`&x.s[i]`) does not, so read-side shard-pointer
+// access stays out of scope.
 //
 // Slice ids must be monotone: counters marked as such may be incremented
 // anywhere in the owning package, but may never be decremented and may only
@@ -68,6 +73,10 @@ var DefaultRules = []Rule{
 			corePkg + ":groupState.closeSlice",
 			corePkg + ":groupState.prune",
 			corePkg + ":groupState.restore",
+			corePkg + ":groupState.restoreBody",
+			// Eviction drops the ring after snapshotting it; the revive
+			// rebuilds it through restoreBody.
+			corePkg + ":Engine.reclaim",
 		},
 		Message: "the closed-slice ring is appended by closeSlice, truncated by prune, and rebuilt by restore; writes elsewhere desynchronize the assembly index",
 	},
@@ -79,6 +88,7 @@ var DefaultRules = []Rule{
 			corePkg + ":groupState.closeSlice",
 			corePkg + ":groupState.snapshot",
 			corePkg + ":groupState.restore",
+			corePkg + ":groupState.restoreBody",
 		},
 		Message: "the open slice is owned by the slicing path (start/closeSlice) and the snapshot code",
 	},
@@ -86,8 +96,11 @@ var DefaultRules = []Rule{
 		Type:            corePkg + ".groupState",
 		Fields:          []string{"nextSliceID"},
 		MonotoneCounter: true,
-		AllowFuncs:      []string{corePkg + ":groupState.restore"},
-		Message:         "slice ids are monotone: nextSliceID only grows (it may be incremented, or restored from a snapshot)",
+		AllowFuncs: []string{
+			corePkg + ":groupState.restore",
+			corePkg + ":groupState.restoreBody",
+		},
+		Message: "slice ids are monotone: nextSliceID only grows (it may be incremented, or restored from a snapshot)",
 	},
 	{
 		Type: corePkg + ".sliceRec",
@@ -100,6 +113,9 @@ var DefaultRules = []Rule{
 			// row after widening the operator mask (administrative punctuation
 			// closes the old slice first).
 			corePkg + ":Engine.syncGroup",
+			// Eviction detaches the aggregate rows into the engine free
+			// lists before the records themselves are dropped.
+			corePkg + ":Engine.reclaim",
 		},
 		Message: "closed-slice records are immutable outside the slicing path; the assembly index and window gathering assume their extents and aggregates never change",
 	},
@@ -113,6 +129,9 @@ var DefaultRules = []Rule{
 			corePkg + ":groupState.stagePartial",
 			corePkg + ":groupState.emptyPartial",
 			corePkg + ":groupState.getPartial",
+			// The engine free list re-stamps a recycled partial's group
+			// before handing it to an install.
+			corePkg + ":Engine.takePartial",
 		},
 		Message: "a partial's identity (group, slice id) is assigned once when it is staged or decoded; ids are monotone per (node, group)",
 	},
@@ -124,6 +143,71 @@ var DefaultRules = []Rule{
 		// same groups from the same delta sequence.
 		AllowPkgs: []string{"desis/internal/query", planPkg},
 		Message:   "shared query-group descriptors are mutated only by query analysis and plan-delta application (so every node derives the same groups)",
+	},
+	{
+		Type:       corePkg + ".Engine",
+		Fields:     []string{"shards"},
+		AllowFuncs: []string{corePkg + ":NewFromPlan"},
+		Message:    "the instance-shard table is sized once at construction; keys route by instShardOf, so replacing or resizing it at runtime would strand resident and parked keys",
+	},
+	{
+		Type:   corePkg + ".Engine",
+		Fields: []string{"byID", "byIDPeak"},
+		AllowFuncs: []string{
+			corePkg + ":NewFromPlan",
+			corePkg + ":Engine.install",
+			corePkg + ":Engine.evictKey",
+			corePkg + ":Engine.shrinkIndexes",
+		},
+		Message: "the group-id index is maintained by the instance lifecycle (install adds, evictKey deletes, shrinkIndexes reallocates); writes elsewhere desynchronize it from the shard maps and the lifecycle counters",
+	},
+	{
+		Type:   corePkg + ".Engine",
+		Fields: []string{"ordered", "orderedStale"},
+		AllowFuncs: []string{
+			corePkg + ":Engine.orderedGroups",
+			corePkg + ":Engine.install",
+			corePkg + ":Engine.evictKey",
+		},
+		Message: "the ordered-iteration cache is derived from byID: lifecycle changes mark it stale, orderedGroups rebuilds it; writing it elsewhere breaks the deterministic AdvanceTo/Snapshot order revives depend on",
+	},
+	{
+		Type:   corePkg + ".Engine",
+		Fields: []string{"aggFree", "partialFree"},
+		AllowFuncs: []string{
+			corePkg + ":Engine.freeAggs",
+			corePkg + ":Engine.reclaim",
+			corePkg + ":Engine.takeAggRow",
+			corePkg + ":Engine.takePartial",
+		},
+		Message: "the engine free lists recycle evicted keys' pooled memory; only the reclaim/take pairs may touch them, or a row could be handed out twice",
+	},
+	{
+		Type:   corePkg + ".Engine",
+		Fields: []string{"tmplKeys"},
+		AllowFuncs: []string{
+			corePkg + ":Engine.Apply",
+			corePkg + ":Engine.syncPlan",
+			corePkg + ":Engine.instantiateTemplates",
+		},
+		Message: "the seen-key set grows when templates instantiate and is dropped when the last template leaves the catalog; writes elsewhere reintroduce the unbounded-growth leak",
+	},
+	{
+		Type: corePkg + ".instShard",
+		AllowFuncs: []string{
+			corePkg + ":NewFromPlan",
+			corePkg + ":Engine.install",
+			corePkg + ":Engine.evictKey",
+			corePkg + ":Engine.reviveKey",
+			corePkg + ":Engine.shrinkIndexes",
+		},
+		Message: "a shard's resident and parked maps are mutated only by the key lifecycle (install/evict/revive/shrink); a key must never be live and parked at once",
+	},
+	{
+		Type:       corePkg + ".keyEntry",
+		Fields:     []string{"groups"},
+		AllowFuncs: []string{corePkg + ":Engine.install"},
+		Message:    "a key's group list is append-only through install, in ascending group-id order; eviction snapshots and revives replay that order",
 	},
 	{
 		Type: planPkg + ".Plan",
@@ -163,19 +247,29 @@ func run(pass *lint.Pass, rules []Rule) {
 			switch n := n.(type) {
 			case *ast.AssignStmt:
 				for _, lhs := range n.Lhs {
-					checkWrite(pass, rules, file, lhs, n.Pos(), "assigned")
+					checkWrite(pass, rules, file, lhs, n.Pos(), "assigned", true)
 				}
 			case *ast.IncDecStmt:
 				verb := "incremented"
 				if n.Tok == token.DEC {
 					verb = "decremented"
 				}
-				checkWrite(pass, rules, file, n.X, n.Pos(), verb)
+				checkWrite(pass, rules, file, n.X, n.Pos(), verb, true)
 			case *ast.UnaryExpr:
 				if n.Op == token.AND {
 					// Taking the address of a guarded field hands out a
 					// mutable alias; only allow-listed writers may do it.
-					checkWrite(pass, rules, file, n.X, n.Pos(), "aliased (&)")
+					// Elements are not peeled here: &x.s[i] aliases one
+					// entry, the read-side access pattern for shards.
+					checkWrite(pass, rules, file, n.X, n.Pos(), "aliased (&)", false)
+				}
+			case *ast.CallExpr:
+				// delete(x.m, k) mutates the guarded map exactly like an
+				// element assignment does.
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && len(n.Args) == 2 {
+					if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "delete" {
+						checkWrite(pass, rules, file, n.Args[0], n.Pos(), "shrunk by delete", true)
+					}
 				}
 			}
 			return true
@@ -184,9 +278,20 @@ func run(pass *lint.Pass, rules []Rule) {
 }
 
 // checkWrite resolves lhs as a guarded-field access and reports it when the
-// enclosing function is not an allowed writer.
-func checkWrite(pass *lint.Pass, rules []Rule, file *ast.File, lhs ast.Expr, pos token.Pos, verb string) {
-	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+// enclosing function is not an allowed writer. With peelIndex set, writes
+// through index expressions (`x.m[k] = v`, `x.s[i]++`) resolve to the
+// indexed field: mutating a guarded map's or slice's contents is mutating
+// the field.
+func checkWrite(pass *lint.Pass, rules []Rule, file *ast.File, lhs ast.Expr, pos token.Pos, verb string, peelIndex bool) {
+	expr := ast.Unparen(lhs)
+	for peelIndex {
+		idx, ok := expr.(*ast.IndexExpr)
+		if !ok {
+			break
+		}
+		expr = ast.Unparen(idx.X)
+	}
+	sel, ok := expr.(*ast.SelectorExpr)
 	if !ok {
 		return
 	}

@@ -37,6 +37,11 @@ func TestSliceInvariant(t *testing.T) {
 			AllowRecvType: "a.index",
 			Message:       "index state is owned by index methods",
 		},
+		{
+			Type:       "a.table",
+			AllowFuncs: []string{"a:table.put"},
+			Message:    "table contents are owned by put",
+		},
 	}
 	linttest.Run(t, sliceinvariant.NewAnalyzer(rules), "a")
 }

@@ -41,3 +41,28 @@ func (ix *index) flip() { // ok: methods of the guarded type may write
 func poke(ix *index) {
 	ix.s0 = 2 // want `a\.index\.s0 assigned outside its documented mutation points`
 }
+
+// table exercises writes *through* guarded map and slice fields: element
+// assignment, delete, and element increment all resolve to the field.
+type table struct {
+	byKey map[int]int
+	rows  []int
+}
+
+func (t *table) put(k, v int) {
+	t.byKey[k] = v     // ok: allow-listed writer
+	delete(t.byKey, k) // ok: allow-listed writer
+	t.rows[0] = v      // ok: allow-listed writer
+}
+
+func smash(t *table, i int) {
+	t.byKey[1] = 2           // want `a\.table\.byKey assigned outside its documented mutation points`
+	delete(t.byKey, 1)       // want `a\.table\.byKey shrunk by delete outside its documented mutation points`
+	t.rows[i]++              // want `a\.table\.rows incremented outside its documented mutation points`
+	(t.rows[i]) = 3          // want `a\.table\.rows assigned outside its documented mutation points`
+	_ = &t.rows[i]           // ok: element aliasing is read-side access, not peeled
+	m := t.byKey             // ok: reading the header
+	m[3] = 4                 // ok: writes through a local copy are out of scope
+	tmp := map[int]int{1: 1} // ok
+	delete(tmp, 1)           // ok: not a guarded field
+}

@@ -196,6 +196,9 @@ func (a *Assembler) advanceGroup(rg *rootGroup, w int64) {
 			rest = append(rest, p)
 		}
 	}
+	// Zero the dead tail: the matured partials are recycled after assembly,
+	// and the buffer must not keep the recycled pointers reachable past len.
+	clear(rg.buffer[len(rest):])
 	rg.buffer = rest
 	sort.Slice(take, func(i, j int) bool {
 		if take[i].End != take[j].End {

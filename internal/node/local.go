@@ -54,13 +54,33 @@ func NewLocal(id uint32, groups []*query.Group, parent message.Conn, batchSize i
 // NewLocalFromPlan builds a local node from an execution plan (e.g. one
 // received in a handshake), taking ownership of it.
 func NewLocalFromPlan(id uint32, p *plan.Plan, parent message.Conn, batchSize int) *Local {
+	return NewLocalFromPlanTuned(id, p, parent, batchSize, EngineTuning{})
+}
+
+// EngineTuning carries the engine knobs a node deployment exposes; the zero
+// value selects the engine defaults (no instance eviction).
+type EngineTuning struct {
+	// InstanceTTL parks group instances of keys idle this many event-time
+	// milliseconds (core.Config.InstanceTTL); 0 disables eviction. Note
+	// that every watermark revives the whole key space (idle keys owe
+	// empty windows), so set the TTL well above the watermark cadence.
+	InstanceTTL int64
+	// InstanceShards is the key→instance map shard count; 0 selects the
+	// engine default.
+	InstanceShards int
+}
+
+// NewLocalFromPlanTuned is NewLocalFromPlan with explicit engine tuning.
+func NewLocalFromPlanTuned(id uint32, p *plan.Plan, parent message.Conn, batchSize int, tune EngineTuning) *Local {
 	if batchSize <= 0 {
 		batchSize = 256
 	}
 	l := &Local{id: id, conn: parent, forward: make(map[uint32]bool), batchSz: batchSize}
 	l.engine = core.NewFromPlan(p, core.Config{
-		Placement: core.DistributedOnly,
-		OnSlice:   l.sendPartial,
+		Placement:      core.DistributedOnly,
+		OnSlice:        l.sendPartial,
+		InstanceTTL:    tune.InstanceTTL,
+		InstanceShards: tune.InstanceShards,
 	})
 	l.rebuildForward()
 	return l

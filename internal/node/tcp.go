@@ -899,7 +899,7 @@ func RunLocalTCPOptions(parentAddr string, id uint32, batchSize int, opts DialOp
 	if tel == nil {
 		tel = telemetry.NewRegistry()
 	}
-	session := &LocalSession{l: NewLocalFromPlan(id, p, up, batchSize)}
+	session := &LocalSession{l: NewLocalFromPlanTuned(id, p, up, batchSize, opts.Tuning)}
 	session.epoch.Store(session.l.Epoch())
 	session.l.AttachTelemetry(tel)
 	up.AttachTelemetry(tel)

@@ -82,6 +82,9 @@ type DialOptions struct {
 	// Nil means the node creates a private registry — stats dumps always
 	// answer; supply one to also serve it locally (e.g. -debug-addr).
 	Telemetry *telemetry.Registry
+	// Tuning carries engine knobs (instance TTL eviction, instance-map
+	// sharding) into the node's embedded engine.
+	Tuning EngineTuning
 }
 
 func (o DialOptions) withDefaults() DialOptions {

@@ -386,7 +386,11 @@ func (p *Plan) applyRemove(id uint64) error {
 	removed := false
 	for ti := len(p.Templates) - 1; ti >= 0; ti-- {
 		if p.Templates[ti].ID == id {
+			n := len(p.Templates)
 			p.Templates = append(p.Templates[:ti], p.Templates[ti+1:]...)
+			// Zero the dead tail: the spliced-over entry keeps its Funcs
+			// and predicate slices alive past len otherwise.
+			clear(p.Templates[len(p.Templates):n])
 			removed = true
 		}
 	}
@@ -394,14 +398,18 @@ func (p *Plan) applyRemove(id uint64) error {
 		// Forget the template's instantiation records; its per-key instance
 		// members (same query id) are tombstoned below.
 		delete(ix.templates, id)
-		kept := p.Instances[:0]
-		for _, in := range p.Instances {
+		all := p.Instances
+		kept := all[:0]
+		for _, in := range all {
 			if in.TemplateID != id {
 				kept = append(kept, in)
 			} else {
 				delete(ix.instances, in)
 			}
 		}
+		// Zero the filtered-out tail so dropped records do not linger past
+		// len (the retention shape the noretain analyzer pins).
+		clear(all[len(kept):])
 		p.Instances = kept
 		// A never-instantiated template leaves no tombstone behind, so its id
 		// is genuinely forgotten; re-derive the reservation ceiling.
@@ -548,19 +556,26 @@ func cloneGroup(g *query.Group) *query.Group {
 func (p *Plan) Restrict(shard int) *Plan {
 	c := p.Clone()
 	c.Shard = shard
-	kept := c.Groups[:0]
-	for _, g := range c.Groups {
+	allG := c.Groups
+	kept := allG[:0]
+	for _, g := range allG {
 		if p.ShardOf(g.Key) == shard {
 			kept = append(kept, g)
 		}
 	}
+	// Zero the filtered-out tails: without it every shard view pins the
+	// other shards' cloned groups (and instance records) past len for the
+	// engine's lifetime.
+	clear(allG[len(kept):])
 	c.Groups = kept
-	inst := c.Instances[:0]
-	for _, in := range c.Instances {
+	allI := c.Instances
+	inst := allI[:0]
+	for _, in := range allI {
 		if p.ShardOf(in.Key) == shard {
 			inst = append(inst, in)
 		}
 	}
+	clear(allI[len(inst):])
 	c.Instances = inst
 	return c
 }

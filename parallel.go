@@ -248,5 +248,19 @@ func (p *ParallelEngine) Stats() Stats {
 	return total
 }
 
+// InstanceStats sums the shard engines' instance lifecycle counters. Like
+// Stats, a mid-stream read is per-counter consistent; call after Barrier or
+// Close for a cross-shard cut.
+func (p *ParallelEngine) InstanceStats() InstanceStats {
+	var total InstanceStats
+	for _, sh := range p.shards {
+		s := sh.eng.InstanceStats()
+		total.Live += s.Live
+		total.Evicted += s.Evicted
+		total.Revived += s.Revived
+	}
+	return total
+}
+
 // NumShards reports the shard count.
 func (p *ParallelEngine) NumShards() int { return len(p.shards) }
