@@ -81,6 +81,19 @@ func main() {
 				fmt.Printf("latency p99 unbatched=%.1fus batched=%.1fus overhead=%.1f%%\n",
 					r.Latency.UnbatchedP99Usec, r.Latency.BatchedP99Usec, 100*r.Latency.P99Overhead)
 			}
+		case "latency":
+			var r *bench.LatencyReport
+			if r, err = bench.RunLatencyReport(cfg); err == nil {
+				rep = r
+				for _, p := range r.Points {
+					for _, s := range p.Strategies {
+						fmt.Printf("windows=%-3d %-10s %.0f ev/s p50=%.1fus p99=%.1fus p999=%.1fus max=%.1fus\n",
+							p.Windows, s.Assembly, s.EventsPerSec, s.P50Usec, s.P99Usec, s.P999Usec, s.MaxUsec)
+					}
+					fmt.Printf("windows=%-3d p999 improvement (two-stacks/daba) %.2fx match=%v\n",
+						p.Windows, p.P999Improvement, p.ResultsMatch)
+				}
+			}
 		case "cardinality":
 			var r *bench.CardinalityReport
 			if r, err = bench.RunCardinalityReport(cfg); err == nil {
@@ -93,7 +106,7 @@ func main() {
 				}
 			}
 		default:
-			fmt.Fprintln(os.Stderr, "desis-bench: -out only applies to -exp ablation-assembly, plan-churn, wire, or cardinality")
+			fmt.Fprintln(os.Stderr, "desis-bench: -out only applies to -exp ablation-assembly, plan-churn, wire, latency, or cardinality")
 			os.Exit(2)
 		}
 		if err != nil {

@@ -100,6 +100,20 @@ type Result = core.Result
 // FuncValue is one evaluated aggregation function inside a Result.
 type FuncValue = core.FuncValue
 
+// AssemblyKind selects the window-assembly strategy (see Options.Assembly).
+type AssemblyKind = core.AssemblyKind
+
+// The assembly strategies.
+const (
+	AssemblyTwoStacks = core.AssemblyTwoStacks
+	AssemblyDABA      = core.AssemblyDABA
+	AssemblyNaive     = core.AssemblyNaive
+)
+
+// ParseAssemblyKind maps the flag spellings ("two-stacks", "daba",
+// "naive") onto the enum.
+func ParseAssemblyKind(s string) (AssemblyKind, error) { return core.ParseAssemblyKind(s) }
+
 // ParseQuery reads either query syntax: the compact mini-language
 // ("sliding(10s,2s) sum,quantile(0.9) key=1 value>=80") or, when the input
 // starts with SELECT, the SQL-style form
@@ -125,11 +139,25 @@ type Options struct {
 	// the paper): events identical in (time, value) within one slice are
 	// processed once.
 	Dedup bool
-	// NaiveAssembly disables the amortized prefix/suffix window-assembly
-	// index and re-folds every covering slice per emitted window — the
-	// pre-optimization behavior, exposed for ablation benchmarks
-	// (BenchmarkAssemblySliding, desis-bench -exp assembly).
+	// Assembly selects the window-assembly strategy: AssemblyTwoStacks
+	// (default, O(1) amortized merges with periodic rebuild bursts),
+	// AssemblyDABA (DABA-Lite, worst-case O(1) merges, flat latency
+	// tails), or AssemblyNaive (re-fold every covering slice, the
+	// ablation baseline). See desis-bench -exp latency for the tradeoff.
+	Assembly AssemblyKind
+	// NaiveAssembly is the deprecated spelling of Assembly =
+	// AssemblyNaive, kept so existing ablation callers compile; it is
+	// consulted only when Assembly is left at its default.
 	NaiveAssembly bool
+	// ReorderHorizon, when positive, lets engines commit events up to
+	// this much event time behind the slicing frontier into their
+	// already-closed slices, repairing the affected window aggregates
+	// in place; window emission defers by the same horizon so repaired
+	// windows emit once, complete. Pair with NewReordererWithHorizon to
+	// shrink the reorder buffer: slice-stale-but-window-fresh events
+	// forward immediately instead of buffering. Zero keeps strict
+	// in-order semantics.
+	ReorderHorizon time.Duration
 	// PruneThreshold is how many closed slices a query-group retains
 	// before pruning ones no open window can need; 0 selects the default
 	// (64). Stats.Pruned counts what retention dropped.
@@ -151,9 +179,14 @@ type Options struct {
 }
 
 func (o Options) coreConfig() core.Config {
+	assembly := o.Assembly
+	if assembly == AssemblyTwoStacks && o.NaiveAssembly {
+		assembly = AssemblyNaive
+	}
 	return core.Config{
 		OnResult:       o.OnResult,
-		NaiveAssembly:  o.NaiveAssembly,
+		Assembly:       assembly,
+		ReorderHorizon: o.ReorderHorizon.Milliseconds(),
 		PruneThreshold: o.PruneThreshold,
 		InstanceTTL:    o.InstanceTTL.Milliseconds(),
 		InstanceShards: o.InstanceShards,

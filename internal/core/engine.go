@@ -44,6 +44,10 @@ type Engine struct {
 	sweepEvery   uint32
 	sweepTick    uint32
 	sweepCursor  int
+	// sweepClock, when set, paces sweeps from the shared tick count
+	// instead of the per-engine sweepTick counter (see SweepClock).
+	sweepClock    *SweepClock
+	lastSweepTick uint64
 
 	// Engine-level free lists recycling evicted keys' pooled memory into
 	// future installs, and the scratch buffer eviction snapshots reuse.
@@ -69,6 +73,7 @@ type Engine struct {
 // increments; atomics only make the cross-goroutine reads defined.
 type engineStats struct {
 	events, calculations, slices, windows, pruned atomic.Uint64
+	lateCommits, lateDropped                      atomic.Uint64
 
 	// Key-space tier lifecycle accounting (see InstanceStats).
 	instLive, instEvicted, instRevived atomic.Int64
@@ -108,6 +113,7 @@ func NewFromPlan(p *plan.Plan, cfg Config) *Engine {
 		}
 	}
 	e.ttl = cfg.InstanceTTL
+	e.sweepClock = cfg.SweepClock
 	e.sweepEvery = uint32(cfg.InstanceSweepEvery)
 	if cfg.InstanceSweepEvery <= 0 {
 		e.sweepEvery = DefaultInstanceSweepEvery
@@ -462,6 +468,9 @@ func (e *Engine) AdvanceTo(t int64) {
 	e.reviveAll()
 	for _, gs := range e.orderedGroups() {
 		gs.advanceTime(t)
+		// An explicit watermark asserts nothing older than t is coming, so
+		// deferred emissions up to t fire even inside the reorder horizon.
+		gs.drainDeferred(t)
 	}
 }
 
@@ -483,11 +492,16 @@ func (e *Engine) Stats() Stats {
 		Slices:       e.stats.slices.Load(),
 		Windows:      e.stats.windows.Load(),
 		Pruned:       e.stats.pruned.Load(),
+		LateCommits:  e.stats.lateCommits.Load(),
+		LateDropped:  e.stats.lateDropped.Load(),
 	}
 }
 
-// recordAssembly feeds the window-assembly latency histogram. t0 is zero
-// when telemetry is unattached (see groupState.beginAssembly).
+// recordAssembly feeds the window-assembly latency histogram with one
+// sample per punctuation boundary: the time to assemble and emit every
+// member window ending there, which is the delay the last result of the
+// boundary observes (and where a strategy's rebuild bursts surface). t0 is
+// zero when telemetry is unattached (see groupState.beginAssembly).
 func (e *Engine) recordAssembly(t0 time.Time) {
 	if !t0.IsZero() {
 		e.telAsm.Record(time.Since(t0))

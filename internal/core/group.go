@@ -68,8 +68,8 @@ type groupState struct {
 	lastEventTime int64
 	nextSliceID   uint64
 
-	closed  []sliceRec // closed slices, monotone in start and startCount
-	idx     sliceIndex // prefix/suffix pre-aggregates over closed (swag.go)
+	closed  []sliceRec    // closed slices, monotone in start and startCount
+	idx     assemblyIndex // pre-aggregates over closed (assembly.go strategy seam)
 	pending *SlicePartial
 	scratch operator.Agg
 	runs    [][]float64        // scratch run list for value merging
@@ -81,6 +81,18 @@ type groupState struct {
 	// recycled partials feed the next closeSlice.
 	aggPool     [][]operator.Agg
 	partialPool []*SlicePartial
+
+	// Out-of-order commit state (Config.ReorderHorizon). oooHorizon is the
+	// group's effective horizon: the configured one when every tracker
+	// supports late repair, else 0 (see refreshOOO). emittedBound is the
+	// emission frontier — the highest window end already emitted; late
+	// events older than it are dropped. deferred holds window boundaries
+	// whose emission waits for the horizon to pass (ascending FIFO), and
+	// lateDelta is the per-context scratch delta handed to the index.
+	oooHorizon   int64
+	emittedBound int64
+	deferred     []int64
+	lateDelta    []operator.Agg
 
 	// dedup implements the deduplication non-aggregate operator (§4.2.3):
 	// events identical in (time, value) within the current slice are
@@ -138,6 +150,8 @@ func newGroupShell(e *Engine, g *query.Group) *groupState {
 	if g.Dedup {
 		gs.dedup = make(map[dedupKey]struct{})
 	}
+	gs.idx = newAssemblyIndex(e.cfg.Assembly)
+	gs.refreshOOO()
 	// The callbacks close over gs once; per-punctuation state (the current
 	// boundary) travels through gs fields rather than fresh captures.
 	gs.onTimeEnd = func(idx int, start int64) { gs.assembleTime(idx, start, gs.curBound) }
@@ -184,6 +198,7 @@ func (g *groupState) addMember(gq query.GroupQuery) int {
 	case query.UserDefined:
 		g.ud.Add(idx)
 	}
+	g.refreshOOO()
 	return idx
 }
 
@@ -194,6 +209,30 @@ func (g *groupState) removeMember(idx int) {
 	g.countCal.Remove(idx)
 	g.sessions.Remove(idx)
 	g.ud.Remove(idx)
+	g.refreshOOO()
+}
+
+// refreshOOO recomputes the group's effective reorder horizon. Late
+// commits repair time-window state only: slice-emitting mode (partials
+// already shipped), dedup (slice-scoped contexts are gone), count windows
+// (count-axis positions of later events shift), and session/user-defined
+// windows (boundaries themselves depend on event order) all disable it.
+// When the capability is lost at runtime, deferred emissions flush first
+// so no boundary is stranded.
+func (g *groupState) refreshOOO() {
+	h := g.e.cfg.ReorderHorizon
+	if h > 0 {
+		if g.e.cfg.OnSlice != nil || g.dedup != nil ||
+			!g.countCal.Empty() || !g.sessions.Empty() || !g.ud.Empty() {
+			h = 0
+		}
+	} else {
+		h = 0
+	}
+	if h == 0 && g.oooHorizon > 0 {
+		g.drainDeferred(window.NoBoundary)
+	}
+	g.oooHorizon = h
 }
 
 // start opens the first slice at the time of the first event.
@@ -248,12 +287,6 @@ func (g *groupState) recycleAggs(aggs []operator.Agg) {
 	g.aggPool = append(g.aggPool, aggs)
 }
 
-// useIndex reports whether the pre-aggregation index is maintained: only in
-// store (window-assembling) mode, and not under the NaiveAssembly ablation.
-func (g *groupState) useIndex() bool {
-	return g.e.cfg.OnSlice == nil && !g.e.cfg.NaiveAssembly
-}
-
 // process routes one event through the group: punctuations first (window
 // ends exclude the boundary event), then incremental aggregation, then
 // count-axis punctuations.
@@ -262,6 +295,19 @@ func (g *groupState) useIndex() bool {
 func (g *groupState) process(ev event.Event) {
 	if !g.started {
 		g.start(ev.Time)
+	}
+	if ev.Marker == event.MarkerNone && ev.Time < g.cur.start && g.e.cfg.ReorderHorizon > 0 {
+		// Behind the open slice: an out-of-order event. Groups that can
+		// repair commit it into the closed slice covering it; the rest
+		// drop it (counted) rather than silently fold it into the wrong
+		// slice.
+		if g.oooHorizon > 0 {
+			//lint:ignore hotalloc late-commit path: runs once per out-of-order event, bounded by the reorder horizon
+			g.lateCommit(ev)
+		} else {
+			g.e.stats.lateDropped.Add(1)
+		}
+		return
 	}
 	g.advanceTime(ev.Time)
 	if ev.Marker != event.MarkerNone {
@@ -297,8 +343,12 @@ func (g *groupState) process(ev event.Event) {
 		// contain it.
 		g.ud.ObserveOpened(ev.Time, g.onUDOpen)
 	}
-	g.lastEventTime = ev.Time
-	g.cur.lastEvent = ev.Time
+	if ev.Time > g.lastEventTime {
+		g.lastEventTime = ev.Time
+	}
+	if ev.Time > g.cur.lastEvent {
+		g.cur.lastEvent = ev.Time
+	}
 	g.count++
 	g.e.stats.events.Add(1)
 	g.telEvents.Inc()
@@ -327,12 +377,20 @@ func (g *groupState) advanceTime(t int64) {
 			b = s
 		}
 		if b > t || b == window.NoBoundary {
-			return
+			break
 		}
 		g.closeSlice(b)
 		if g.e.cfg.OnSlice == nil {
-			g.curBound = b
-			g.cal.EndsAt(b, g.onTimeEnd)
+			if g.oooHorizon > 0 {
+				// Defer emission until the horizon passes: a late event
+				// inside it may still repair the windows ending here.
+				g.deferred = append(g.deferred, b)
+			} else {
+				t0 := g.beginAssembly()
+				g.curBound = b
+				g.cal.EndsAt(b, g.onTimeEnd)
+				g.e.recordAssembly(t0)
+			}
 		}
 		g.sessions.ExpireBefore(b, g.onSessEnd)
 		g.flushPending()
@@ -341,6 +399,136 @@ func (g *groupState) advanceTime(t int64) {
 		}
 		g.prune()
 	}
+	if len(g.deferred) > 0 {
+		g.drainDeferred(g.e.now - g.oooHorizon)
+	}
+}
+
+// drainDeferred emits the deferred window boundaries at or before wm, in
+// order, then prunes the slices they retained. Deferral exists only under
+// a reorder horizon; the boundaries replay through the same calendar
+// dispatch an immediate emission uses.
+func (g *groupState) drainDeferred(wm int64) {
+	k := 0
+	for k < len(g.deferred) && g.deferred[k] <= wm {
+		b := g.deferred[k]
+		t0 := g.beginAssembly()
+		g.curBound = b
+		g.cal.EndsAt(b, g.onTimeEnd)
+		g.e.recordAssembly(t0)
+		if b > g.emittedBound {
+			g.emittedBound = b
+		}
+		k++
+	}
+	if k == 0 {
+		return
+	}
+	g.deferred = g.deferred[:copy(g.deferred, g.deferred[k:])]
+	g.prune()
+}
+
+// lateCommit routes an out-of-order event into the already-closed slice
+// covering its timestamp, inserting a slice when the timestamp falls in a
+// gap (pruned history never qualifies: everything older than the emission
+// frontier is dropped first). The assembly index repairs only the rows
+// covering the commit position.
+func (g *groupState) lateCommit(ev event.Event) {
+	if ev.Time < g.emittedBound {
+		// Windows covering this event already emitted: too late to repair.
+		g.e.stats.lateDropped.Add(1)
+		return
+	}
+	pos := sort.Search(len(g.closed), func(i int) bool { return g.closed[i].start > ev.Time }) - 1
+	inserted := false
+	if pos < 0 || ev.Time >= g.closed[pos].end {
+		pos = g.insertLateSlice(ev.Time, pos)
+		inserted = true
+	}
+	g.applyLate(pos, inserted, ev)
+}
+
+// insertLateSlice inserts a zero-count-width slice covering time t between
+// closed[pos] and closed[pos+1] (pos may be -1) and returns its position.
+// The extent is the calendar cell around t clamped to the neighbors, so no
+// window boundary falls strictly inside it and the ring stays disjoint and
+// monotone on both axes.
+func (g *groupState) insertLateSlice(t int64, pos int) int {
+	at := pos + 1
+	start := g.cal.PrevBoundary(t)
+	if pos >= 0 && g.closed[pos].end > start {
+		start = g.closed[pos].end
+	}
+	end := g.cal.NextBoundary(t)
+	if at < len(g.closed) {
+		if s := g.closed[at].start; s < end {
+			end = s
+		}
+	} else if g.cur.start < end {
+		end = g.cur.start
+	}
+	var cnt int64
+	switch {
+	case at > 0:
+		cnt = g.closed[at-1].endCount
+	case at < len(g.closed):
+		cnt = g.closed[at].startCount
+	default:
+		cnt = g.cur.startCount
+	}
+	seq := g.nextSliceID
+	g.nextSliceID++
+	aggs := g.newAggs()
+	for i := range aggs {
+		aggs[i].Finish()
+	}
+	g.closed = append(g.closed, sliceRec{})
+	copy(g.closed[at+1:], g.closed[at:])
+	g.closed[at] = sliceRec{
+		seq: seq, start: start, end: end,
+		startCount: cnt, endCount: cnt,
+		lastEvent: t, aggs: aggs,
+	}
+	g.e.stats.slices.Add(1)
+	g.telSlices.Inc()
+	return at
+}
+
+// applyLate folds the late event into closed[pos]'s aggregates and hands
+// the per-context delta to the assembly index for row repair. The group's
+// event count (count-axis position) is not advanced: the count axis is
+// stream-order by definition, and count windows are disabled under a
+// reorder horizon.
+func (g *groupState) applyLate(pos int, inserted bool, ev event.Event) {
+	idxOps := g.ops &^ operator.OpNDSort
+	for len(g.lateDelta) < len(g.contexts) {
+		g.lateDelta = append(g.lateDelta, operator.Agg{})
+	}
+	g.lateDelta = g.lateDelta[:len(g.contexts)]
+	rec := &g.closed[pos]
+	for c := range g.contexts {
+		d := &g.lateDelta[c]
+		d.Reset(idxOps)
+		// Lanes beyond the slice's row belong to contexts added after the
+		// slice closed; members using them answer no window reaching this
+		// far back, so the delta stays empty to keep index rows and ring
+		// lanes consistent.
+		if c < len(rec.aggs) && g.contexts[c].Matches(ev.Value) {
+			d.Add(ev.Value)
+			rec.aggs[c].AddLate(ev.Value)
+			if !rec.aggs[c].Sorted {
+				// A restored row re-enters unsorted (readSlice clears the
+				// flag); re-finish so the run merge stays valid.
+				rec.aggs[c].Finish()
+			}
+			g.e.stats.calculations.Add(g.logicalOps)
+		}
+	}
+	g.idx.configure(len(g.contexts), idxOps, len(g.closed))
+	g.idx.commitLate(g.closed, pos, inserted, g.lateDelta)
+	g.e.stats.events.Add(1)
+	g.e.stats.lateCommits.Add(1)
+	g.telEvents.Inc()
 }
 
 // handleMarker processes a user-defined window boundary event at t.
@@ -366,7 +554,9 @@ func (g *groupState) handleMarker(t int64) {
 func (g *groupState) punctuateCount(t int64) {
 	g.closeSlice(t)
 	if g.e.cfg.OnSlice == nil {
+		t0 := g.beginAssembly()
 		g.countCal.EndsAt(g.count, g.onCountEnd)
+		g.e.recordAssembly(t0)
 	}
 	g.flushPending()
 	g.prune()
@@ -377,7 +567,9 @@ func (g *groupState) punctuateCount(t int64) {
 // in slice-emitting mode (§5.1.2).
 func (g *groupState) endDynamic(idx int, start, end, gapStart int64) {
 	if g.e.cfg.OnSlice == nil {
+		t0 := g.beginAssembly()
 		g.assembleTime(idx, start, end)
+		g.e.recordAssembly(t0)
 		return
 	}
 	if g.pending == nil {
@@ -421,10 +613,8 @@ func (g *groupState) closeSlice(b int64) {
 			//lint:ignore hotalloc debug-build verification: the ring invariants box their Assertf args, and invariant.Enabled compiles this call out of release builds
 			g.checkRing()
 		}
-		if g.useIndex() {
-			g.idx.configure(len(g.contexts), g.ops&^operator.OpNDSort, len(g.closed)-1)
-			g.idx.appendSlice(g.closed)
-		}
+		g.idx.configure(len(g.contexts), g.ops&^operator.OpNDSort, len(g.closed)-1)
+		g.idx.appendSlice(g.closed)
 	}
 	g.cur = sliceRec{start: b, startCount: g.count, lastEvent: g.lastEventTime, aggs: g.newAggs()}
 	g.lastPunct = b
@@ -576,7 +766,6 @@ func (g *groupState) assembleTime(idx int, ws, we int64) {
 		return
 	}
 	mops := g.memberOpsFor(m)
-	t0 := g.beginAssembly()
 	lo := sort.Search(len(g.closed), func(i int) bool { return g.closed[i].start >= ws })
 	g.scratch.Reset(mops &^ operator.OpNDSort)
 	g.scratch.Sorted = true
@@ -585,40 +774,22 @@ func (g *groupState) assembleTime(idx int, ws, we int64) {
 	if m.Type == query.UserDefined {
 		udSeq = m.udOpenSeq
 	}
-	if g.e.cfg.NaiveAssembly {
-		for i := lo; i < len(g.closed) && g.closed[i].end <= we; i++ {
-			if g.closed[i].seq < udSeq {
-				// Stream-order membership: slices cut before this
-				// user-defined window opened belong to its predecessor,
-				// even at equal timestamps.
-				continue
-			}
-			a := &g.closed[i].aggs[m.Ctx]
-			g.scratch.Merge(a)
-			if mops&operator.OpNDSort != 0 {
-				g.runs = append(g.runs, a.Values)
-			}
-		}
-		g.finishValues(m, mops)
-		g.emitResult(m, ws, we)
-		g.e.recordAssembly(t0)
-		return
-	}
 	// Slice ends are monotone, so the covered slices form the contiguous
 	// range [lo, hi); the sequence filter of user-defined members only
-	// raises lo (seq is monotone with position).
+	// raises lo (seq is monotone with position: slices cut before this
+	// user-defined window opened belong to its predecessor, even at equal
+	// timestamps).
 	hi := lo + sort.Search(len(g.closed)-lo, func(i int) bool { return g.closed[lo+i].end > we })
 	if udSeq > 0 {
 		lo += sort.Search(hi-lo, func(i int) bool { return g.closed[lo+i].seq >= udSeq })
 	}
 	g.assembleRange(m, mops, lo, hi)
 	g.emitResult(m, ws, we)
-	g.e.recordAssembly(t0)
 }
 
-// beginAssembly opens a latency measurement when the assembly histogram
-// is attached; the zero time means "not measuring" so the unattached
-// path never calls time.Now.
+// beginAssembly opens a per-boundary latency measurement when the assembly
+// histogram is attached; the zero time means "not measuring" so the
+// unattached path never calls time.Now.
 func (g *groupState) beginAssembly() time.Time {
 	if g.e.telAsm == nil {
 		return time.Time{}
@@ -678,30 +849,15 @@ func (g *groupState) assembleCount(idx int, cs, ce int64) {
 		return
 	}
 	mops := g.memberOpsFor(m)
-	t0 := g.beginAssembly()
 	lo := sort.Search(len(g.closed), func(i int) bool { return g.closed[i].startCount >= cs })
 	g.scratch.Reset(mops &^ operator.OpNDSort)
 	g.scratch.Sorted = true
 	g.runs = g.runs[:0]
-	if g.e.cfg.NaiveAssembly {
-		for i := lo; i < len(g.closed) && g.closed[i].endCount <= ce; i++ {
-			a := &g.closed[i].aggs[m.Ctx]
-			g.scratch.Merge(a)
-			if mops&operator.OpNDSort != 0 {
-				g.runs = append(g.runs, a.Values)
-			}
-		}
-		g.finishValues(m, mops)
-		g.emitResult(m, cs, ce)
-		g.e.recordAssembly(t0)
-		return
-	}
 	// endCount is strictly increasing across closed slices, so the covered
 	// slices form the contiguous range [lo, hi).
 	hi := lo + sort.Search(len(g.closed)-lo, func(i int) bool { return g.closed[lo+i].endCount > ce })
 	g.assembleRange(m, mops, lo, hi)
 	g.emitResult(m, cs, ce)
-	g.e.recordAssembly(t0)
 }
 
 // memberOpsFor maps a member's operator needs onto the group's slice
@@ -751,7 +907,14 @@ func (g *groupState) prune() {
 	if len(g.closed) < g.e.pruneThreshold {
 		return
 	}
-	tNeed := g.cal.EarliestOpenStart(g.lastPunct)
+	anchor := g.lastPunct
+	if g.oooHorizon > 0 {
+		// Deferred emissions still read slices their boundaries cover:
+		// retain relative to the emission frontier, not the punctuation
+		// frontier that ran ahead of it.
+		anchor = g.emittedBound
+	}
+	tNeed := g.cal.EarliestOpenStart(anchor)
 	if s := g.sessions.EarliestOpenStart(); s < tNeed {
 		tNeed = s
 	}
@@ -778,7 +941,5 @@ func (g *groupState) prune() {
 	}
 	g.closed = append(g.closed[:0], g.closed[n:]...)
 	g.e.stats.pruned.Add(uint64(n))
-	if g.useIndex() {
-		g.idx.dropFront(n)
-	}
+	g.idx.dropFront(n)
 }

@@ -98,6 +98,20 @@ func (e *Engine) orderedGroups() []*groupState {
 //
 //desis:hotpath
 func (e *Engine) maybeSweep() {
+	if c := e.sweepClock; c != nil {
+		// Shared clock: sweep when the global tick count — total events
+		// across every engine on the clock — advanced a full period since
+		// this engine's last sweep, so sweep cadence stays uniform under
+		// skewed shard load.
+		tick := c.Tick()
+		if tick-e.lastSweepTick < uint64(e.sweepEvery) {
+			return
+		}
+		e.lastSweepTick = tick
+		//lint:ignore hotalloc amortised cold path: one bounded shard scan every InstanceSweepEvery shared ticks; eviction snapshots reuse the engine's scratch buffer
+		e.sweepStep()
+		return
+	}
 	e.sweepTick++
 	if e.sweepTick < e.sweepEvery {
 		return

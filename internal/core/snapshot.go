@@ -27,8 +27,10 @@ const snapshotMagic = 0x44455349 // "DESI"
 
 // snapshotVersion bumps when the layout changes (v2: Stats.Pruned; v3: plan
 // epoch; v4: per-group dedup state, which evict/revive must carry or a
-// revived key would re-admit duplicates its slice already saw).
-const snapshotVersion = 4
+// revived key would re-admit duplicates its slice already saw; v5: per-group
+// out-of-order commit state — the emission frontier and deferred window
+// boundaries, see Config.ReorderHorizon).
+const snapshotVersion = 5
 
 // Snapshot appends a serialised checkpoint of the engine's complete mutable
 // state to buf. The engine must be quiescent (no concurrent Process). The
@@ -99,6 +101,14 @@ func (g *groupState) snapshot(buf []byte) []byte {
 			buf = appendU64s(buf, uint64(k.t))
 			buf = appendU64s(buf, math.Float64bits(k.v))
 		}
+	}
+	// Out-of-order commit state (v5). The assembly index itself is derived
+	// state and rebuilds lazily; only the emission frontier and the not-yet
+	// emitted boundaries must survive.
+	buf = appendU64s(buf, uint64(g.emittedBound))
+	buf = appendU32s(buf, uint32(len(g.deferred)))
+	for _, b := range g.deferred {
+		buf = appendU64s(buf, uint64(b))
 	}
 	return buf
 }
@@ -242,6 +252,12 @@ func (g *groupState) restoreBody(r *snapReader, grow []query.GroupQuery) error {
 		k := dedupKey{t: int64(r.u64()), v: math.Float64frombits(r.u64())}
 		g.dedup[k] = struct{}{}
 	}
+	g.emittedBound = int64(r.u64())
+	g.deferred = g.deferred[:0]
+	for i, n := 0, int(r.u32()); i < n && r.err == nil; i++ {
+		g.deferred = append(g.deferred, int64(r.u64()))
+	}
+	g.refreshOOO()
 	if g.started {
 		g.nextTimeBound = g.cal.NextBoundary(g.lastPunct)
 		g.nextCountID = g.countCal.NextBoundary(g.count)

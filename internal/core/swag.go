@@ -80,18 +80,9 @@ func (x *sliceIndex) resetTo(n int) {
 	x.n = n
 	x.s0, x.f1 = n, n
 	x.suffix = x.suffix[:0]
-	x.prefix = x.identityRow(x.prefix[:0])
+	x.prefix = identityRow(x.prefix[:0], x.nctx, x.ops)
 	x.missCost = 0
 	x.check(nil)
-}
-
-// identityRow appends one row of identity aggregates to buf.
-func (x *sliceIndex) identityRow(buf []operator.Agg) []operator.Agg {
-	for c := 0; c < x.nctx; c++ {
-		buf = append(buf, operator.Agg{})
-		buf[len(buf)-1].Reset(x.ops)
-	}
-	return buf
 }
 
 // appendSlice extends the prefix with the ring's newest slice (one merge
@@ -102,16 +93,7 @@ func (x *sliceIndex) appendSlice(closed []sliceRec) {
 		// Out of step (restore, or maintenance was off): restart coverage.
 		x.resetTo(n - 1)
 	}
-	base := len(x.prefix) - x.nctx // previous row
-	x.prefix = x.identityRow(x.prefix)
-	rec := &closed[n-1]
-	for c := 0; c < x.nctx; c++ {
-		p := &x.prefix[base+x.nctx+c]
-		p.Merge(&x.prefix[base+c])
-		if c < len(rec.aggs) {
-			p.Merge(&rec.aggs[c])
-		}
-	}
+	x.prefix = appendPrefixRow(x.prefix, x.nctx, x.ops, &closed[n-1])
 	x.n = n
 	x.check(closed)
 }
@@ -145,7 +127,7 @@ func (x *sliceIndex) flip(closed []sliceRec) {
 	x.n = n
 	x.s0, x.f1 = 0, n
 	x.missCost = 0
-	x.prefix = x.identityRow(x.prefix[:0])
+	x.prefix = identityRow(x.prefix[:0], x.nctx, x.ops)
 	need := n * x.nctx
 	if cap(x.suffix) < need {
 		x.suffix = make([]operator.Agg, need)
@@ -254,6 +236,54 @@ func (x *sliceIndex) query(closed []sliceRec, ctx, lo, hi int, dst *operator.Agg
 	for i := lo; i < hi; i++ {
 		if ctx < len(closed[i].aggs) {
 			dst.Merge(&closed[i].aggs[ctx])
+		}
+	}
+}
+
+// commitLate repairs the index after a late event landed at ring position
+// pos: either folded into an existing slice in place, or carried by a
+// slice inserted at pos. Only the rows whose covering range includes pos
+// change; the repair is O(rows right of pos) merges, bounded by the
+// reorder horizon's depth into the ring.
+func (x *sliceIndex) commitLate(closed []sliceRec, pos int, inserted bool, delta []operator.Agg) {
+	if !inserted {
+		if x.n != len(closed) {
+			x.resetTo(len(closed))
+			return
+		}
+		x.repairAt(pos, delta)
+		x.check(closed)
+		return
+	}
+	if x.n != len(closed)-1 {
+		x.resetTo(len(closed))
+		return
+	}
+	if pos >= x.f1 {
+		x.prefix = insertPrefixRow(x.prefix, x.f1, x.nctx, x.ops, pos, delta)
+	} else {
+		x.suffix, x.s0, x.f1 = insertSuffixRow(x.suffix, x.s0, x.f1, x.nctx, x.ops, pos, delta)
+	}
+	x.n++
+	x.check(closed)
+}
+
+// repairAt merges delta into every row covering ring position pos.
+func (x *sliceIndex) repairAt(pos int, delta []operator.Agg) {
+	if pos < x.f1 {
+		// Suffix rows i ∈ [s0, pos] cover [i, f1) ∋ pos; rows below s0 are
+		// uncovered (queries there fold directly off the ring).
+		for i := x.s0; i <= pos && i < x.f1; i++ {
+			for c := 0; c < x.nctx && c < len(delta); c++ {
+				x.suffix[(i-x.s0)*x.nctx+c].Merge(&delta[c])
+			}
+		}
+		return
+	}
+	// Prefix rows j ∈ [pos-f1+1, n-f1] cover [f1, f1+j) ∋ pos.
+	for j := pos - x.f1 + 1; j <= x.n-x.f1; j++ {
+		for c := 0; c < x.nctx && c < len(delta); c++ {
+			x.prefix[j*x.nctx+c].Merge(&delta[c])
 		}
 	}
 }

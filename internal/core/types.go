@@ -116,6 +116,14 @@ type Stats struct {
 	// Pruned is the number of closed slices dropped by retention pruning
 	// (see Config.PruneThreshold).
 	Pruned uint64
+	// LateCommits is the number of out-of-order events committed into
+	// already-closed slices (see Config.ReorderHorizon).
+	LateCommits uint64
+	// LateDropped is the number of out-of-order events dropped because
+	// they fell behind the emission frontier (or the group cannot repair
+	// late commits: slice-emitting mode, dedup, count/session/user-defined
+	// windows).
+	LateDropped uint64
 }
 
 // DefaultPruneThreshold is the closed-slice count below which a group skips
@@ -169,11 +177,27 @@ type Config struct {
 	// re-derives the next boundary on every event — the strategy of the
 	// baseline systems, kept for the ablation benchmark.
 	PerEventBoundaryCheck bool
-	// NaiveAssembly disables the prefix/suffix pre-aggregation index
-	// (swag.go) and re-folds every covering slice per emitted window — the
-	// seed behavior, kept as the ablation baseline for the assembly
-	// benchmarks.
-	NaiveAssembly bool
+	// Assembly selects the window-assembly strategy (see AssemblyKind):
+	// two-stacks (default, O(1) amortized), DABA-Lite (worst-case O(1),
+	// no rebuild bursts), or naive per-window re-folding (the ablation
+	// baseline, the seed behavior).
+	Assembly AssemblyKind
+	// ReorderHorizon, when positive, admits events up to this many
+	// event-time milliseconds behind a group's last punctuation: the late
+	// event commits into the already-closed slice covering it (or a slice
+	// inserted for it) and the assembly index repairs the affected rows,
+	// while window emission at boundaries younger than the horizon defers
+	// until the horizon passes. Pairs with NewReordererWithHorizon, which
+	// forwards slice-stale-but-window-fresh events instead of buffering
+	// them. 0 (the default) keeps strict in-order semantics.
+	ReorderHorizon int64
+	// SweepClock, when non-nil, replaces the per-engine event counter
+	// that paces TTL sweep steps with a shared clock: every engine ticks
+	// it per event and sweeps when the global tick count advanced by
+	// InstanceSweepEvery since its own last sweep. ParallelEngine shares
+	// one clock across shards so sweep cadence stays uniform under skewed
+	// shard load. Only meaningful with InstanceTTL set.
+	SweepClock *SweepClock
 	// PruneThreshold is the closed-slice count a group retains before
 	// pruning slices no open window can need; 0 selects
 	// DefaultPruneThreshold. Larger values trade memory for fewer

@@ -1,8 +1,10 @@
 // Package sliceinvariant enforces the engine's slicing contracts: the
-// structural invariants the two-stacks assembly index (internal/core/swag.go)
-// and the closed-slice ring rest on are only maintained if mutation stays
+// structural invariants the assembly indexes (two-stacks in
+// internal/core/swag.go, DABA-Lite in internal/core/daba.go) and the
+// closed-slice ring rest on are only maintained if mutation stays
 // confined to the documented mutation points. The analyzer guards the state
-// fields of core.groupState, core.sliceRec, core.sliceIndex, the identity
+// fields of core.groupState, core.sliceRec, core.sliceIndex, core.dabaIndex,
+// the identity
 // fields of core.SlicePartial, the shared query.Group descriptor, and the
 // epoch-versioned plan.Plan catalog, and the key-space tier's sharded
 // instance maps and free lists (internal/core/keyspace.go): every
@@ -67,6 +69,11 @@ var DefaultRules = []Rule{
 		Message:       "the prefix/suffix assembly index is derived state owned by its own methods (swag.go); mutate the ring and let the index rebuild",
 	},
 	{
+		Type:          corePkg + ".dabaIndex",
+		AllowRecvType: corePkg + ".dabaIndex",
+		Message:       "the DABA-Lite sweeps are derived state owned by their own methods (daba.go); mutate the ring and let appendSlice/commitLate keep the sweeps in step",
+	},
+	{
 		Type:   corePkg + ".groupState",
 		Fields: []string{"closed"},
 		AllowFuncs: []string{
@@ -74,11 +81,14 @@ var DefaultRules = []Rule{
 			corePkg + ":groupState.prune",
 			corePkg + ":groupState.restore",
 			corePkg + ":groupState.restoreBody",
+			// Out-of-order commit splices a late slice into ring order and
+			// immediately notifies the assembly index (commitLate).
+			corePkg + ":groupState.insertLateSlice",
 			// Eviction drops the ring after snapshotting it; the revive
 			// rebuilds it through restoreBody.
 			corePkg + ":Engine.reclaim",
 		},
-		Message: "the closed-slice ring is appended by closeSlice, truncated by prune, and rebuilt by restore; writes elsewhere desynchronize the assembly index",
+		Message: "the closed-slice ring is appended by closeSlice, truncated by prune, spliced by insertLateSlice, and rebuilt by restore; writes elsewhere desynchronize the assembly index",
 	},
 	{
 		Type:   corePkg + ".groupState",

@@ -94,6 +94,25 @@ func (a *Agg) Add(v float64) {
 	}
 }
 
+// AddLate folds one out-of-order event into an aggregate that may already
+// be Finished: when the retained values are sorted, the new value is
+// insertion-shifted into position so the sorted run stays valid without a
+// re-sort. On unfinished state it is identical to Add.
+func (a *Agg) AddLate(v float64) {
+	sorted := a.Sorted
+	a.Add(v)
+	if a.Ops&OpNDSort != 0 && sorted {
+		vals := a.Values
+		i := len(vals) - 1
+		for i > 0 && vals[i-1] > v {
+			vals[i] = vals[i-1]
+			i--
+		}
+		vals[i] = v
+		a.Sorted = true
+	}
+}
+
 // Finish completes the slice: the non-decomposable sort runs once, here,
 // so that parents of a decentralized topology receive sorted runs and the
 // root only ever merges (§5.2).

@@ -71,6 +71,27 @@ func nextMultiple(v, step int64) int64 {
 	return (v/step + 1) * step
 }
 
+// PrevBoundary returns the latest punctuation (window start or end) less
+// than or equal to t, or 0 when no windows are registered — sound as a
+// floor, since every spec's k=0 window starts at the zero origin.
+// Positions are assumed non-negative.
+func (c *Calendar) PrevBoundary(t int64) int64 {
+	prev := int64(0)
+	for _, s := range c.specs {
+		// Latest window start: the largest multiple of slide <= t.
+		if b := (t / s.slide) * s.slide; b > prev {
+			prev = b
+		}
+		// Latest window end: the largest k*slide+length <= t with k >= 0.
+		if t >= s.length {
+			if b := ((t-s.length)/s.slide)*s.slide + s.length; b > prev {
+				prev = b
+			}
+		}
+	}
+	return prev
+}
+
 // EndsAt calls fn(id, start) for every registered window that ends exactly
 // at boundary t.
 func (c *Calendar) EndsAt(t int64, fn func(id int, start int64)) {

@@ -1,0 +1,158 @@
+package desis
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// Tests for the hybrid reorderer/engine composition: NewReordererWithHorizon
+// buffers only part of the allowed lateness and forwards the rest out of
+// order into an engine whose Options.ReorderHorizon commits those events
+// into already-closed slices.
+
+func TestReordererHybridForwardsWithinHorizon(t *testing.T) {
+	var out []Event
+	r := NewReordererWithHorizon(100, 40, func(ev Event) { out = append(out, ev) })
+	r.Process(Event{Time: 100})
+	r.Process(Event{Time: 200}) // release threshold 200-(100-40)=140: releases t=100
+	if len(out) != 1 || out[0].Time != 100 {
+		t.Fatalf("expected t=100 released, got %v", out)
+	}
+	// Behind the released frontier but within the horizon: forwarded
+	// immediately, out of order, not buffered and not dropped.
+	r.Process(Event{Time: 90})
+	if len(out) != 2 || out[1].Time != 90 {
+		t.Fatalf("t=90 not forwarded immediately: %v", out)
+	}
+	if r.Dropped() != 0 {
+		t.Fatalf("Dropped = %d after in-horizon event", r.Dropped())
+	}
+	// More than horizon behind the frontier: dropped.
+	r.Process(Event{Time: 50})
+	if r.Dropped() != 1 {
+		t.Fatalf("Dropped = %d, want 1", r.Dropped())
+	}
+	if got := r.LatenessSeen(); got != 150 {
+		t.Fatalf("LatenessSeen = %d, want 150 (event 50 against maxSeen 200)", got)
+	}
+	// The horizon is clamped into [0, maxLateness].
+	if r2 := NewReordererWithHorizon(10, 50, func(Event) {}); r2.horizon != 10 {
+		t.Fatalf("horizon not clamped to maxLateness: %d", r2.horizon)
+	}
+	if r3 := NewReordererWithHorizon(10, -5, func(Event) {}); r3.horizon != 0 {
+		t.Fatalf("negative horizon not clamped to 0: %d", r3.horizon)
+	}
+}
+
+// TestReordererHybridFeedsEngine runs the documented hybrid composition end
+// to end: a jittered stream through NewReordererWithHorizon into an engine
+// with the matching ReorderHorizon matches the same stream fully sorted and
+// fed to a strict in-order engine, for every split of the lateness budget.
+func TestReordererHybridFeedsEngine(t *testing.T) {
+	const maxLateness = 80
+	queries := []Query{
+		MustParseQuery("tumbling(1s) sum,count key=0"),
+		MustParseQuery("sliding(3s,500ms) max key=0"),
+		MustParseQuery("sliding(2s,500ms) quantile(0.9) key=0"),
+	}
+	rng := rand.New(rand.NewSource(17))
+	var evs []Event
+	base := int64(1000)
+	first := base
+	for i := 0; i < 3000; i++ {
+		tm := base
+		if i > 0 {
+			tm -= int64(rng.Intn(maxLateness + 1))
+			if tm < first {
+				tm = first
+			}
+		}
+		evs = append(evs, Event{Time: tm, Key: 0, Value: rng.Float64() * 100})
+		base += int64(rng.Intn(5))
+	}
+	advTo := base + 10_000
+
+	sorted := append([]Event(nil), evs...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Time < sorted[j].Time })
+	oracle, err := NewEngine(queries, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle.ProcessBatch(sorted)
+	oracle.AdvanceTo(advTo)
+	want := oracle.Results()
+
+	for _, horizon := range []int64{0, 40, maxLateness} {
+		eng, err := NewEngine(queries, Options{ReorderHorizon: time.Duration(horizon) * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := NewReordererWithHorizon(maxLateness, horizon, eng.Process)
+		for _, ev := range evs {
+			r.Process(ev)
+		}
+		r.Flush()
+		eng.AdvanceTo(advTo)
+		if r.Dropped() != 0 {
+			t.Fatalf("horizon=%d: reorderer dropped %d in-bounds events", horizon, r.Dropped())
+		}
+		st := eng.Stats()
+		if st.LateDropped != 0 {
+			t.Fatalf("horizon=%d: engine dropped %d forwarded events", horizon, st.LateDropped)
+		}
+		if horizon > 0 && st.LateCommits == 0 {
+			t.Errorf("horizon=%d: no event took the out-of-order commit path", horizon)
+		}
+		if horizon == 0 && st.LateCommits != 0 {
+			t.Errorf("horizon=0: %d late commits on a fully buffered stream", st.LateCommits)
+		}
+		got := eng.Results()
+		sortResultsByWindow(got)
+		sortResultsByWindow(want)
+		if len(got) != len(want) {
+			t.Fatalf("horizon=%d: got %d results, want %d", horizon, len(got), len(want))
+		}
+		for i := range want {
+			if !closeResult(got[i], want[i]) {
+				t.Fatalf("horizon=%d: result %d: got %+v, want %+v", horizon, i, got[i], want[i])
+			}
+		}
+		if ls := r.LatenessSeen(); ls <= 0 || ls > maxLateness {
+			t.Errorf("horizon=%d: LatenessSeen = %d, want in (0, %d]", horizon, ls, maxLateness)
+		}
+	}
+}
+
+func sortResultsByWindow(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].QueryID != rs[j].QueryID {
+			return rs[i].QueryID < rs[j].QueryID
+		}
+		if rs[i].Start != rs[j].Start {
+			return rs[i].Start < rs[j].Start
+		}
+		return rs[i].End < rs[j].End
+	})
+}
+
+// closeResult is equalResult with float tolerance: out-of-order repair folds
+// a window's slices in a different association order than the oracle, so
+// sum-derived values may differ in the last bits.
+func closeResult(a, b Result) bool {
+	if a.QueryID != b.QueryID || a.Start != b.Start || a.End != b.End || a.Count != b.Count || len(a.Values) != len(b.Values) {
+		return false
+	}
+	for i := range a.Values {
+		if a.Values[i].OK != b.Values[i].OK || a.Values[i].Spec != b.Values[i].Spec {
+			return false
+		}
+		av, bv := a.Values[i].Value, b.Values[i].Value
+		if math.Abs(av-bv) > 1e-9*(1+math.Abs(bv)) {
+			return false
+		}
+	}
+	return true
+}

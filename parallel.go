@@ -70,9 +70,14 @@ func NewParallelEngine(queries []Query, n int, opts Options) (*ParallelEngine, e
 			p.resMu.Unlock()
 		}
 	}
+	// One sweep clock across all shards: total ingest volume paces every
+	// shard's TTL sweeps, so a cold shard behind a skewed key distribution
+	// still parks its idle keys on schedule.
+	clock := &core.SweepClock{}
 	for i := 0; i < n; i++ {
 		shardCfg := opts.coreConfig()
 		shardCfg.OnResult = onResult
+		shardCfg.SweepClock = clock
 		sh := &engineShard{
 			eng: core.NewFromPlan(master.Restrict(i), shardCfg),
 			ch:  make(chan shardMsg, 64),

@@ -17,6 +17,7 @@ import (
 // touching the engine's hot path.
 type Reorderer struct {
 	lateness int64
+	horizon  int64 // forwarded-disorder budget; see NewReordererWithHorizon
 	out      func(Event)
 	buf      eventHeap
 	seq      uint64
@@ -24,11 +25,13 @@ type Reorderer struct {
 	started  bool
 	released int64 // highest released timestamp: the drop threshold
 	dropped  uint64
+	maxLate  int64 // largest (maxSeen - ev.Time) observed on arrival
 
 	// telDropped/telPending mirror the drop count and buffer occupancy
 	// into a telemetry registry when attached; nil-safe no-ops otherwise.
 	telDropped *telemetry.Counter
 	telPending *telemetry.Gauge
+	telMaxLate *telemetry.Gauge
 }
 
 // AttachTelemetry mirrors the reorderer's drop count (reorder.dropped)
@@ -42,22 +45,55 @@ func (r *Reorderer) AttachTelemetry(tel *Telemetry) {
 	}
 	r.telDropped = reg.Counter("reorder.dropped")
 	r.telPending = reg.Gauge("reorder.pending")
+	r.telMaxLate = reg.Gauge("reorder.max_lateness_seen")
 }
 
 // NewReorderer buffers up to maxLateness milliseconds of disorder and
 // forwards in-order events to out (e.g. Engine.Process).
 func NewReorderer(maxLateness int64, out func(Event)) *Reorderer {
+	return NewReordererWithHorizon(maxLateness, 0, out)
+}
+
+// NewReordererWithHorizon splits the allowed lateness between buffering and
+// the engine's out-of-order commit path (Options.ReorderHorizon). The
+// reorderer buffers only maxLateness-horizon milliseconds of disorder —
+// shrinking the heap and the release delay by the horizon — and forwards the
+// residue immediately, out of order: an event behind the released frontier
+// but within horizon of it skips the buffer entirely and reaches out as-is.
+// Feed such a hybrid reorderer only into an engine configured with
+// ReorderHorizon >= horizon, which commits those events into its closed
+// slices and repairs the affected windows before they emit. horizon is
+// clamped to [0, maxLateness]; 0 is exactly NewReorderer.
+func NewReordererWithHorizon(maxLateness, horizon int64, out func(Event)) *Reorderer {
 	if maxLateness < 0 {
 		maxLateness = 0
 	}
-	return &Reorderer{lateness: maxLateness, out: out}
+	if horizon < 0 {
+		horizon = 0
+	}
+	if horizon > maxLateness {
+		horizon = maxLateness
+	}
+	return &Reorderer{lateness: maxLateness, horizon: horizon, out: out}
 }
 
 // Process accepts one event in arrival order.
 func (r *Reorderer) Process(ev Event) {
-	if r.started && ev.Time < r.released {
+	if r.started && r.maxSeen-ev.Time > r.maxLate {
+		r.maxLate = r.maxSeen - ev.Time
+		r.telMaxLate.Set(r.maxLate)
+	}
+	if r.started && ev.Time < r.released-r.horizon {
 		r.dropped++
 		r.telDropped.Inc()
+		return
+	}
+	if r.horizon > 0 && r.started && ev.Time < r.released {
+		// Behind the in-order frontier but inside the horizon: hand it to
+		// the engine's out-of-order commit path instead of buffering. Its
+		// timestamp is >= released-horizon, so an engine deferring emission
+		// by the same horizon has not emitted any window it belongs to.
+		r.out(ev)
 		return
 	}
 	r.started = true
@@ -66,7 +102,7 @@ func (r *Reorderer) Process(ev Event) {
 	if ev.Time > r.maxSeen {
 		r.maxSeen = ev.Time
 	}
-	r.releaseUpTo(r.maxSeen - r.lateness)
+	r.releaseUpTo(r.maxSeen - (r.lateness - r.horizon))
 	r.telPending.Set(int64(r.buf.Len()))
 }
 
@@ -74,7 +110,7 @@ func (r *Reorderer) Process(ev Event) {
 // before Engine.AdvanceTo.
 func (r *Reorderer) Flush() {
 	r.releaseUpTo(r.maxSeen + 1)
-	r.telPending.Set(0)
+	r.telPending.Set(int64(r.buf.Len()))
 }
 
 func (r *Reorderer) releaseUpTo(t int64) {
@@ -93,6 +129,12 @@ func (r *Reorderer) Dropped() uint64 { return r.dropped }
 
 // Pending reports how many events are currently buffered.
 func (r *Reorderer) Pending() int { return r.buf.Len() }
+
+// LatenessSeen reports the largest disorder observed so far: the maximum of
+// maxSeen-eventTime over all arrivals (0 for an in-order stream). Use it to
+// size maxLateness, and to check how much of the budget a hybrid horizon
+// actually absorbed. Also exported as the reorder.max_lateness_seen gauge.
+func (r *Reorderer) LatenessSeen() int64 { return r.maxLate }
 
 type orderedEvent struct {
 	ev  Event
