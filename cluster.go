@@ -32,6 +32,12 @@ type ClusterOptions struct {
 	// headers (DESIGN.md §8). Fast links keep a cut-through path whose
 	// wire is byte-identical to the unbatched protocol.
 	Batch bool
+	// Optimize controls the factor-window plan optimizer, exactly as
+	// Options.Optimize does for a single engine: the zero value runs with
+	// it on, OptimizeOff disables it on every tier. The setting is baked
+	// into the topology's shared plan lineage so delta replays place
+	// identically everywhere.
+	Optimize OptimizeMode
 }
 
 // Cluster is an in-process decentralized Desis topology: local nodes slice
@@ -46,7 +52,8 @@ type Cluster struct {
 // windows evaluate on the root) and builds the topology.
 func NewCluster(queries []Query, opts ClusterOptions) (*Cluster, error) {
 	queries = assignIDs(queries)
-	groups, err := query.Analyze(queries, query.Options{Decentralized: true})
+	optimize := opts.Optimize != OptimizeOff
+	groups, err := query.Analyze(queries, query.Options{Decentralized: true, Optimize: optimize})
 	if err != nil {
 		return nil, err
 	}
@@ -67,6 +74,7 @@ func NewCluster(queries []Query, opts ClusterOptions) (*Cluster, error) {
 		Codec:         codec,
 		Bandwidth:     opts.BandwidthBytesPerSec,
 		Batch:         opts.Batch,
+		NoOptimize:    !optimize,
 		OnResult:      onResult,
 	})}, nil
 }

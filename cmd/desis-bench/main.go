@@ -105,8 +105,19 @@ func main() {
 						p.P99IngestUsecEvicting, p.P99IngestUsecResident, p.ResultsMatch)
 				}
 			}
+		case "factor":
+			var r *bench.FactorReport
+			if r, err = bench.RunFactorReport(cfg); err == nil {
+				rep = r
+				for _, p := range r.Points {
+					fmt.Printf("%-10s win/s %.0f -> %.0f (%.2fx) merges %d -> %d (%.1fx) match=%v\n",
+						p.Assembly, p.OffWindowsPerSec, p.OnWindowsPerSec, p.WindowsSpeedup,
+						p.OffMerges, p.OnMerges, p.MergeReduction, p.ResultsMatch)
+				}
+				fmt.Printf("all hashes equal: %v\n", r.AllHashesEqual)
+			}
 		default:
-			fmt.Fprintln(os.Stderr, "desis-bench: -out only applies to -exp ablation-assembly, plan-churn, wire, latency, or cardinality")
+			fmt.Fprintln(os.Stderr, "desis-bench: -out only applies to -exp ablation-assembly, plan-churn, wire, latency, cardinality, or factor")
 			os.Exit(2)
 		}
 		if err != nil {

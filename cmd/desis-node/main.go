@@ -63,6 +63,7 @@ func main() {
 	instanceTTL := flag.Duration("instance-ttl", 0, "park group instances of keys idle this long in event time; 0 keeps every instance resident (intermediate, local)")
 	instanceShards := flag.Int("instance-shards", 0, "key→instance map shard count; 0 selects the engine default (intermediate, local)")
 	assembly := flag.String("assembly", "two-stacks", "window-assembly index: two-stacks | daba | naive (intermediate, local)")
+	optimize := flag.Bool("optimize", true, "factor-window plan optimizer (root); -optimize=false ablates it for the whole tree")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/stats and /debug/pprof/ over HTTP at this address (any role); empty disables")
 	var queries queryList
 	flag.Var(&queries, "query", "query in the textual language (repeatable, root only)")
@@ -108,7 +109,7 @@ func main() {
 	var err error
 	switch *role {
 	case "root":
-		err = runRoot(*listen, queries, *children, *timeout, codec, *quiet, *debugAddr)
+		err = runRoot(*listen, queries, *children, *timeout, codec, *quiet, *debugAddr, *optimize)
 	case "intermediate":
 		err = runIntermediate(*listen, *parent, uint32(*id), *children, *timeout, opts)
 	case "local":
@@ -134,23 +135,27 @@ func serveDebug(addr string, reg *telemetry.Registry) {
 	}()
 }
 
-func runRoot(listen string, queries []query.Query, children int, timeout time.Duration, codec message.Codec, quiet bool, debugAddr string) error {
+func runRoot(listen string, queries []query.Query, children int, timeout time.Duration, codec message.Codec, quiet bool, debugAddr string, optimize bool) error {
 	if len(queries) == 0 {
 		return fmt.Errorf("root needs at least one -query")
 	}
 	windows := 0
-	srv, err := node.ServeRoot(listen, queries, children, timeout, codec, func(r core.Result) {
-		windows++
-		if quiet {
-			return
-		}
-		fmt.Printf("query %d window [%d, %d) n=%d:", r.QueryID, r.Start, r.End, r.Count)
-		for _, v := range r.Values {
-			if v.OK {
-				fmt.Printf(" %s=%.4g", v.Spec, v.Value)
+	srv, err := node.ServeRootOptions(listen, queries, children, timeout, node.RootServeOptions{
+		Codec:      codec,
+		NoOptimize: !optimize,
+		OnResult: func(r core.Result) {
+			windows++
+			if quiet {
+				return
 			}
-		}
-		fmt.Println()
+			fmt.Printf("query %d window [%d, %d) n=%d:", r.QueryID, r.Start, r.End, r.Count)
+			for _, v := range r.Values {
+				if v.OK {
+					fmt.Printf(" %s=%.4g", v.Spec, v.Value)
+				}
+			}
+			fmt.Println()
+		},
 	})
 	if err != nil {
 		return err

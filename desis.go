@@ -130,6 +130,22 @@ func MustParseQuery(s string) Query {
 	return q
 }
 
+// OptimizeMode controls the factor-window plan optimizer (see
+// Options.Optimize). The zero value enables it.
+type OptimizeMode uint8
+
+const (
+	// OptimizeOn (the default) lets the planner place eligible correlated
+	// windows into factor-fed groups: when one query's length and slide are
+	// integer multiples of another query's slide (same key and predicate),
+	// the long windows assemble from the short group's merged per-period
+	// partials instead of from raw slices. Results are identical either way.
+	OptimizeOn OptimizeMode = iota
+	// OptimizeOff disables the rewrite — the ablation setting the factor
+	// benchmark compares against.
+	OptimizeOff
+)
+
 // Options configures an Engine.
 type Options struct {
 	// OnResult streams window results as they complete; when nil, results
@@ -147,8 +163,13 @@ type Options struct {
 	Assembly AssemblyKind
 	// NaiveAssembly is the deprecated spelling of Assembly =
 	// AssemblyNaive, kept so existing ablation callers compile; it is
-	// consulted only when Assembly is left at its default.
+	// consulted only when Assembly is left at its default. Setting it
+	// together with a conflicting explicit Assembly is a config error.
 	NaiveAssembly bool
+	// Optimize controls the factor-window plan optimizer. The zero value
+	// (OptimizeOn) enables it; set OptimizeOff to force every query onto
+	// raw slices (ablation, and the off leg of desis-bench -exp factor).
+	Optimize OptimizeMode
 	// ReorderHorizon, when positive, lets engines commit events up to
 	// this much event time behind the slicing frontier into their
 	// already-closed slices, repairing the affected window aggregates
@@ -178,6 +199,36 @@ type Options struct {
 	Telemetry *Telemetry
 }
 
+func (o Options) optimizeOn() bool { return o.Optimize != OptimizeOff }
+
+// validate rejects contradictory option combinations up-front, against the
+// query set the engine is being built for.
+func (o Options) validate(queries []Query) error {
+	if o.NaiveAssembly && o.Assembly != AssemblyTwoStacks && o.Assembly != AssemblyNaive {
+		// The deprecated flag used to be silently ignored here, leaving the
+		// caller benchmarking a different strategy than requested.
+		return fmt.Errorf("desis: Options.NaiveAssembly conflicts with Options.Assembly=%v; set only Assembly", o.Assembly)
+	}
+	if o.ReorderHorizon > 0 && len(queries) > 0 {
+		// The horizon only repairs fixed time windows without deduplication
+		// (see Config.ReorderHorizon): if no configured query has such a
+		// shape the engine would silently run strict-order everywhere. A
+		// partial mismatch is legal and surfaces as the one-shot
+		// engine.horizon_disabled telemetry gauge instead.
+		usable := false
+		for _, q := range queries {
+			if q.Measure == Time && (q.Type == Tumbling || q.Type == Sliding) {
+				usable = true
+				break
+			}
+		}
+		if o.Dedup || !usable {
+			return fmt.Errorf("desis: Options.ReorderHorizon is ignored by every configured query shape (late repair needs time-measure tumbling/sliding windows without Dedup)")
+		}
+	}
+	return nil
+}
+
 func (o Options) coreConfig() core.Config {
 	assembly := o.Assembly
 	if assembly == AssemblyTwoStacks && o.NaiveAssembly {
@@ -190,6 +241,7 @@ func (o Options) coreConfig() core.Config {
 		PruneThreshold: o.PruneThreshold,
 		InstanceTTL:    o.InstanceTTL.Milliseconds(),
 		InstanceShards: o.InstanceShards,
+		Optimize:       o.optimizeOn(),
 		Telemetry:      o.Telemetry.registry(),
 	}
 }
@@ -209,7 +261,10 @@ type Engine struct {
 // observed key with the concrete key reported in Result.Key.
 func NewEngine(queries []Query, opts Options) (*Engine, error) {
 	queries = assignIDs(queries)
-	p, err := plan.New(queries, plan.Options{Dedup: opts.Dedup})
+	if err := opts.validate(queries); err != nil {
+		return nil, err
+	}
+	p, err := plan.New(queries, plan.Options{Dedup: opts.Dedup, Optimize: opts.optimizeOn()})
 	if err != nil {
 		return nil, err
 	}
@@ -299,7 +354,10 @@ func (e *Engine) Snapshot() []byte { return e.e.Snapshot(nil) }
 // where the checkpoint was cut.
 func RestoreEngine(queries []Query, opts Options, snapshot []byte) (*Engine, error) {
 	queries = assignIDs(queries)
-	groups, err := query.Analyze(queries, query.Options{Dedup: opts.Dedup})
+	if err := opts.validate(queries); err != nil {
+		return nil, err
+	}
+	groups, err := query.Analyze(queries, query.Options{Dedup: opts.Dedup, Optimize: opts.optimizeOn()})
 	if err != nil {
 		return nil, err
 	}

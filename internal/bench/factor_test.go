@@ -1,0 +1,29 @@
+package bench
+
+import "testing"
+
+// TestFactorRewriteWins pins the factor-window optimizer's win at a depth-3
+// divisibility chain: the rewrite must at least halve the exact merge count
+// on the naive-assembly leg (the deterministic measure — throughput is
+// host-dependent), and every leg must emit the identical window multiset.
+func TestFactorRewriteWins(t *testing.T) {
+	rep, err := RunFactorReport(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AllHashesEqual {
+		t.Error("optimized and unoptimized plans emitted different window multisets")
+	}
+	for _, p := range rep.Points {
+		if !p.ResultsMatch {
+			t.Errorf("%s: results diverged between optimizer off and on", p.Assembly)
+		}
+		if p.Windows == 0 {
+			t.Errorf("%s: no windows emitted", p.Assembly)
+		}
+		if p.Assembly == "naive" && p.MergeReduction < 2 {
+			t.Errorf("naive leg merge reduction %.2fx < 2x (merges %d -> %d)",
+				p.MergeReduction, p.OffMerges, p.OnMerges)
+		}
+	}
+}

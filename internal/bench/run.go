@@ -71,6 +71,7 @@ var Experiments = []Experiment{
 	{"plan-churn", "plan-delta add/remove throughput and reconnect resync bytes", one(PlanChurn)},
 	{"wire", "adaptive uplink batching: throttled-link efficiency and fast-link latency", one(Wire)},
 	{"cardinality", "idle-key bytes and ingest tail with instance eviction on/off", one(Cardinality)},
+	{"factor", "factor-window plan rewrite: depth-3 chain, optimizer off vs on", one(Factor)},
 }
 
 // Run executes the experiment with the given id and prints its tables.

@@ -32,6 +32,12 @@ type Engine struct {
 	stats          engineStats
 	tmplKeys       map[uint32]bool // keys whose template instantiation ran
 
+	// horizonDisabled latches when any group's shape forced its effective
+	// reorder horizon to 0 while Config.ReorderHorizon was positive — the
+	// partial-degradation signal the engine.horizon_disabled gauge surfaces
+	// (a full degradation is a config error the facade rejects up-front).
+	horizonDisabled bool
+
 	// The key-space tier (keyspace.go): instances live in hash-sharded
 	// per-key maps, idle keys park as snapshot blobs, and ordered caches
 	// the ascending-id iteration order AdvanceTo and Snapshot need.
@@ -83,7 +89,10 @@ type engineStats struct {
 // epoch 0 (legacy construction path; the engine takes ownership of the
 // groups).
 func New(groups []*groupOf, cfg Config) *Engine {
-	return NewFromPlan(plan.FromGroups(groups, plan.Options{Decentralized: cfg.Decentralized}), cfg)
+	return NewFromPlan(plan.FromGroups(groups, plan.Options{
+		Decentralized: cfg.Decentralized,
+		Optimize:      cfg.Optimize,
+	}), cfg)
 }
 
 // NewFromPlan builds an engine from an execution plan, taking ownership of
@@ -146,6 +155,10 @@ func (e *Engine) AttachTelemetry(reg *telemetry.Registry) {
 	e.telLive.Set(e.stats.instLive.Load())
 	e.telEvicted.Set(e.stats.instEvicted.Load())
 	e.telRevived.Set(e.stats.instRevived.Load())
+	if e.horizonDisabled {
+		// Replay the one-shot signal for registries attached after the fact.
+		reg.Gauge("engine.horizon_disabled").Set(1)
+	}
 	for _, gs := range e.orderedGroups() {
 		gs.attachTelemetry(reg)
 	}
@@ -173,6 +186,9 @@ func (e *Engine) RecyclePartial(p *SlicePartial) {
 
 func (e *Engine) install(gs *groupState) {
 	e.byID[gs.id] = gs
+	if gs.feedFrom != nil {
+		gs.feedFrom.taps = append(gs.feedFrom.taps, gs)
+	}
 	if len(e.byID) > e.byIDPeak {
 		e.byIDPeak = len(e.byID)
 	}
@@ -328,7 +344,9 @@ func (e *Engine) syncGroup(g *groupOf) {
 		if !e.cfg.Placement.accepts(g.Placement) || !e.plan.Owns(g.Key) {
 			return
 		}
-		e.install(newGroupState(e, g))
+		gs = newGroupState(e, g)
+		e.install(gs)
+		gs.alignFed(0)
 		return
 	}
 	changed := false
@@ -356,8 +374,13 @@ func (e *Engine) syncGroup(g *groupOf) {
 		gs.flushPending()
 		gs.cur.aggs = gs.newAggs()
 	}
-	for i := len(gs.members); i < len(g.Queries); i++ {
-		gs.addMember(g.Queries[i])
+	if n := len(gs.members); len(g.Queries) > n {
+		for i := n; i < len(g.Queries); i++ {
+			gs.addMember(g.Queries[i])
+		}
+		// Fed members register against the feeder's stream position, not
+		// this group's (raw events never advance it); see alignFed.
+		gs.alignFed(n)
 	}
 	for i := range gs.members {
 		if g.Queries[i].Removed && !gs.members[i].removed {
@@ -515,6 +538,20 @@ func (e *Engine) emit(r Result) {
 		return
 	}
 	e.results = append(e.results, r)
+}
+
+// noteHorizonDisabled latches the engine.horizon_disabled gauge: some group
+// cannot honor the configured reorder horizon (shape- or mode-incompatible,
+// see groupState.refreshOOO) and silently runs strict-order instead. One-shot
+// so the hot reconcile path pays at most one gauge write per engine lifetime.
+func (e *Engine) noteHorizonDisabled() {
+	if e.horizonDisabled {
+		return
+	}
+	e.horizonDisabled = true
+	if e.tel != nil {
+		e.tel.Gauge("engine.horizon_disabled").Set(1)
+	}
 }
 
 // NumGroups reports how many query-groups the engine materialised — the

@@ -94,6 +94,20 @@ type groupState struct {
 	deferred     []int64
 	lateDelta    []operator.Agg
 
+	// Factor-feed runtime (factor.go; annotations from query/factor.go).
+	// feedFrom is resolved at install time and nil when the group is not fed
+	// or the engine runs in slice-emitting mode (where fed groups degrade to
+	// ordinary raw ingestion). fedBound is the next super boundary owed to
+	// this group (a multiple of feedPeriod), fedCount its count-axis
+	// accumulator; both persist in snapshots. taps lists the fed groups this
+	// group feeds, maintained by Engine.install.
+	feedFrom   *groupState
+	feedCtx    int
+	feedPeriod int64
+	fedBound   int64
+	fedCount   int64
+	taps       []*groupState
+
 	// dedup implements the deduplication non-aggregate operator (§4.2.3):
 	// events identical in (time, value) within the current slice are
 	// dropped. nil when the group does not request deduplication.
@@ -149,6 +163,17 @@ func newGroupShell(e *Engine, g *query.Group) *groupState {
 	}
 	if g.Dedup {
 		gs.dedup = make(map[dedupKey]struct{})
+	}
+	if e.fedActive() && g.FeedPeriod > 0 {
+		// The feeder precedes this group in every install order (plan
+		// construction, delta Touched order, revival blobs are all ascending
+		// id); a missing feeder (defensive: placement filters never split a
+		// feed edge) leaves feedFrom nil and the group ingests raw events.
+		if f := e.byID[g.FeedFrom]; f != nil {
+			gs.feedFrom = f
+			gs.feedCtx = g.FeedCtx
+			gs.feedPeriod = g.FeedPeriod
+		}
 	}
 	gs.idx = newAssemblyIndex(e.cfg.Assembly)
 	gs.refreshOOO()
@@ -225,6 +250,7 @@ func (g *groupState) refreshOOO() {
 		if g.e.cfg.OnSlice != nil || g.dedup != nil ||
 			!g.countCal.Empty() || !g.sessions.Empty() || !g.ud.Empty() {
 			h = 0
+			g.e.noteHorizonDisabled()
 		}
 	} else {
 		h = 0
@@ -293,6 +319,19 @@ func (g *groupState) recycleAggs(aggs []operator.Agg) {
 //
 //desis:hotpath
 func (g *groupState) process(ev event.Event) {
+	if g.feedFrom != nil {
+		// Fed groups ingest no raw events — their data arrives as supers
+		// from the feeder (which, at a lower group id, already processed
+		// this event) — so an event only drives this group's clock: no
+		// aggregation, no dedup context, no count axis, no late commits.
+		if !g.started {
+			g.start(ev.Time)
+		}
+		if ev.Time >= g.cur.start {
+			g.advanceTime(ev.Time)
+		}
+		return
+	}
 	if !g.started {
 		g.start(ev.Time)
 	}
@@ -376,6 +415,14 @@ func (g *groupState) advanceTime(t int64) {
 		if s := g.sessions.NextEnd(); s < b {
 			b = s
 		}
+		if len(g.taps) > 0 {
+			// Taps are owed a cut at every feed-period multiple; the member
+			// calendar usually covers the grid (placement requires a member
+			// slide dividing the period), but member removal can strip it.
+			if tb := g.nextTapBound(); tb < b {
+				b = tb
+			}
+		}
 		if b > t || b == window.NoBoundary {
 			break
 		}
@@ -390,6 +437,9 @@ func (g *groupState) advanceTime(t int64) {
 				g.curBound = b
 				g.cal.EndsAt(b, g.onTimeEnd)
 				g.e.recordAssembly(t0)
+				if len(g.taps) > 0 {
+					g.produceTaps(b)
+				}
 			}
 		}
 		g.sessions.ExpireBefore(b, g.onSessEnd)
@@ -409,6 +459,15 @@ func (g *groupState) advanceTime(t int64) {
 // a reorder horizon; the boundaries replay through the same calendar
 // dispatch an immediate emission uses.
 func (g *groupState) drainDeferred(wm int64) {
+	if g.feedFrom != nil && wm > g.fedBound {
+		// A fed group can only assemble windows from supers its feeder has
+		// produced. The feeder drains first in group id order, so this cap
+		// only bites when a late event advanced this group while the feeder
+		// took the late-commit path (which skips its drain): the deferred
+		// boundary waits for the feeder's next in-order drain — exactly when
+		// the unrewritten plan's group would emit these windows.
+		wm = g.fedBound
+	}
 	k := 0
 	for k < len(g.deferred) && g.deferred[k] <= wm {
 		b := g.deferred[k]
@@ -418,6 +477,12 @@ func (g *groupState) drainDeferred(wm int64) {
 		g.e.recordAssembly(t0)
 		if b > g.emittedBound {
 			g.emittedBound = b
+		}
+		if len(g.taps) > 0 {
+			// Supers become final together with the emissions at b: commit-
+			// eligible late events (ev.Time >= emittedBound) can never land
+			// inside a produced super.
+			g.produceTaps(b)
 		}
 		k++
 	}
@@ -917,6 +982,13 @@ func (g *groupState) prune() {
 	tNeed := g.cal.EarliestOpenStart(anchor)
 	if s := g.sessions.EarliestOpenStart(); s < tNeed {
 		tNeed = s
+	}
+	for _, d := range g.taps {
+		// Slices not yet folded into a super must survive: the next super
+		// starts at the tap's production bound.
+		if d.fedBound < tNeed {
+			tNeed = d.fedBound
+		}
 	}
 	if s := g.ud.EarliestOpenStart(); s < tNeed {
 		tNeed = s

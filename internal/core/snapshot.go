@@ -29,8 +29,9 @@ const snapshotMagic = 0x44455349 // "DESI"
 // epoch; v4: per-group dedup state, which evict/revive must carry or a
 // revived key would re-admit duplicates its slice already saw; v5: per-group
 // out-of-order commit state — the emission frontier and deferred window
-// boundaries, see Config.ReorderHorizon).
-const snapshotVersion = 5
+// boundaries, see Config.ReorderHorizon; v6: per-group factor-feed state —
+// the super production bound and count-axis accumulator, see factor.go).
+const snapshotVersion = 6
 
 // Snapshot appends a serialised checkpoint of the engine's complete mutable
 // state to buf. The engine must be quiescent (no concurrent Process). The
@@ -110,6 +111,10 @@ func (g *groupState) snapshot(buf []byte) []byte {
 	for _, b := range g.deferred {
 		buf = appendU64s(buf, uint64(b))
 	}
+	// Factor-feed state (v6): zero for groups that are not fed. The feed
+	// topology itself is plan state and relinks on restore/revival.
+	buf = appendU64s(buf, uint64(g.fedBound))
+	buf = appendU64s(buf, uint64(g.fedCount))
 	return buf
 }
 
@@ -257,6 +262,8 @@ func (g *groupState) restoreBody(r *snapReader, grow []query.GroupQuery) error {
 	for i, n := 0, int(r.u32()); i < n && r.err == nil; i++ {
 		g.deferred = append(g.deferred, int64(r.u64()))
 	}
+	g.fedBound = int64(r.u64())
+	g.fedCount = int64(r.u64())
 	g.refreshOOO()
 	if g.started {
 		g.nextTimeBound = g.cal.NextBoundary(g.lastPunct)

@@ -222,6 +222,14 @@ type Config struct {
 	// consulted by the legacy New constructor when it wraps groups into a
 	// plan; NewFromPlan callers encode placement in the plan itself.
 	Decentralized bool
+	// Optimize enables the factor-window optimizer for queries added at
+	// runtime: eligible correlated windows place into fed groups assembled
+	// from another group's super-slices (see internal/query/factor.go). Like
+	// Decentralized, it is only consulted by the groups-based constructors
+	// (New, Restore) when they wrap the groups into a plan; NewFromPlan
+	// callers carry the flag in the plan itself, where it rides the wire so
+	// every tier of a topology replays deltas identically.
+	Optimize bool
 	// Placement gates which groups of the plan this engine materialises.
 	Placement PlacementFilter
 	// Telemetry, when non-nil, attaches the engine to a telemetry registry

@@ -84,6 +84,10 @@ var DefaultRules = []Rule{
 			// Out-of-order commit splices a late slice into ring order and
 			// immediately notifies the assembly index (commitLate).
 			corePkg + ":groupState.insertLateSlice",
+			// The factor-window optimizer appends a feeder's merged
+			// super-slices to the fed ring through the same append
+			// discipline closeSlice uses (acceptSuper).
+			corePkg + ":groupState.acceptSuper",
 			// Eviction drops the ring after snapshotting it; the revive
 			// rebuilds it through restoreBody.
 			corePkg + ":Engine.reclaim",

@@ -34,6 +34,11 @@ type ClusterConfig struct {
 	// the caps; the zero value uses the batcher defaults.
 	Batch        bool
 	BatchOptions message.BatcherOptions
+	// NoOptimize disables the factor-window plan optimizer on every tier
+	// (ablation switch); the default runs with it on. The flag must be
+	// uniform across the topology — it is baked into the one plan lineage
+	// all nodes share, so delta replays place identically everywhere.
+	NoOptimize bool
 	// OnResult receives final window results; nil accumulates them for
 	// Results.
 	OnResult func(core.Result)
@@ -124,7 +129,11 @@ func NewCluster(groups []*query.Group, cfg ClusterConfig) *Cluster {
 			rootChildren = append(rootChildren, localID(i))
 		}
 	}
-	c.root = NewRoot(groups, rootChildren, collect)
+	// One plan lineage for the whole topology: the root takes the original,
+	// every local a clone, so optimizer placement and epochs stay locked
+	// together across tiers.
+	p := plan.FromGroups(groups, plan.Options{Decentralized: true, Optimize: !cfg.NoOptimize})
+	c.root = NewRootFromPlan(p, rootChildren, collect)
 
 	// Intermediates and their upward links.
 	for i := 0; i < cfg.Intermediates; i++ {
@@ -148,7 +157,7 @@ func NewCluster(groups []*query.Group, cfg ClusterConfig) *Cluster {
 		up, parentSide := newPipe()
 		upConn := upLink(up, localID(i))
 		c.localConns = append(c.localConns, upConn)
-		c.locals = append(c.locals, NewLocal(localID(i), groups, upConn, cfg.BatchSize))
+		c.locals = append(c.locals, NewLocalFromPlan(localID(i), p.Clone(), upConn, cfg.BatchSize))
 		if cfg.Intermediates > 0 {
 			c.pumpToIntermediate(i%cfg.Intermediates, parentSide)
 		} else {

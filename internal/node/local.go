@@ -47,7 +47,7 @@ type Local struct {
 // The groups are deep-copied into the node's own plan, so several nodes of
 // an in-process topology can be built from one analyzed set.
 func NewLocal(id uint32, groups []*query.Group, parent message.Conn, batchSize int) *Local {
-	p := plan.FromGroups(groups, plan.Options{Decentralized: true}).Clone()
+	p := plan.FromGroups(groups, plan.Options{Decentralized: true, Optimize: true}).Clone()
 	return NewLocalFromPlan(id, p, parent, batchSize)
 }
 

@@ -36,9 +36,18 @@ type Root struct {
 
 // NewRoot builds a root for the analyzed groups, expecting the given child
 // node ids. It takes ownership of the group pointers (they become the
-// authoritative plan's catalog).
+// authoritative plan's catalog). The factor-window optimizer is left on; use
+// NewRootFromPlan to control it.
 func NewRoot(groups []*query.Group, children []uint32, onResult func(core.Result)) *Root {
-	p := plan.FromGroups(groups, plan.Options{Decentralized: true})
+	p := plan.FromGroups(groups, plan.Options{Decentralized: true, Optimize: true})
+	return NewRootFromPlan(p, children, onResult)
+}
+
+// NewRootFromPlan builds a root around an already-wrapped execution plan,
+// taking ownership of it. The plan's Optimize flag governs how future deltas
+// place: it must match the flag the groups were analyzed under, or delta
+// replay would diverge across tiers.
+func NewRootFromPlan(p *plan.Plan, children []uint32, onResult func(core.Result)) *Root {
 	r := &Root{
 		hist:     plan.NewHistory(p),
 		evBuf:    make(map[uint32][]event.Event),

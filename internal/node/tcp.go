@@ -104,10 +104,30 @@ type RootServer struct {
 // children; Wait returns once they have all connected and disconnected. A
 // zero timeout disables the liveness check.
 func ServeRoot(addr string, queries []query.Query, nChildren int, timeout time.Duration, codec message.Codec, onResult func(core.Result)) (*RootServer, error) {
+	return ServeRootOptions(addr, queries, nChildren, timeout, RootServeOptions{Codec: codec, OnResult: onResult})
+}
+
+// RootServeOptions carries the optional knobs of a root server; the zero
+// value matches ServeRoot's defaults.
+type RootServeOptions struct {
+	// Codec is the wire codec; nil means message.Binary{}.
+	Codec message.Codec
+	// OnResult receives final window results.
+	OnResult func(core.Result)
+	// NoOptimize disables the factor-window plan optimizer. Children adopt
+	// the root's plan at handshake, so the setting propagates to the whole
+	// tree automatically.
+	NoOptimize bool
+}
+
+// ServeRootOptions is ServeRoot with explicit options.
+func ServeRootOptions(addr string, queries []query.Query, nChildren int, timeout time.Duration, opts RootServeOptions) (*RootServer, error) {
+	codec := opts.Codec
 	if codec == nil {
 		codec = message.Binary{}
 	}
-	groups, err := query.Analyze(queries, query.Options{Decentralized: true})
+	analyzeOpts := query.Options{Decentralized: true, Optimize: !opts.NoOptimize}
+	groups, err := query.Analyze(queries, analyzeOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -128,7 +148,8 @@ func ServeRoot(addr string, queries []query.Query, nChildren int, timeout time.D
 		timeout:  timeout,
 		done:     make(chan struct{}),
 	}
-	s.root = NewRoot(groups, nil, onResult)
+	p := plan.FromGroups(groups, plan.Options{Decentralized: true, Optimize: !opts.NoOptimize})
+	s.root = NewRootFromPlan(p, nil, opts.OnResult)
 	s.root.AttachTelemetry(s.tel, "root")
 	go s.acceptLoop()
 	return s, nil

@@ -3,7 +3,29 @@ package operator
 import (
 	"math"
 	"sort"
+	"sync/atomic"
 )
+
+// Merge accounting for benchmarks: the factor-window experiment measures how
+// many partial-result merges a workload costs with the optimizer on versus
+// off. Counting is off by default (one predictable-branch load on the Merge
+// path) and exact when enabled; the counter is global, so enable it only
+// around single-workload measurement runs.
+var (
+	countMerges atomic.Bool
+	mergeCalls  atomic.Uint64
+)
+
+// CountMerges toggles merge counting; enabling it also resets the counter.
+func CountMerges(on bool) {
+	if on {
+		mergeCalls.Store(0)
+	}
+	countMerges.Store(on)
+}
+
+// MergeCalls reports the merges counted since CountMerges(true).
+func MergeCalls() uint64 { return mergeCalls.Load() }
 
 // Agg is the per-slice aggregate state for one selection context. It holds
 // the intermediate results of every primitive operator the query-group
@@ -137,6 +159,9 @@ func (a *Agg) Empty() bool {
 // Merge folds the partial result b into a. Both sides must be Finished when
 // the mask contains OpNDSort; the merge of two sorted runs is linear.
 func (a *Agg) Merge(b *Agg) {
+	if countMerges.Load() {
+		mergeCalls.Add(1)
+	}
 	ops := a.Ops
 	if ops&OpCount != 0 {
 		a.CountV += b.CountV

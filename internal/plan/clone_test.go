@@ -1,0 +1,135 @@
+package plan
+
+import (
+	"bytes"
+	"testing"
+
+	"desis/internal/query"
+)
+
+// factorPlan builds an optimized plan with a depth-3 feed chain plus raw
+// bystanders — the richest shape Clone/Restrict/DecodePlan must preserve.
+func factorPlan(t *testing.T) *Plan {
+	t.Helper()
+	qs := []query.Query{
+		q(t, 1, "tumbling(1s) sum key=0"),
+		q(t, 2, "sliding(60s,10s) sum,average key=0"),
+		q(t, 3, "sliding(600s,60s) min key=0"),
+		q(t, 4, "sliding(4s,2s) median key=0"),
+		q(t, 5, "tumbling(2s) count key=1"),
+	}
+	p, err := New(qs, Options{Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.FedGroups()) == 0 {
+		t.Fatalf("optimizer placed no fed groups:\n%s", p.Describe())
+	}
+	return p
+}
+
+// TestCloneThenMutateDifferential pins Clone against every field added since
+// the wire format learned to carry plans: mutating the original through
+// deltas (which exercises the touched slate, the catalog index, mask
+// widening, and optimizer placement) must leave the clone's encoded bytes
+// byte-for-byte unchanged, and vice versa.
+func TestCloneThenMutateDifferential(t *testing.T) {
+	p := factorPlan(t)
+	p.Warm() // populate the lazy catalog index before cloning
+	c := p.Clone()
+	before := AppendPlan(nil, c)
+
+	// Mutate the original: an eligible add (optimizer placement, feeder mask
+	// widening) and a remove (touched slate, tombstones).
+	if err := p.Apply(p.AddDelta(q(t, 6, "sliding(120s,10s) max key=0"))); err != nil {
+		t.Fatalf("add on original: %v", err)
+	}
+	if err := p.Apply(p.RemoveDelta(1)); err != nil {
+		t.Fatalf("remove on original: %v", err)
+	}
+	if after := AppendPlan(nil, c); !bytes.Equal(before, after) {
+		t.Fatal("mutating the original changed the clone's encoding: Clone shares state")
+	}
+
+	// And the reverse: mutate the clone, original's encoding must hold.
+	orig := AppendPlan(nil, p)
+	if err := c.Apply(c.AddDelta(q(t, 7, "tumbling(1s) min key=2"))); err != nil {
+		t.Fatalf("add on clone: %v", err)
+	}
+	if got := AppendPlan(nil, p); !bytes.Equal(orig, got) {
+		t.Fatal("mutating the clone changed the original's encoding")
+	}
+
+	// The clone must stay delta-capable and reach the same catalog a fresh
+	// plan reaches: determinism across replicas is what Clone exists for.
+	fresh, _, err := DecodePlan(before)
+	if err != nil {
+		t.Fatalf("DecodePlan: %v", err)
+	}
+	if err := fresh.Apply(fresh.AddDelta(q(t, 7, "tumbling(1s) min key=2"))); err != nil {
+		t.Fatalf("add on decoded plan: %v", err)
+	}
+	if got, want := fresh.Describe(), c.Describe(); got != want {
+		t.Errorf("decoded plan diverged from clone after identical delta:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestWireRoundTripCarriesOptimizerState: AppendPlan → DecodePlan must
+// preserve the Optimize flag and the per-group feed topology — a tier that
+// dropped either would place future deltas differently and diverge.
+func TestWireRoundTripCarriesOptimizerState(t *testing.T) {
+	p := factorPlan(t)
+	buf := AppendPlan(nil, p)
+	d, rest, err := DecodePlan(buf)
+	if err != nil {
+		t.Fatalf("DecodePlan: %v", err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes after decode", len(rest))
+	}
+	if got, want := d.Describe(), p.Describe(); got != want {
+		t.Errorf("round-trip changed the catalog:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	if !d.Optimize {
+		t.Error("round-trip dropped Options.Optimize")
+	}
+	if got, want := len(d.FedGroups()), len(p.FedGroups()); got != want {
+		t.Errorf("round-trip kept %d fed groups, want %d", got, want)
+	}
+	// Re-encoding the decoded plan is a fixed point.
+	if again := AppendPlan(nil, d); !bytes.Equal(buf, again) {
+		t.Error("re-encoding the decoded plan produced different bytes")
+	}
+}
+
+// TestRestrictKeepsFeedChainsTogether: sharding by key must never split a
+// feeder from its fed groups — they share a key by construction, and the
+// restricted view must keep the chain intact for the owning shard and drop
+// it whole elsewhere.
+func TestRestrictKeepsFeedChainsTogether(t *testing.T) {
+	qs := []query.Query{
+		q(t, 1, "tumbling(1s) sum key=0"),
+		q(t, 2, "sliding(60s,10s) sum key=0"),
+		q(t, 3, "tumbling(1s) sum key=1"),
+		q(t, 4, "sliding(60s,10s) sum key=1"),
+	}
+	p, err := New(qs, Options{Optimize: true, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.FedGroups()) == 0 {
+		t.Skip("no fed groups under this key layout")
+	}
+	for shard := 0; shard < 2; shard++ {
+		r := p.Restrict(shard)
+		for _, g := range r.FedGroups() {
+			f := r.Feeder(g)
+			if f == nil {
+				t.Fatalf("shard %d: fed group %d lost its feeder %d", shard, g.ID, g.FeedFrom)
+			}
+			if f.Key != g.Key {
+				t.Fatalf("shard %d: feeder %d key %d != fed %d key %d", shard, f.ID, f.Key, g.ID, g.Key)
+			}
+		}
+	}
+}

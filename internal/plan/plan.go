@@ -31,6 +31,12 @@ type Options struct {
 	Decentralized bool
 	// Dedup enables the deduplication operator on all formed groups.
 	Dedup bool
+	// Optimize enables the factor-window optimizer: the admission fold may
+	// place eligible queries into fed groups that assemble from another
+	// group's super-slices (see optimize.go). The flag rides the plan (and
+	// its wire form), so every holder replaying the same deltas derives the
+	// same rewrites.
+	Optimize bool
 	// Shards is the shard count of the key→shard routing map; 0 or 1 means
 	// unsharded.
 	Shards int
@@ -52,9 +58,10 @@ type Plan struct {
 	// by every applied delta. Two plan holders at the same epoch that
 	// started from the same initial catalog are byte-identical.
 	Epoch uint64
-	// Decentralized, Dedup, Shards mirror Options.
+	// Decentralized, Dedup, Optimize, Shards mirror Options.
 	Decentralized bool
 	Dedup         bool
+	Optimize      bool
 	Shards        int
 	// Shard is the shard this plan is restricted to (see Restrict), or -1
 	// for the full (master) plan.
@@ -77,6 +84,9 @@ type Plan struct {
 	// touched lists the groups the most recent successful Apply mutated; see
 	// Touched.
 	touched []*query.Group
+	// maskScratch is placeIndexed's reusable buffer for detecting feeder
+	// mask widening; derived state like idx, never serialized or cloned.
+	maskScratch []operator.Op
 }
 
 // bucketKey identifies one placement bucket: queries can only share a group
@@ -189,6 +199,7 @@ func New(queries []query.Query, opts Options) (*Plan, error) {
 	p := &Plan{
 		Decentralized: opts.Decentralized,
 		Dedup:         opts.Dedup,
+		Optimize:      opts.Optimize,
 		Shards:        opts.Shards,
 		Shard:         -1,
 	}
@@ -207,6 +218,7 @@ func FromGroups(groups []*query.Group, opts Options) *Plan {
 	return &Plan{
 		Decentralized: opts.Decentralized,
 		Dedup:         opts.Dedup,
+		Optimize:      opts.Optimize,
 		Shards:        opts.Shards,
 		Shard:         -1,
 		Groups:        groups,
@@ -215,7 +227,7 @@ func FromGroups(groups []*query.Group, opts Options) *Plan {
 
 // queryOpts maps the plan's options onto the analyzer's.
 func (p *Plan) queryOpts() query.Options {
-	return query.Options{Decentralized: p.Decentralized, Dedup: p.Dedup}
+	return query.Options{Decentralized: p.Decentralized, Dedup: p.Dedup, Optimize: p.Optimize}
 }
 
 // ShardOf is the plan's key→shard routing map. Unsharded plans route
@@ -368,9 +380,23 @@ func (p *Plan) applyAdd(q query.Query) error {
 func (p *Plan) placeIndexed(q query.Query) (*query.Group, error) {
 	ix := p.index()
 	bk := bucketKey{key: q.Key, placement: query.PlacementOf(q, p.queryOpts())}
-	g, _, created, err := query.PlaceIn(ix.buckets[bk], ix.nextGroup, q, p.queryOpts())
+	bucket := ix.buckets[bk]
+	// Admission can widen *other* groups of the bucket: a fed placement
+	// folds the new member's operators up its feeder chain (RefreshOps).
+	// Snapshot the masks so every widened group lands in the touched slate —
+	// the engine admin-cuts it exactly like a directly joined group.
+	p.maskScratch = p.maskScratch[:0]
+	for _, bg := range bucket {
+		p.maskScratch = append(p.maskScratch, bg.Ops)
+	}
+	g, _, created, err := query.PlaceIn(bucket, ix.nextGroup, q, p.queryOpts())
 	if err != nil {
 		return nil, err
+	}
+	for i, bg := range bucket {
+		if bg != g && bg.Ops != p.maskScratch[i] {
+			p.touched = append(p.touched, bg)
+		}
 	}
 	if created {
 		p.Groups = append(p.Groups, g)
@@ -539,6 +565,10 @@ func (p *Plan) Clone() *Plan {
 	c.Instances = append([]Instance(nil), p.Instances...)
 	c.idx = nil
 	c.touched = nil
+	// Not sharing the scratch buffer matters as much as dropping the index:
+	// a shard view applying deltas concurrently with its master would
+	// otherwise write into the same backing array.
+	c.maskScratch = nil
 	return &c
 }
 
@@ -602,8 +632,8 @@ func (p *Plan) LiveQueries() int {
 // Describe renders the catalog for humans (desis-ctl plan).
 func (p *Plan) Describe() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "plan epoch=%d decentralized=%v dedup=%v shards=%d",
-		p.Epoch, p.Decentralized, p.Dedup, p.Shards)
+	fmt.Fprintf(&b, "plan epoch=%d decentralized=%v dedup=%v optimize=%v shards=%d",
+		p.Epoch, p.Decentralized, p.Dedup, p.Optimize, p.Shards)
 	if p.Shard >= 0 {
 		fmt.Fprintf(&b, " shard=%d", p.Shard)
 	}
@@ -611,6 +641,9 @@ func (p *Plan) Describe() string {
 	for _, g := range p.Groups {
 		fmt.Fprintf(&b, "group %d key=%d placement=%s contexts=%d ops=%v",
 			g.ID, g.Key, g.Placement, len(g.Contexts), g.LogicalOps)
+		if g.Fed() {
+			fmt.Fprintf(&b, " fed-from=%d ctx=%d period=%dms", g.FeedFrom, g.FeedCtx, g.FeedPeriod)
+		}
 		if p.Shards > 1 {
 			fmt.Fprintf(&b, " shard=%d", p.ShardOf(g.Key))
 		}

@@ -84,6 +84,7 @@ func AppendPlan(buf []byte, p *Plan) []byte {
 	buf = wu64(buf, p.Epoch)
 	buf = wbool(buf, p.Decentralized)
 	buf = wbool(buf, p.Dedup)
+	buf = wbool(buf, p.Optimize)
 	buf = wu32(buf, uint32(p.Shards))
 	buf = wu32(buf, uint32(int32(p.Shard)))
 	buf = wu32(buf, uint32(len(p.Groups)))
@@ -94,6 +95,9 @@ func AppendPlan(buf []byte, p *Plan) []byte {
 		buf = wbool(buf, g.Dedup)
 		buf = wu64(buf, uint64(g.Ops))
 		buf = wu64(buf, uint64(g.LogicalOps))
+		buf = wu32(buf, g.FeedFrom)
+		buf = wu32(buf, uint32(g.FeedCtx))
+		buf = wu64(buf, uint64(g.FeedPeriod))
 		buf = wu32(buf, uint32(len(g.Contexts)))
 		for _, c := range g.Contexts {
 			buf = wf64(buf, c.Min)
@@ -127,6 +131,7 @@ func DecodePlan(buf []byte) (*Plan, []byte, error) {
 		Epoch:         r.u64(),
 		Decentralized: r.bool(),
 		Dedup:         r.bool(),
+		Optimize:      r.bool(),
 		Shards:        int(r.u32()),
 		Shard:         int(int32(r.u32())),
 	}
@@ -140,6 +145,9 @@ func DecodePlan(buf []byte) (*Plan, []byte, error) {
 			Ops:        operator.Op(r.u64()),
 			LogicalOps: operator.Op(r.u64()),
 		}
+		g.FeedFrom = r.u32()
+		g.FeedCtx = int(r.u32())
+		g.FeedPeriod = int64(r.u64())
 		nc := int(r.u32())
 		for j := 0; j < nc && r.err == nil; j++ {
 			g.Contexts = append(g.Contexts, query.Predicate{Min: r.f64(), Max: r.f64()})
@@ -171,6 +179,9 @@ func DecodePlan(buf []byte) (*Plan, []byte, error) {
 	}
 	if r.err != nil {
 		return nil, nil, r.err
+	}
+	if err := validateFeeds(p); err != nil {
+		return nil, nil, err
 	}
 	return p, r.buf, nil
 }

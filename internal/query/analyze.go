@@ -67,6 +67,15 @@ type Group struct {
 	// Dedup enables the deduplication non-aggregate operator for the
 	// group's slices.
 	Dedup bool
+	// FeedFrom, FeedCtx, and FeedPeriod describe a factor-fed group (see
+	// factor.go): when FeedPeriod > 0 the group ingests no raw events —
+	// instead the engine taps group FeedFrom at every FeedPeriod boundary
+	// and appends the merged partial of context FeedCtx as one coarse
+	// super-slice. Fed groups hold exactly one context and place() never
+	// extends them; only placeFactor adds members.
+	FeedFrom   uint32
+	FeedCtx    int
+	FeedPeriod int64
 }
 
 // Options configures the analyzer.
@@ -78,6 +87,12 @@ type Options struct {
 	Decentralized bool
 	// Dedup enables the deduplication operator on all produced groups.
 	Dedup bool
+	// Optimize enables the factor-window optimizer (factor.go): eligible
+	// queries are placed in fed groups that assemble from another group's
+	// super-slices instead of from raw slices. Both settings produce the
+	// same results; the flag must agree across every node of a topology so
+	// delta replay derives identical catalogs.
+	Optimize bool
 }
 
 // Analyze validates the queries and forms query-groups: queries share a
@@ -113,6 +128,9 @@ func Analyze(queries []Query, opts Options) ([]*Group, error) {
 // but compatible. A nil group means no group can take p.
 func place(bucket []*Group, p Predicate) (*Group, int) {
 	for _, g := range bucket {
+		if g.Fed() {
+			continue // fed groups take members only through placeFactor
+		}
 		compatible := true
 		ctx := -1
 		for i, c := range g.Contexts {
@@ -192,6 +210,11 @@ func PlaceIn(bucket []*Group, nextGroupID uint32, q Query, opts Options) (g *Gro
 	if err := q.Validate(); err != nil {
 		return nil, 0, false, err
 	}
+	if opts.Optimize {
+		if fg, fmember, fcreated, ok := placeFactor(bucket, nextGroupID, q, opts); ok {
+			return fg, fmember, fcreated, nil
+		}
+	}
 	g, ctx := place(bucket, q.Pred)
 	if g == nil {
 		g = &Group{
@@ -205,15 +228,7 @@ func PlaceIn(bucket []*Group, nextGroupID uint32, q Query, opts Options) (g *Gro
 		created = true
 	}
 	g.Queries = append(g.Queries, GroupQuery{Query: q, Ctx: ctx})
-	var ops operator.Op
-	for _, gq := range g.Queries {
-		if gq.Removed {
-			continue
-		}
-		ops = operator.UnionFuncs(ops, gq.Funcs)
-	}
-	g.LogicalOps = ops
-	g.Ops = g.LogicalOps | operator.OpCount
+	RefreshOps(bucket, g)
 	return g, len(g.Queries) - 1, created, nil
 }
 

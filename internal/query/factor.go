@@ -1,0 +1,258 @@
+package query
+
+import "desis/internal/operator"
+
+// Factor-window placement (the plan optimizer's analysis half, ROADMAP item
+// 3): a time-measure fixed window whose length and slide are integer
+// multiples of another group's cut grid can be evaluated over that group's
+// partial results instead of over raw slices. The query is then placed in a
+// *fed* group — a group that ingests no raw events; the engine taps the
+// feeder at every FeedPeriod boundary and appends the merged partial as one
+// coarse "super-slice" to the fed group, so a 1h/1m window assembles from 60
+// super-slices instead of thousands of raw slices ("Factor Windows", Wu et
+// al.).
+//
+// Everything here is part of the deterministic placement fold: a catalog
+// built up-front and one built by replaying the same deltas must agree on
+// every feed edge, which is why the decision lives next to PlaceIn rather
+// than in the plan layer.
+
+// Fed reports whether the group is a factor-fed group: it ingests no raw
+// events and receives super-slices from group FeedFrom instead.
+func (g *Group) Fed() bool { return g.FeedPeriod > 0 }
+
+// factorPeriod returns the super-slice period for q — its window slide —
+// when q has a shape that can be factor-fed at all: a time-measure fixed
+// window whose length is a whole number of slides, computing only
+// decomposable functions (super-slices are merged partials, so every
+// function must decompose; the non-decomposable sort additionally breaks
+// the feeder's §4.2.2 sharing rule).
+func factorPeriod(q Query) (int64, bool) {
+	if q.Measure != Time {
+		return 0, false
+	}
+	var p int64
+	switch q.Type {
+	case Sliding:
+		p = q.Slide
+	case Tumbling:
+		p = q.Length
+	default:
+		return 0, false
+	}
+	if p <= 0 || q.Length%p != 0 || !q.Decomposable() {
+		return 0, false
+	}
+	return p, true
+}
+
+// cutPeriod returns the finest cut grid group g is guaranteed to slice on:
+// its feed period when g is itself fed, otherwise the smallest slide of a
+// live fixed-time member (window starts fall on every multiple of a member's
+// slide, so the group's boundary set contains that whole grid). ok is false
+// when g offers no fixed time grid.
+func cutPeriod(g *Group) (int64, bool) {
+	if g.Fed() {
+		return g.FeedPeriod, true
+	}
+	var w int64
+	for _, gq := range g.Queries {
+		if gq.Removed || gq.Measure != Time {
+			continue
+		}
+		var s int64
+		switch gq.Type {
+		case Sliding:
+			s = gq.Slide
+		case Tumbling:
+			s = gq.Length
+		default:
+			continue
+		}
+		if s > 0 && (w == 0 || s < w) {
+			w = s
+		}
+	}
+	return w, w > 0
+}
+
+// feedEligible reports whether group f can feed super-slices of period p for
+// predicate pred: f must already maintain an exactly-equal selection context
+// (super-slices are per-context merges, so overlap is not enough), and its
+// guaranteed cut grid must divide p so tapping it adds no boundaries beyond
+// splits it would cut anyway. Fed groups hold exactly one context, which is
+// what keeps their slices answerable as super-slices further up a chain.
+func feedEligible(f *Group, pred Predicate, p int64) (ctx int, ok bool) {
+	if f.Dedup {
+		return 0, false
+	}
+	w, ok := cutPeriod(f)
+	if !ok || p%w != 0 {
+		return 0, false
+	}
+	for i, c := range f.Contexts {
+		if c.Equal(pred) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// groupByID finds a group by id within a bucket.
+func groupByID(bucket []*Group, id uint32) *Group {
+	for _, g := range bucket {
+		if g.ID == id {
+			return g
+		}
+	}
+	return nil
+}
+
+// Factor-window cost model, in expected merge operations per event-time
+// millisecond. Joining the place() target PT merges one window of L/w(PT)
+// slices every S ms; feeding from F merges L/p super-slices per window plus
+// one super-slice production (a merge over F's slices, amortised O(1) with
+// the pre-aggregation index) every p ms, and pays the extra factor-window
+// state. The rewrite must win by at least 2x so marginal plans keep the
+// simpler unrewritten shape.
+const factorWinFactor = 2
+
+func joinCost(q Query, p int64, w int64) float64 {
+	return (float64(q.Length) / float64(w)) / float64(p)
+}
+
+func feedCost(q Query, p int64, feederCut int64) float64 {
+	return (float64(q.Length)/float64(p))/float64(p) + 1/float64(feederCut)
+}
+
+// placeFactor tries to place q as a factor-fed query: first by joining an
+// existing fed group with the same period and context (sharing its
+// super-slices is free), then by founding a new fed group when the cost
+// model says feeding beats joining the group place() would pick. It returns
+// ok=false when q keeps the ordinary placement path. The scan order and
+// tie-breaks are deterministic (catalog order, lowest feeder id), which the
+// delta replay protocol relies on.
+func placeFactor(bucket []*Group, nextGroupID uint32, q Query, opts Options) (g *Group, member int, created bool, ok bool) {
+	if opts.Dedup {
+		return nil, 0, false, false
+	}
+	p, ok := factorPeriod(q)
+	if !ok {
+		return nil, 0, false, false
+	}
+
+	// Join an existing fed group when one matches exactly: its super-slices
+	// already answer q's grid, so this beats any other placement.
+	for _, d := range bucket {
+		if !d.Fed() || d.FeedPeriod != p || !d.Contexts[0].Equal(q.Pred) {
+			continue
+		}
+		d.Queries = append(d.Queries, GroupQuery{Query: q, Ctx: 0})
+		RefreshOps(bucket, d)
+		return d, len(d.Queries) - 1, false, true
+	}
+
+	// Founding a new fed group has to beat joining the group place() would
+	// put q in. Without such a target q would found an ordinary group slicing
+	// on its own grid, which a factor rewrite cannot improve on. peekPlace
+	// mirrors place() without extending the target's contexts: when the
+	// rewrite fires, the target must stay exactly as it was.
+	pt := peekPlace(bucket, q.Pred)
+	if pt == nil {
+		return nil, 0, false, false
+	}
+	ptCut, ok := cutPeriod(pt)
+	if !ok {
+		return nil, 0, false, false
+	}
+	var feeder *Group
+	var feedCtx int
+	var best float64
+	for _, f := range bucket {
+		ctx, ok := feedEligible(f, q.Pred, p)
+		if !ok {
+			continue
+		}
+		cut, _ := cutPeriod(f)
+		if c := feedCost(q, p, cut); feeder == nil || c < best {
+			feeder, feedCtx, best = f, ctx, c
+		}
+	}
+	if feeder == nil || factorWinFactor*best > joinCost(q, p, ptCut) {
+		return nil, 0, false, false
+	}
+	d := &Group{
+		ID:         nextGroupID,
+		Key:        q.Key,
+		Placement:  PlacementOf(q, opts),
+		Contexts:   []Predicate{q.Pred},
+		Queries:    []GroupQuery{{Query: q, Ctx: 0}},
+		FeedFrom:   feeder.ID,
+		FeedCtx:    feedCtx,
+		FeedPeriod: p,
+	}
+	// d has no dependents yet, so refreshing against the old bucket only
+	// computes d's own masks and widens its feeder chain.
+	RefreshOps(bucket, d)
+	return d, 0, true, true
+}
+
+// peekPlace returns the group place() would put predicate p in, without
+// mutating any group: the first bucket group holding an equal context or
+// compatible (pairwise non-overlapping) with all of its contexts.
+func peekPlace(bucket []*Group, p Predicate) *Group {
+	for _, g := range bucket {
+		if g.Fed() {
+			continue
+		}
+		compatible := true
+		for _, c := range g.Contexts {
+			if c.Equal(p) {
+				return g
+			}
+			if c.Overlaps(p) {
+				compatible = false
+				break
+			}
+		}
+		if compatible {
+			return g
+		}
+	}
+	return nil
+}
+
+// RefreshOps recomputes g's operator masks from its live members and then
+// restores the feed-chain invariant inside the bucket: a feeder's Ops must
+// cover every dependent's (its slices are what the dependents' super-slices
+// are merged from). Membership mutations — placement, removal — call this
+// instead of folding member funcs directly, so masks converge to the same
+// value in every construction order. Dependent masks are OR-ed raw (they are
+// NDSort-free by eligibility), which may legitimately carry OpDSort next to
+// a feeder's OpNDSort: the feeder's own min/max members keep reading the
+// sorted values, while super-slices are produced from the decomposable
+// lanes.
+func RefreshOps(bucket []*Group, g *Group) {
+	var ops operator.Op
+	for _, gq := range g.Queries {
+		if gq.Removed {
+			continue
+		}
+		ops = operator.UnionFuncs(ops, gq.Funcs)
+	}
+	g.LogicalOps = ops
+	g.Ops = ops | operator.OpCount
+	for _, d := range bucket {
+		if d != g && d.Fed() && d.FeedFrom == g.ID {
+			g.Ops |= d.Ops &^ operator.OpNDSort
+		}
+	}
+	for cur := g; cur.Fed(); {
+		f := groupByID(bucket, cur.FeedFrom)
+		if f == nil {
+			break
+		}
+		f.Ops |= cur.Ops &^ operator.OpNDSort
+		cur = f
+	}
+}

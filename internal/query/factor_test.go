@@ -1,0 +1,215 @@
+package query
+
+import (
+	"testing"
+
+	"desis/internal/operator"
+)
+
+// Unit tests for the factor-window placement analysis: shape gating
+// (factorPeriod), the cost model's rewrite threshold, chain formation, and
+// the feed-chain mask invariant. These pin the *decisions*; the engine-level
+// differential proves the rewritten plans produce identical results.
+
+func fSliding(id uint64, length, slide int64, funcs ...operator.Func) Query {
+	fs := make([]operator.FuncSpec, len(funcs))
+	for i, f := range funcs {
+		fs[i] = operator.FuncSpec{Func: f}
+	}
+	return Query{ID: id, Pred: All(), Type: Sliding, Measure: Time, Length: length, Slide: slide, Funcs: fs}
+}
+
+func fTumbling(id uint64, length int64, funcs ...operator.Func) Query {
+	fs := make([]operator.FuncSpec, len(funcs))
+	for i, f := range funcs {
+		fs[i] = operator.FuncSpec{Func: f}
+	}
+	return Query{ID: id, Pred: All(), Type: Tumbling, Measure: Time, Length: length, Funcs: fs}
+}
+
+func TestFactorPeriodShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		q    Query
+		p    int64
+		ok   bool
+	}{
+		{"sliding-divisible", fSliding(1, 60_000, 10_000, operator.Sum), 10_000, true},
+		{"tumbling", fTumbling(2, 1000, operator.Sum), 1000, true},
+		{"length-not-multiple", fSliding(3, 25_000, 10_000, operator.Sum), 0, false},
+		{"count-measure", Query{ID: 4, Pred: All(), Type: Sliding, Measure: Count, Length: 100, Slide: 10,
+			Funcs: []operator.FuncSpec{{Func: operator.Sum}}}, 0, false},
+		{"session", Query{ID: 5, Pred: All(), Type: Session, Measure: Time, Gap: 1000,
+			Funcs: []operator.FuncSpec{{Func: operator.Sum}}}, 0, false},
+		{"non-decomposable", fSliding(6, 60_000, 10_000, operator.Median), 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, ok := factorPeriod(tc.q)
+			if ok != tc.ok || (ok && p != tc.p) {
+				t.Fatalf("factorPeriod = (%d, %v), want (%d, %v)", p, ok, tc.p, tc.ok)
+			}
+		})
+	}
+}
+
+// TestPlaceFactorChain: placing base → medium → long builds a depth-3 feed
+// chain, and another query with the medium period joins the existing fed
+// group instead of founding a fourth.
+func TestPlaceFactorChain(t *testing.T) {
+	opts := Options{Optimize: true}
+	var bucket []*Group
+
+	place := func(q Query) *Group {
+		t.Helper()
+		g, _, created, err := PlaceIn(bucket, uint32(len(bucket)), q, opts)
+		if err != nil {
+			t.Fatalf("PlaceIn(%d): %v", q.ID, err)
+		}
+		if created {
+			bucket = append(bucket, g)
+		}
+		return g
+	}
+
+	base := place(fTumbling(1, 1000, operator.Sum))
+	if base.Fed() {
+		t.Fatal("base group has no feeder candidates and must stay raw")
+	}
+	med := place(fSliding(2, 60_000, 10_000, operator.Sum))
+	if !med.Fed() || med.FeedFrom != base.ID || med.FeedPeriod != 10_000 {
+		t.Fatalf("medium window not fed from base: %+v", med)
+	}
+	long := place(fSliding(3, 600_000, 60_000, operator.Min))
+	if !long.Fed() || long.FeedFrom != med.ID {
+		t.Fatalf("long window must chain off the medium fed group (coarser supers), got feed-from=%d", long.FeedFrom)
+	}
+	n := len(bucket)
+	joined := place(fSliding(4, 120_000, 10_000, operator.Max))
+	if joined != med || len(bucket) != n {
+		t.Fatalf("same-period query must join the existing fed group, got group %d", joined.ID)
+	}
+}
+
+// TestPlaceFactorThreshold pins the 2x rewrite margin: a 15-slice window
+// (L=3p, p=5w) stays unrewritten — 2*(j+k) = 16 > jk = 15 — while one more
+// slide of length tips it over.
+func TestPlaceFactorThreshold(t *testing.T) {
+	opts := Options{Optimize: true}
+	mk := func(q Query) []*Group {
+		base := fTumbling(1, 1000, operator.Sum)
+		g, _, _, err := PlaceIn(nil, 0, base, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bucket := []*Group{g}
+		g2, _, created, err := PlaceIn(bucket, 1, q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if created {
+			bucket = append(bucket, g2)
+		}
+		return bucket
+	}
+
+	// j=3 slides of k=5 grid cells: join cost 15 merges per 5s, feed cost
+	// (3+5) per 5s — short of the 2x margin, keep the simple plan.
+	marginal := mk(fSliding(2, 15_000, 5000, operator.Sum))
+	for _, g := range marginal {
+		if g.Fed() {
+			t.Fatalf("marginal window was rewritten: %+v", g)
+		}
+	}
+	// j=4: 2*(4+5) = 18 <= 20 — rewrite.
+	winning := mk(fSliding(2, 20_000, 5000, operator.Sum))
+	found := false
+	for _, g := range winning {
+		found = found || g.Fed()
+	}
+	if !found {
+		t.Fatal("clearly-winning window was not rewritten")
+	}
+}
+
+// TestPlaceFactorIneligibility: dedup mode, foreign predicates, and missing
+// feeders all keep the ordinary placement path.
+func TestPlaceFactorIneligibility(t *testing.T) {
+	base := fTumbling(1, 1000, operator.Sum)
+	eligible := fSliding(2, 60_000, 10_000, operator.Sum)
+
+	// Dedup strips the rewrite wholesale: late dedup state cannot be
+	// reconstructed from merged supers.
+	g, _, _, err := PlaceIn(nil, 0, base, Options{Optimize: true, Dedup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _, created, err := PlaceIn([]*Group{g}, 1, eligible, Options{Optimize: true, Dedup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Fed() {
+		t.Fatal("dedup bucket produced a fed group")
+	}
+	_ = created
+
+	// A predicate no feeder context equals: no feed edge.
+	g, _, _, err = PlaceIn(nil, 0, base, Options{Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := fSliding(3, 60_000, 10_000, operator.Sum)
+	other.Pred = Above(50)
+	g3, _, _, err := PlaceIn([]*Group{g}, 1, other, Options{Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3.Fed() {
+		t.Fatal("predicate mismatch produced a fed group")
+	}
+
+	// Optimize off: identical queries, no rewrite.
+	g, _, _, err = PlaceIn(nil, 0, base, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g4, _, _, err := PlaceIn([]*Group{g}, 1, eligible, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g4.Fed() {
+		t.Fatal("optimizer disabled but a fed group appeared")
+	}
+}
+
+// TestRefreshOpsFeedChain: the feeder of a chain must carry every
+// dependent's decomposable operators (its slices are what supers merge
+// from), while OpNDSort never propagates down.
+func TestRefreshOpsFeedChain(t *testing.T) {
+	opts := Options{Optimize: true}
+	var bucket []*Group
+	place := func(q Query) *Group {
+		t.Helper()
+		g, _, created, err := PlaceIn(bucket, uint32(len(bucket)), q, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if created {
+			bucket = append(bucket, g)
+		}
+		return g
+	}
+	base := place(fTumbling(1, 1000, operator.Count))
+	med := place(fSliding(2, 60_000, 10_000, operator.Sum))
+	long := place(fSliding(3, 600_000, 60_000, operator.Min))
+
+	if miss := long.Ops &^ operator.OpNDSort &^ med.Ops; miss != 0 {
+		t.Fatalf("medium feeder missing dependent ops %v", miss)
+	}
+	if miss := med.Ops &^ operator.OpNDSort &^ base.Ops; miss != 0 {
+		t.Fatalf("base feeder missing dependent ops %v", miss)
+	}
+	if base.Ops&operator.OpSum == 0 {
+		t.Fatal("base group did not widen to cover the chain's sum")
+	}
+}

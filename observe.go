@@ -47,3 +47,9 @@ func (t *Telemetry) Text() string {
 func (t *Telemetry) Counter(name string) uint64 {
 	return t.registry().Snapshot().Counter(name)
 }
+
+// Gauge reads one gauge by name (e.g. "engine.horizon_disabled"); unknown
+// names read 0.
+func (t *Telemetry) Gauge(name string) int64 {
+	return t.registry().Snapshot().Gauges[name]
+}

@@ -57,7 +57,10 @@ func NewParallelEngine(queries []Query, n int, opts Options) (*ParallelEngine, e
 		n = 1
 	}
 	queries = assignIDs(queries)
-	master, err := plan.New(queries, plan.Options{Dedup: opts.Dedup, Shards: n})
+	if err := opts.validate(queries); err != nil {
+		return nil, err
+	}
+	master, err := plan.New(queries, plan.Options{Dedup: opts.Dedup, Shards: n, Optimize: opts.optimizeOn()})
 	if err != nil {
 		return nil, err
 	}
